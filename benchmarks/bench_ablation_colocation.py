@@ -1,0 +1,68 @@
+"""Ablation (DESIGN.md decision 1): co-partitioning state and compute.
+
+S-QUERY schedules each operator's live-state partition on the node that
+runs the operator instance, so mirror writes are node-local.  This
+ablation disables co-location: every live-state update pays a network
+round trip, and the live configuration's latency degrades sharply.
+"""
+
+from repro.bench.harness import scaled_cluster, sim_rate
+from repro.bench.latency import LatencyRecorder, PAPER_PERCENTILES
+from repro.bench.report import format_table, percentile_headers, \
+    percentile_row
+from repro.config import SQueryConfig
+from repro.env import Environment
+from repro.state import SQueryBackend
+from repro.workloads.nexmark import build_query6_job
+
+from .conftest import record_result
+
+RATE = 100_000  # remote mirroring cannot sustain higher rates
+
+
+def run_once(colocated: bool) -> LatencyRecorder:
+    config = scaled_cluster(3, 1)
+    env = Environment(config)
+    backend = SQueryBackend(env.cluster, env.store, SQueryConfig(
+        live_state=True, snapshot_state=True, colocate_state=colocated,
+    ))
+    job = build_query6_job(
+        env, backend,
+        rate_per_s=sim_rate(RATE, config),
+        parallelism=config.total_processing_workers,
+    )
+    job.start()
+    env.run_until(1_000)
+    skip = len(job.metrics.sink_latencies)
+    env.run_until(3_000)
+    recorder = LatencyRecorder("colocated" if colocated else "remote")
+    recorder.extend(job.metrics.sink_latencies[skip:])
+    return recorder
+
+
+def run_ablation():
+    summaries = {}
+    rows = []
+    for colocated in (True, False):
+        recorder = run_once(colocated)
+        summary = recorder.summary(PAPER_PERCENTILES)
+        summaries[colocated] = summary
+        label = ("co-located state" if colocated
+                 else "remote state (ablation)")
+        rows.append(percentile_row(label, summary))
+    table = format_table(
+        ["config"] + percentile_headers(),
+        rows,
+        title=("Ablation — live-state mirroring with vs without "
+               "state/compute co-partitioning (q6 @ 100k ev/s)"),
+    )
+    return table, summaries
+
+
+def test_ablation_colocation(benchmark):
+    table, summaries = benchmark.pedantic(run_ablation, rounds=1,
+                                          iterations=1)
+    record_result("ablation_colocation", table)
+    # Remote mirroring is strictly worse across the distribution.
+    assert summaries[False][50.0] > summaries[True][50.0] * 1.5
+    assert summaries[False][99.0] > summaries[True][99.0]

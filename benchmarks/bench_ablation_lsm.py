@@ -1,0 +1,59 @@
+"""Ablation (§VI-B): chain-based vs LSM-based incremental snapshots.
+
+The paper notes that its IMDG implementation's incremental-snapshot
+queries are limited by the backward search through delta chains, and
+that a RocksDB-style LSM backend — whose "level-based compaction bounds
+read amplification" — "would reduce the search time for historic
+changes per key".  This ablation measures exactly that: the Fig. 13
+query-latency experiment at 100K keys, with the chain backend vs the
+LSM backend of :mod:`repro.lsm`.
+"""
+
+from repro.bench.harness import run_query_latency_experiment
+from repro.bench.report import format_table, percentile_headers, \
+    percentile_row
+
+from .conftest import record_result
+
+KEYS = 100_000
+POINTS = (0.0, 50.0, 90.0, 99.0)
+
+
+def run_ablation():
+    rows = []
+    medians = {}
+    configs = (
+        ("full (baseline)", False, "chain"),
+        ("incremental, chain", True, "chain"),
+        ("incremental, LSM", True, "lsm"),
+    )
+    for label, incremental, backend in configs:
+        result = run_query_latency_experiment(
+            KEYS, incremental, checkpoints=50,
+            incremental_backend=backend, label=label,
+        )
+        summary = result.latency.summary(POINTS)
+        rows.append(percentile_row(label, summary, POINTS)
+                    + [result.queries])
+        medians[label] = summary[50.0]
+    table = format_table(
+        ["config"] + percentile_headers(POINTS) + ["queries"],
+        rows,
+        title=("Ablation — incremental snapshot query latency (ms), "
+               "chain vs LSM backend, 100K keys (§VI-B)"),
+    )
+    return table, medians
+
+
+def test_ablation_lsm(benchmark):
+    table, medians = benchmark.pedantic(run_ablation, rounds=1,
+                                        iterations=1)
+    record_result("ablation_lsm", table)
+    chain = medians["incremental, chain"]
+    lsm = medians["incremental, LSM"]
+    full = medians["full (baseline)"]
+    # The chain walk is the bottleneck the paper identified...
+    assert chain > full * 2
+    # ...and the LSM backend removes most of it (§VI-B's prediction).
+    assert lsm < chain * 0.6
+    assert lsm < full * 2

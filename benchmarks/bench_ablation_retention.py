@@ -1,0 +1,74 @@
+"""Ablation (DESIGN.md decision 2): snapshot retention depth.
+
+The paper's default keeps the two most recent snapshot versions —
+constant memory with one version always complete and queryable.  This
+ablation sweeps the retention depth and reports the stored snapshot
+entries (memory) and the snapshot 2PC latency: deeper retention buys
+historical queryability at linear memory cost, with no effect on the
+checkpoint path itself.
+"""
+
+from repro.bench.harness import scaled_cluster
+from repro.bench.report import format_table
+from repro.config import SQueryConfig
+from repro.env import Environment
+from repro.state import SQueryBackend
+from repro.workloads.nexmark import build_query6_job
+
+from .conftest import record_result
+
+RETENTIONS = (1, 2, 4, 8)
+KEYS = 5_000
+
+
+def run_once(retained: int):
+    config = scaled_cluster(3, 1)
+    env = Environment(config)
+    backend = SQueryBackend(env.cluster, env.store, SQueryConfig(
+        live_state=False, snapshot_state=True,
+        retained_snapshots=retained,
+    ))
+    job = build_query6_job(
+        env, backend, rate_per_s=20_000, sellers=KEYS,
+        checkpoint_interval_ms=500,
+        parallelism=config.total_processing_workers,
+    )
+    job.start()
+    env.run_until(10_250)  # 20 checkpoints
+    table = backend.snapshot_table("q6")
+    stored = table.total_entries()
+    versions = len(env.store.available_ssids())
+    latencies = job.coordinator.total_latencies()[2:]
+    p50 = sorted(latencies)[len(latencies) // 2]
+    return stored, versions, p50
+
+
+def run_ablation():
+    rows = []
+    data = {}
+    for retained in RETENTIONS:
+        stored, versions, p50 = run_once(retained)
+        rows.append([retained, versions, stored, round(p50, 2)])
+        data[retained] = (stored, versions, p50)
+    table = format_table(
+        ["retained snapshots", "versions queryable", "stored entries",
+         "2PC p50 (ms)"],
+        rows,
+        title=("Ablation — snapshot retention depth: memory vs "
+               "queryable history (q6, 5K sellers, 0.5s interval)"),
+    )
+    return table, data
+
+
+def test_ablation_retention(benchmark):
+    table, data = benchmark.pedantic(run_ablation, rounds=1,
+                                     iterations=1)
+    record_result("ablation_retention", table)
+    # Memory grows linearly with the retention depth once state is full.
+    assert data[2][0] == 2 * data[1][0]
+    assert data[8][0] == 4 * data[2][0]
+    # Queryable history matches the configured depth.
+    for retained in RETENTIONS:
+        assert data[retained][1] == retained
+    # Retention depth does not slow the checkpoint path itself.
+    assert abs(data[8][2] - data[1][2]) < 2.0

@@ -1,0 +1,53 @@
+"""Figure 8: source→sink latency distribution of the four S-QUERY
+configurations vs Jet, NEXMark query 6, 3-node cluster at 1M events/s.
+
+Paper shape: the snapshot configuration is almost identical to Jet
+(small extra only in the far tail); the live configurations are
+markedly slower because every state change is mirrored to the store.
+"""
+
+from repro.bench.harness import run_overhead_experiment
+from repro.bench.latency import PAPER_PERCENTILES
+from repro.bench.report import format_table, percentile_headers, \
+    percentile_row
+
+from .conftest import record_result
+
+MODES = ("live+snap", "live", "snap", "jet")
+RATE = 1_000_000  # paper-equivalent events/s
+
+
+def run_figure8():
+    rows = []
+    summaries = {}
+    for mode in MODES:
+        result = run_overhead_experiment(mode, RATE, measure_ms=2500)
+        summary = result.latency.summary(PAPER_PERCENTILES)
+        label = {"jet": "Jet", "snap": "S-Query snap",
+                 "live": "S-Query live",
+                 "live+snap": "S-Query live+snap"}[mode]
+        rows.append(percentile_row(label, summary) + [result.sink_records])
+        summaries[mode] = summary
+    table = format_table(
+        ["config"] + percentile_headers() + ["samples"],
+        rows,
+        title=("Fig 8 — source-sink latency (ms), NEXMark q6, "
+               "3 nodes @ 1M ev/s (paper-equivalent)"),
+    )
+    return table, summaries
+
+
+def test_fig08_overhead(benchmark):
+    table, summaries = benchmark.pedantic(run_figure8, rounds=1,
+                                          iterations=1)
+    record_result("fig08_overhead", table)
+    # Shape checks from the paper's Fig. 8.
+    jet, snap = summaries["jet"], summaries["snap"]
+    live = summaries["live"]
+    # snap ~= Jet through the body of the distribution...
+    assert snap[50.0] < jet[50.0] * 1.15
+    assert snap[90.0] < jet[90.0] * 1.2
+    # ...with bounded extra latency in the far tail.
+    assert snap[99.99] - jet[99.99] < 10.0
+    # live configurations are clearly slower.
+    assert live[99.0] > jet[99.0] * 1.5

@@ -1,0 +1,54 @@
+"""Figure 9: S-QUERY (snapshot config) vs Jet at 1M/5M/9M events/s.
+
+Paper shape: latency grows with the offered rate; S-QUERY's overhead is
+unnoticeable at 1M, a few ms beyond the 90th percentile at 5M, and up
+to ~8 ms at the 99.99th percentile at 9M.
+"""
+
+from repro.bench.harness import run_overhead_experiment
+from repro.bench.latency import PAPER_PERCENTILES
+from repro.bench.report import format_table, percentile_headers, \
+    percentile_row
+
+from .conftest import record_result
+
+RATES = (1_000_000, 5_000_000, 9_000_000)
+
+
+def run_figure9():
+    rows = []
+    summaries = {}
+    for rate in RATES:
+        for mode, label in (("snap", "S-Query"), ("jet", "Jet")):
+            result = run_overhead_experiment(
+                mode, rate,
+                measure_ms=2000 if rate == RATES[0] else 1500,
+            )
+            summary = result.latency.summary(PAPER_PERCENTILES)
+            rows.append(percentile_row(
+                f"{label} {rate // 1_000_000}M", summary
+            ))
+            summaries[(mode, rate)] = summary
+    table = format_table(
+        ["config"] + percentile_headers(),
+        rows,
+        title=("Fig 9 — source-sink latency (ms), NEXMark q6, 3 nodes, "
+               "S-Query snap vs Jet at 1M/5M/9M ev/s"),
+    )
+    return table, summaries
+
+
+def test_fig09_throughput_latency(benchmark):
+    table, summaries = benchmark.pedantic(run_figure9, rounds=1,
+                                          iterations=1)
+    record_result("fig09_throughput_latency", table)
+    # Overhead at 1M is unnoticeable at the median.
+    assert (summaries[("snap", 1_000_000)][50.0]
+            <= summaries[("jet", 1_000_000)][50.0] * 1.1)
+    # At 9M, the far-tail overhead stays bounded (~8 ms in the paper).
+    gap = (summaries[("snap", 9_000_000)][99.99]
+           - summaries[("jet", 9_000_000)][99.99])
+    assert 0.0 < gap < 15.0
+    # Higher rate -> higher tail latency for both systems.
+    assert (summaries[("jet", 9_000_000)][99.9]
+            > summaries[("jet", 1_000_000)][99.9])

@@ -1,0 +1,51 @@
+"""Figure 10: snapshot 2PC latency, S-QUERY vs Jet, for 1K/10K/100K
+unique keys on a 7-node cluster (Q-commerce workload).
+
+Paper shape: both grow with key count; S-QUERY ~= Jet at 1K, +2–4 ms at
+10K, and +~20 ms at 100K (44 vs 23 ms medians).
+"""
+
+from repro.bench.harness import run_snapshot_experiment
+from repro.bench.report import format_table, percentile_headers, \
+    percentile_row
+
+from .conftest import record_result
+
+KEY_COUNTS = (1_000, 10_000, 100_000)
+POINTS = (0.0, 50.0, 90.0, 99.0, 99.9)
+
+
+def run_figure10():
+    rows = []
+    medians = {}
+    for keys in KEY_COUNTS:
+        for mode, label in (("snap", "S-Query"), ("jet", "Jet")):
+            result = run_snapshot_experiment(keys, mode=mode,
+                                             checkpoints=25)
+            summary = result.total.summary(POINTS)
+            rows.append(percentile_row(
+                f"{label} {keys // 1000}k", summary, POINTS
+            ))
+            medians[(mode, keys)] = summary[50.0]
+    table = format_table(
+        ["config"] + percentile_headers(POINTS),
+        rows,
+        title=("Fig 10 — snapshot 2PC latency (ms), 7 nodes, "
+               "S-Query vs Jet, 1K/10K/100K unique keys"),
+    )
+    return table, medians
+
+
+def test_fig10_snapshot_2pc(benchmark):
+    table, medians = benchmark.pedantic(run_figure10, rounds=1,
+                                        iterations=1)
+    record_result("fig10_snapshot_2pc", table)
+    # Monotone in state size for both systems.
+    for mode in ("snap", "jet"):
+        series = [medians[(mode, k)] for k in KEY_COUNTS]
+        assert series == sorted(series)
+    # S-QUERY's extra cost grows with the key count (per-entry rows).
+    gap_small = medians[("snap", 1_000)] - medians[("jet", 1_000)]
+    gap_large = medians[("snap", 100_000)] - medians[("jet", 100_000)]
+    assert gap_small < 2.0
+    assert 10.0 < gap_large < 40.0

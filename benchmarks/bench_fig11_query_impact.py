@@ -1,0 +1,57 @@
+"""Figure 11: effect of concurrent S-QUERY queries on the snapshot 2PC
+latency, with 1K/10K/100K unique keys (two closed-loop query threads
+running Query 1, as in §IX-C).
+
+Paper shape: negligible impact at 1K, growing with state size, up to
+~14–20 ms at 100K keys — queries and snapshot writes contend on the
+store partition threads.
+"""
+
+from repro.bench.harness import run_snapshot_experiment
+from repro.bench.report import format_table, percentile_headers, \
+    percentile_row
+
+from .conftest import record_result
+
+KEY_COUNTS = (1_000, 10_000, 100_000)
+POINTS = (0.0, 50.0, 90.0, 99.0)
+
+
+def run_figure11():
+    rows = []
+    medians = {}
+    for with_queries in (False, True):
+        for keys in KEY_COUNTS:
+            result = run_snapshot_experiment(
+                keys, mode="snap", with_queries=with_queries,
+                checkpoints=25,
+            )
+            summary = result.total.summary(POINTS)
+            label = "Query" if with_queries else "No Query"
+            rows.append(percentile_row(
+                f"{label} {keys // 1000}k", summary, POINTS
+            ))
+            medians[(with_queries, keys)] = summary[50.0]
+    table = format_table(
+        ["config"] + percentile_headers(POINTS),
+        rows,
+        title=("Fig 11 — snapshot 2PC latency (ms) with vs without "
+               "concurrent Query 1 execution, 7 nodes"),
+    )
+    return table, medians
+
+
+def test_fig11_query_impact(benchmark):
+    table, medians = benchmark.pedantic(run_figure11, rounds=1,
+                                        iterations=1)
+    record_result("fig11_query_impact", table)
+    impact = {
+        keys: medians[(True, keys)] - medians[(False, keys)]
+        for keys in KEY_COUNTS
+    }
+    # Queries never speed snapshots up, and the impact stays bounded.
+    assert all(delta >= -0.5 for delta in impact.values())
+    assert impact[100_000] < 30.0
+    # Impact grows with state size (bigger scans, longer interleaving).
+    assert impact[100_000] > impact[1_000]
+    assert impact[100_000] > 3.0

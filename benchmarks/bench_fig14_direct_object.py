@@ -1,0 +1,77 @@
+"""Figure 14: direct-object query throughput vs number of keys selected
+(1/10/100/1000 of 100K rider-location keys), S-QUERY vs TSpoon.
+
+Paper shape: both follow a power law in the selection size (R² 0.993 /
+0.97); S-QUERY outperforms TSpoon by ~2x at a single key (TSpoon pays a
+fixed transactional overhead per query) and performs similarly for
+larger selections.
+"""
+
+from repro.bench.fitting import power_law_fit
+from repro.bench.harness import run_direct_object_experiment
+from repro.bench.report import format_table
+
+from .conftest import record_result
+
+SELECTIONS = (1, 10, 100, 1000)
+
+#: Fig. 14's reported data points (queries/s) for context in the output.
+PAPER = {
+    "squery": (115_037, 23_186, 3_133, 906),
+    "tspoon": (53_900, 26_100, 3_200, 890),
+}
+
+
+def run_figure14():
+    series = {}
+    for system in ("squery", "tspoon"):
+        throughputs = []
+        for keys_selected in SELECTIONS:
+            result = run_direct_object_experiment(
+                system, keys_selected, measure_ms=800,
+            )
+            throughputs.append(result.throughput_per_s)
+        series[system] = throughputs
+    fits = {
+        system: power_law_fit(list(SELECTIONS), values)
+        for system, values in series.items()
+    }
+    rows = []
+    for system, label in (("squery", "S-Query"), ("tspoon", "TSpoon")):
+        for index, keys_selected in enumerate(SELECTIONS):
+            rows.append([
+                label, keys_selected,
+                round(series[system][index]),
+                PAPER[system][index],
+            ])
+        rows.append([
+            f"{label} power-law fit",
+            "R^2",
+            round(fits[system].r_squared, 3),
+            0.993 if system == "squery" else 0.97,
+        ])
+    table = format_table(
+        ["system", "keys selected", "measured q/s", "paper q/s"],
+        rows,
+        title=("Fig 14 — direct-object query throughput vs key "
+               "selection, S-Query vs TSpoon, 3 nodes, 180 clients"),
+    )
+    return table, series, fits
+
+
+def test_fig14_direct_object(benchmark):
+    table, series, fits = benchmark.pedantic(run_figure14, rounds=1,
+                                             iterations=1)
+    record_result("fig14_direct_object", table)
+    # Power-law trendlines fit as well as the paper's.
+    assert fits["squery"].r_squared > 0.97
+    assert fits["tspoon"].r_squared > 0.95
+    # S-QUERY ~2x TSpoon at one key.
+    assert series["squery"][0] > 1.6 * series["tspoon"][0]
+    # Similar performance at the larger selections.
+    for index in (1, 2, 3):
+        ratio = series["squery"][index] / series["tspoon"][index]
+        assert 0.6 < ratio < 1.7
+    # Throughput decreases monotonically with selection size.
+    for values in series.values():
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,80 @@
+"""Figure 15: maximum sustainable throughput vs degrees of parallelism
+(36/60/84 = 3/5/7 nodes x 12 CPUs) for 0.5s/1s/2s snapshot intervals,
+with 10 SQL queries/s running against the job's snapshot state.
+
+Paper shape: max throughput scales linearly with DOP (trendline
+R² > 0.96); longer snapshot intervals leave slightly more time for
+processing, so their sustainable throughput is marginally higher.
+"""
+
+from repro.bench.fitting import linear_fit
+from repro.bench.harness import (
+    PAPER_WORKERS_PER_NODE,
+    measure_max_throughput,
+    paper_rate,
+    scaled_cluster,
+)
+from repro.bench.report import format_table
+
+from .conftest import record_result
+
+NODE_COUNTS = (3, 5, 7)
+INTERVALS_MS = (500.0, 1000.0, 2000.0)
+
+#: Fig. 15's reported maxima (M events/s) for context in the output.
+PAPER = {
+    (36, 500.0): 8.6, (36, 1000.0): 9.0, (36, 2000.0): 9.3,
+    (60, 500.0): 12.0, (60, 1000.0): 12.9, (60, 2000.0): 13.4,
+    (84, 500.0): 19.0, (84, 1000.0): 20.0, (84, 2000.0): 20.5,
+}
+
+
+def run_figure15():
+    results = {}
+    for nodes in NODE_COUNTS:
+        config = scaled_cluster(nodes, 1)
+        dop = nodes * PAPER_WORKERS_PER_NODE
+        for interval in INTERVALS_MS:
+            sustained = measure_max_throughput(nodes, interval)
+            results[(dop, interval)] = paper_rate(sustained, config)
+    rows = []
+    fits = {}
+    for interval in INTERVALS_MS:
+        xs = [nodes * PAPER_WORKERS_PER_NODE for nodes in NODE_COUNTS]
+        ys = [results[(dop, interval)] for dop in xs]
+        fits[interval] = linear_fit([float(x) for x in xs], ys)
+        for dop, max_throughput in zip(xs, ys):
+            rows.append([
+                dop, f"{interval / 1000:g}s",
+                round(max_throughput / 1e6, 2),
+                PAPER[(dop, interval)],
+                round(max_throughput / dop / 1e3, 1),
+            ])
+        rows.append([
+            "fit", f"{interval / 1000:g}s R^2",
+            round(fits[interval].r_squared, 3), ">0.96", "",
+        ])
+    table = format_table(
+        ["DOP", "snapshot interval", "measured max (M ev/s)",
+         "paper (M ev/s)", "normalized (k ev/s/DOP)"],
+        rows,
+        title=("Fig 15 — max sustainable throughput vs degrees of "
+               "parallelism, NEXMark q6 + 10 SQL q/s"),
+    )
+    return table, results, fits
+
+
+def test_fig15_scalability(benchmark):
+    table, results, fits = benchmark.pedantic(run_figure15, rounds=1,
+                                              iterations=1)
+    record_result("fig15_scalability", table)
+    # Linear scaling with DOP, as in the paper (R² > 0.96).
+    for fit in fits.values():
+        assert fit.r_squared > 0.96
+        slope, _ = fit.coefficients
+        assert slope > 0
+    # Longer snapshot intervals sustain at least as much throughput.
+    for nodes in NODE_COUNTS:
+        dop = nodes * PAPER_WORKERS_PER_NODE
+        series = [results[(dop, interval)] for interval in INTERVALS_MS]
+        assert series[-1] >= series[0] * 0.995

@@ -1,0 +1,22 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables/figures and
+prints the same rows/series the paper plots; the text is also written
+to ``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.  Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s``
+to watch the tables live).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a figure's reproduction table and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Isolation levels in action: the paper's Fig. 5 and Fig. 6 examples.
+
+A single-key counting operator runs with S-QUERY attached.  A live
+query reads the running (uncommitted) count; a node failure then rolls
+the state back to the latest checkpoint, revealing the live read as a
+*dirty read* (read uncommitted).  A snapshot query pinned to a snapshot
+id returns the same answer before and after the failure — serialisable
+snapshot isolation.
+
+Run:  python examples/isolation_levels.py
+"""
+
+from repro import (
+    ClusterConfig,
+    Environment,
+    Job,
+    JobConfig,
+    KeyedAggregateOperator,
+    Pipeline,
+    QueryService,
+    SinkOperator,
+    SQueryBackend,
+    SQueryConfig,
+)
+from repro.dataflow.sources import CallableSource
+
+
+def main() -> None:
+    env = Environment(ClusterConfig(nodes=2,
+                                    processing_workers_per_node=2))
+    backend = SQueryBackend(env.cluster, env.store, SQueryConfig())
+
+    pipeline = Pipeline()
+    pipeline.add_source(
+        "events", CallableSource(lambda i, s: (0, 1), 100.0)
+    )
+    pipeline.add_operator(
+        "count", lambda: KeyedAggregateOperator(lambda s, v: (s or 0) + v)
+    )
+    pipeline.add_operator("out", SinkOperator)
+    pipeline.connect("events", "count")
+    pipeline.connect("count", "out")
+    job = Job(env, pipeline,
+              JobConfig(checkpoint_interval_ms=1000, parallelism=1),
+              backend)
+    job.start()
+    service = QueryService(env)
+
+    def live_count():
+        return service.execute(
+            'SELECT value AS n FROM "count"'
+        ).result.rows[0]["n"]
+
+    def snapshot_count(ssid):
+        return service.execute(
+            'SELECT value AS n FROM "snapshot_count"', snapshot_id=ssid
+        ).result.rows[0]["n"]
+
+    # --- Fig. 5 (a): a checkpoint captures the state -------------------
+    env.run_until(1_200)
+    ssid = env.store.committed_ssid
+    print(f"(a) snapshot {ssid} committed; it holds count ="
+          f" {snapshot_count(ssid)}")
+
+    # --- Fig. 5 (b): the live state moves ahead ------------------------
+    env.run_until(1_800)
+    live = live_count()
+    print(f"(b) live query now returns {live}  "
+          "(read uncommitted: not yet checkpointed)")
+
+    # --- Fig. 5 (c): failure rolls the state back ----------------------
+    victim = job.node_of("count", 0)
+    other = 1 - victim if victim in (0, 1) else 0
+    env.cluster.kill_node(victim if victim != 0 else other)
+    rolled_back = live_count()
+    print(f"(c) after the failure the live count is {rolled_back} — "
+          f"the earlier read of {live} was dirty")
+
+    # --- Fig. 6: the snapshot answer never changes ---------------------
+    stable = snapshot_count(ssid)
+    print(f"(d) snapshot {ssid} still answers {stable} "
+          "(serializable snapshot isolation)")
+    assert stable <= rolled_back
+
+    # --- replay catches up ----------------------------------------------
+    env.run_until(5_000)
+    print(f"(e) after replay the live count reached {live_count()} "
+          "(exactly-once: nothing lost, nothing duplicated)")
+
+    print("\nisolation levels offered (§VII):")
+    from repro.state import IsolationLevel, isolation_of_query
+    for targets_snapshot, locks, note in (
+        (False, False, "live query"),
+        (False, True, "live query, locks held for whole query"),
+        (True, False, "snapshot query"),
+    ):
+        level = isolation_of_query(targets_snapshot, locks)
+        print(f"  {note:<42} -> {level.value}")
+
+
+if __name__ == "__main__":
+    main()

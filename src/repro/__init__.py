@@ -1,0 +1,66 @@
+"""S-QUERY reproduction: queryable live and snapshot state for a
+distributed stream processor.
+
+Reproduces *S-QUERY: Opening the Black Box of Internal Stream Processor
+State* (Verheijde, Karakoidas, Fragkoulis, Katsifodimos — ICDE 2022) in
+pure Python on a deterministic discrete-event simulation.
+
+See ``examples/quickstart.py`` for a runnable end-to-end walkthrough:
+build a pipeline, attach the S-QUERY backend, run the job, and query
+live and snapshot state with SQL.
+"""
+
+from .config import (
+    VANILLA,
+    ClusterConfig,
+    CostModel,
+    JobConfig,
+    NetworkConfig,
+    SQueryConfig,
+)
+from .dataflow import (
+    FilterOperator,
+    FlatMapOperator,
+    Job,
+    KeyedAggregateOperator,
+    MapOperator,
+    Operator,
+    Pipeline,
+    Record,
+    SinkOperator,
+)
+from .env import Environment
+from .errors import ReproError
+from .observability import collect_report, format_report
+from .query import DirectObjectInterface, QueryService, StateAuditor
+from .state import IsolationLevel, SQueryBackend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "CostModel",
+    "DirectObjectInterface",
+    "Environment",
+    "FilterOperator",
+    "FlatMapOperator",
+    "IsolationLevel",
+    "Job",
+    "JobConfig",
+    "KeyedAggregateOperator",
+    "MapOperator",
+    "NetworkConfig",
+    "Operator",
+    "Pipeline",
+    "QueryService",
+    "Record",
+    "ReproError",
+    "SinkOperator",
+    "SQueryBackend",
+    "SQueryConfig",
+    "StateAuditor",
+    "VANILLA",
+    "__version__",
+    "collect_report",
+    "format_report",
+]

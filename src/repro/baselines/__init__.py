@@ -1,0 +1,6 @@
+"""Comparison systems: the vanilla engine ("Jet") and TSpoon."""
+
+from .tspoon import TSpoonQuery, TSpoonSystem
+from .vanilla import build_vanilla_backend
+
+__all__ = ["TSpoonQuery", "TSpoonSystem", "build_vanilla_backend"]

@@ -1,0 +1,17 @@
+"""The "Jet" baseline: the engine with S-QUERY disabled.
+
+Throughout the paper's figures, "Jet" is the unmodified engine — blob
+snapshots for fault tolerance only, no queryable live or snapshot state.
+That is exactly :class:`repro.dataflow.backend.VanillaBackend`; this
+module only provides the naming glue used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..cluster import Cluster
+from ..dataflow.backend import VanillaBackend
+
+
+def build_vanilla_backend(cluster: Cluster) -> VanillaBackend:
+    """The baseline backend used for every "Jet" series in §IX."""
+    return VanillaBackend(cluster)

@@ -1,0 +1,29 @@
+"""Benchmark harness: recorders, load drivers, fits, and reports.
+
+Everything the per-figure benchmarks in ``benchmarks/`` share: exact
+percentile computation (:mod:`~repro.bench.latency`), closed- and
+open-loop query clients (:mod:`~repro.bench.clients`), sustainable
+throughput search (:mod:`~repro.bench.throughput`), power-law/linear
+fits with R² (:mod:`~repro.bench.fitting`), scaled experiment setups
+mapping the paper's cluster to simulation-sized runs
+(:mod:`~repro.bench.harness`), and plain-text tables/series
+(:mod:`~repro.bench.report`).
+"""
+
+from .clients import ClosedLoopClient, OpenLoopSqlClient
+from .fitting import linear_fit, power_law_fit
+from .latency import LatencyRecorder, percentiles
+from .report import format_series, format_table
+from .throughput import find_sustainable_rate
+
+__all__ = [
+    "ClosedLoopClient",
+    "LatencyRecorder",
+    "OpenLoopSqlClient",
+    "find_sustainable_rate",
+    "format_series",
+    "format_table",
+    "linear_fit",
+    "percentiles",
+    "power_law_fit",
+]

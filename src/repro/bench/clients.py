@@ -1,0 +1,118 @@
+"""Query load drivers.
+
+:class:`ClosedLoopClient` keeps a fixed number of queries outstanding
+(the paper's "180 threads" / "two concurrent threads at full speed"
+setups); :class:`OpenLoopSqlClient` submits SQL at a Poisson rate (the
+scalability experiment's "10 SQL queries per second").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..simtime import Simulator
+
+
+class ClosedLoopClient:
+    """Fixed-concurrency load: resubmit immediately on completion.
+
+    ``submit_fn(on_done)`` starts one query and arranges for
+    ``on_done(handle)`` to fire at completion; the handle must expose
+    ``latency_ms``.
+    """
+
+    def __init__(self, sim: Simulator, submit_fn: Callable,
+                 concurrency: int) -> None:
+        self._sim = sim
+        self._submit = submit_fn
+        self._concurrency = concurrency
+        self._stopped = False
+        self.completions: list[tuple[float, float]] = []  # (time, latency)
+
+    def start(self) -> None:
+        for _ in range(self._concurrency):
+            self._launch()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _launch(self) -> None:
+        if self._stopped:
+            return
+        self._submit(self._on_done)
+
+    def _on_done(self, handle) -> None:
+        self.completions.append((self._sim.now, handle.latency_ms))
+        self._launch()
+
+    def throughput_per_s(self, window_start_ms: float,
+                         window_end_ms: float) -> float:
+        """Completed queries per second inside the window."""
+        duration_s = (window_end_ms - window_start_ms) / 1000.0
+        if duration_s <= 0:
+            return 0.0
+        count = sum(
+            1 for time, _ in self.completions
+            if window_start_ms <= time < window_end_ms
+        )
+        return count / duration_s
+
+    def latencies_in(self, window_start_ms: float,
+                     window_end_ms: float) -> list[float]:
+        return [
+            latency for time, latency in self.completions
+            if window_start_ms <= time < window_end_ms
+        ]
+
+
+class OpenLoopSqlClient:
+    """Poisson SQL arrivals at a fixed rate, rotating over statements."""
+
+    def __init__(self, sim: Simulator, service, statements: list[str],
+                 rate_per_s: float, materialize: bool = False,
+                 name: str = "sql-client") -> None:
+        self._sim = sim
+        self._service = service
+        self._statements = list(statements)
+        self._rate = rate_per_s
+        self._materialize = materialize
+        self._name = name
+        self._stopped = False
+        self._next_statement = 0
+        self.completions: list[tuple[float, float]] = []
+        self.errors = 0
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        if self._stopped or self._rate <= 0:
+            return
+        delay = self._sim.rng.exponential(self._name, 1000.0 / self._rate)
+        self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        sql = self._statements[self._next_statement % len(self._statements)]
+        self._next_statement += 1
+        self._service.submit(
+            sql, on_done=self._on_done, materialize=self._materialize
+        )
+        self._schedule_next()
+
+    def _on_done(self, execution) -> None:
+        if execution.error is not None:
+            self.errors += 1
+            return
+        self.completions.append((self._sim.now, execution.latency_ms))
+
+    def latencies_in(self, window_start_ms: float,
+                     window_end_ms: float) -> list[float]:
+        return [
+            latency for time, latency in self.completions
+            if window_start_ms <= time < window_end_ms
+        ]

@@ -1,0 +1,68 @@
+"""Trendline fits used by the paper's figures.
+
+Fig. 14 fits a power law to throughput vs. keys selected (R² = 0.993
+for S-QUERY, 0.97 for TSpoon); Fig. 15 fits a line to max throughput
+vs. degrees of parallelism (R² > 0.96).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Fit:
+    """A fitted trendline with its coefficient of determination."""
+
+    kind: str
+    coefficients: tuple[float, ...]
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        if self.kind == "linear":
+            slope, intercept = self.coefficients
+            return slope * x + intercept
+        if self.kind == "power":
+            scale, exponent = self.coefficients
+            return scale * x ** exponent
+        raise ValueError(f"unknown fit kind {self.kind!r}")
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - np.mean(y)) ** 2))
+    if total == 0.0:
+        return 1.0
+    return 1.0 - residual / total
+
+
+def linear_fit(xs: list[float], ys: list[float]) -> Fit:
+    """Least-squares line ``y = a*x + b`` (Fig. 15 trendlines)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if len(x) < 2:
+        raise ValueError("linear fit needs at least two points")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    return Fit("linear", (float(slope), float(intercept)),
+               _r_squared(y, predicted))
+
+
+def power_law_fit(xs: list[float], ys: list[float]) -> Fit:
+    """Least-squares power law ``y = a * x**b`` via log-log regression,
+    with R² computed in log space (as spreadsheet trendlines do,
+    matching the paper's Fig. 14 annotations)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if len(x) < 2:
+        raise ValueError("power-law fit needs at least two points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    log_x = np.log(x)
+    log_y = np.log(y)
+    exponent, log_scale = np.polyfit(log_x, log_y, 1)
+    predicted = exponent * log_x + log_scale
+    return Fit("power", (float(np.exp(log_scale)), float(exponent)),
+               _r_squared(log_y, predicted))

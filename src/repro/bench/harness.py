@@ -1,0 +1,689 @@
+"""Scaled experiment setups for the paper's figures.
+
+**Scaling rule.**  The paper runs on clusters of 3–7 nodes with 12
+processing CPUs each (36–84 workers).  Simulating hundreds of millions
+of per-record events is infeasible in Python, so every experiment here
+shrinks the *worker count* while preserving the **per-worker offered
+rate** (and hence utilisation, queueing, and latency behaviour) and the
+**per-node state size** (node counts are NOT scaled, so snapshot and
+scan volumes per node match the paper exactly).  Rates are reported in
+paper-equivalent units:
+
+    sim_rate = paper_rate * sim_workers / paper_workers
+
+with ``paper_workers = paper_nodes * 12``.  DESIGN.md §2 records this
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.partition import stable_hash
+from ..config import ClusterConfig, JobConfig, SQueryConfig
+from ..dataflow import Job, Operator, Pipeline
+from ..dataflow.backend import VanillaBackend
+from ..env import Environment
+from ..query import DirectObjectInterface, QueryService
+from ..state import SQueryBackend
+from ..workloads.nexmark import build_query6_job
+from ..workloads.qcommerce import (
+    build_qcommerce_job,
+    order_info_for,
+    order_status_for,
+    rider_location_for,
+)
+from .clients import ClosedLoopClient, OpenLoopSqlClient
+from .latency import LatencyRecorder
+
+#: Processing CPUs per node in the paper's clusters (Table III).
+PAPER_WORKERS_PER_NODE = 12
+
+
+def scaled_cluster(nodes: int = 3,
+                   workers_per_node: int = 1) -> ClusterConfig:
+    """A simulation-sized cluster standing in for a paper cluster of the
+    same node count."""
+    return ClusterConfig(
+        nodes=nodes,
+        processing_workers_per_node=workers_per_node,
+        query_workers_per_node=4,
+        backup_count=1 if nodes > 1 else 0,
+    )
+
+
+def sim_rate(paper_rate_per_s: float, config: ClusterConfig) -> float:
+    """Map a paper-reported event rate to the scaled cluster."""
+    paper_workers = config.nodes * PAPER_WORKERS_PER_NODE
+    return paper_rate_per_s * config.total_processing_workers / paper_workers
+
+
+def paper_rate(sim_rate_per_s: float, config: ClusterConfig) -> float:
+    """Inverse of :func:`sim_rate` for reporting."""
+    paper_workers = config.nodes * PAPER_WORKERS_PER_NODE
+    return sim_rate_per_s * paper_workers / config.total_processing_workers
+
+
+
+
+def make_backend(env: Environment, mode: str,
+                 incremental: bool = False,
+                 prune_chain_length: int = 8,
+                 colocate_state: bool = True,
+                 incremental_backend: str = "chain"):
+    """Backend for one of the figure configurations.
+
+    ``mode``: ``"live+snap"``, ``"live"``, ``"snap"``, or ``"jet"``.
+    """
+    if mode == "jet":
+        return VanillaBackend(env.cluster)
+    if mode not in ("live+snap", "live", "snap"):
+        raise ValueError(f"unknown backend mode {mode!r}")
+    live = mode in ("live+snap", "live")
+    snap = mode in ("live+snap", "snap")
+    config = SQueryConfig(
+        live_state=live,
+        snapshot_state=snap,
+        incremental=incremental,
+        prune_chain_length=prune_chain_length,
+        colocate_state=colocate_state,
+        incremental_backend=incremental_backend,
+    )
+    return SQueryBackend(env.cluster, env.store, config)
+
+
+# ---------------------------------------------------------------------------
+# Figures 8 & 9: source→sink latency on NEXMark query 6
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OverheadResult:
+    mode: str
+    paper_rate_per_s: float
+    latency: LatencyRecorder
+    sink_records: int
+    checkpoints: int
+
+
+def run_overhead_experiment(mode: str, paper_rate_per_s: float,
+                            nodes: int = 3, workers_per_node: int = 1,
+                            warmup_ms: float = 1000.0,
+                            measure_ms: float = 3000.0,
+                            paper_sellers: int = 10_000,
+                            checkpoint_interval_ms: float = 1000.0,
+                            seed: int = 7) -> OverheadResult:
+    """One configuration of Fig. 8 / Fig. 9."""
+    config = scaled_cluster(nodes, workers_per_node)
+    env = Environment(config, seed=seed)
+    backend = make_backend(env, mode)
+    job = build_query6_job(
+        env,
+        backend,
+        rate_per_s=sim_rate(paper_rate_per_s, config),
+        sellers=paper_sellers,
+        checkpoint_interval_ms=checkpoint_interval_ms,
+        parallelism=config.total_processing_workers,
+        seed=seed,
+    )
+    job.start()
+    env.run_until(warmup_ms)
+    skip = len(job.metrics.sink_latencies)
+    env.run_until(warmup_ms + measure_ms)
+    recorder = LatencyRecorder(f"{mode}@{paper_rate_per_s:g}")
+    recorder.extend(job.metrics.sink_latencies[skip:])
+    return OverheadResult(
+        mode=mode,
+        paper_rate_per_s=paper_rate_per_s,
+        latency=recorder,
+        sink_records=recorder.count,
+        checkpoints=job.coordinator.completed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 10 & 11: snapshot 2PC latency on the Q-commerce workload
+# ---------------------------------------------------------------------------
+
+
+def preload_qcommerce_state(job: Job, orders: int, riders: int) -> None:
+    """Warm-start the three Q-commerce operators with a full key
+    universe, as the paper's ≥20-minute runs reach steady state before
+    measuring.  Values come from the same deterministic builders as the
+    sources, so later stream updates simply refresh the same keys."""
+    _preload_vertex(job, "orderinfo",
+                    {k: order_info_for(k) for k in range(orders)})
+    _preload_vertex(job, "orderstate", {
+        k: order_status_for(k, k % 8, late=(k % 4 == 0))
+        for k in range(orders)
+    })
+    _preload_vertex(job, "riderlocation",
+                    {k: rider_location_for(k, 0) for k in range(riders)})
+
+
+def _preload_vertex(job: Job, vertex: str, data: dict) -> None:
+    instances = job.instances_of(vertex)
+    parallelism = len(instances)
+    for key, value in data.items():
+        index = stable_hash(key) % parallelism
+        instances[index].operator.state.put(key, value)
+
+
+@dataclass
+class SnapshotResult:
+    label: str
+    paper_keys: int
+    phase1: LatencyRecorder
+    total: LatencyRecorder
+    checkpoints: int
+    query_latencies: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("queries")
+    )
+
+
+def run_snapshot_experiment(paper_keys: int, mode: str = "snap",
+                            with_queries: bool = False,
+                            query_sql: str | None = None,
+                            query_concurrency: int = 2,
+                            nodes: int = 7, workers_per_node: int = 1,
+                            checkpoints: int = 30,
+                            checkpoint_interval_ms: float = 1000.0,
+                            events_per_s: float = 2000.0,
+                            seed: int = 7,
+                            label: str | None = None) -> SnapshotResult:
+    """One series of Fig. 10 (``with_queries=False``) or Fig. 11.
+
+    ``paper_keys`` is the paper's unique-key count (1K/10K/100K), used
+    as-is: node counts match the paper, so per-node snapshot volumes are
+    faithful.  ``events_per_s`` is
+    the simulated stream rate (state refresh traffic; the experiment's
+    focus is snapshot cost, which depends on key count, not rate).
+    """
+    from ..workloads.qcommerce import QUERY_1
+
+    config = scaled_cluster(nodes, workers_per_node)
+    env = Environment(config, seed=seed)
+    backend = make_backend(env, mode)
+    orders = paper_keys
+    riders = max(10, orders // 10)
+    job = build_qcommerce_job(
+        env,
+        backend,
+        orders=orders,
+        riders=riders,
+        events_per_s=events_per_s,
+        checkpoint_interval_ms=checkpoint_interval_ms,
+        parallelism=config.total_processing_workers,
+        seed=seed,
+    )
+    preload_qcommerce_state(job, orders, riders)
+    job.start()
+
+    result = SnapshotResult(
+        label=label or f"{mode} {paper_keys // 1000}k",
+        paper_keys=paper_keys,
+        phase1=LatencyRecorder("phase1"),
+        total=LatencyRecorder("2pc"),
+        checkpoints=0,
+    )
+
+    client = None
+    if with_queries:
+        service = QueryService(env)
+        sql = query_sql or QUERY_1
+
+        def submit(on_done):
+            return service.submit(sql, on_done=on_done, materialize=False)
+
+        client = ClosedLoopClient(env.sim, submit, query_concurrency)
+        # Let the first checkpoint commit before querying snapshots.
+        env.sim.schedule(
+            checkpoint_interval_ms * 2.5, lambda: client.start()
+        )
+
+    horizon = checkpoint_interval_ms * (checkpoints + 2)
+    env.run_until(horizon)
+    if client is not None:
+        client.stop()
+
+    warm = 2  # discard the first snapshots (cold caches, preload flush)
+    samples = job.coordinator.samples[warm:]
+    for sample in samples:
+        result.phase1.record(sample.phase1_ms)
+        result.total.record(sample.phase2_ms)
+    result.checkpoints = len(samples)
+    if client is not None:
+        window_start = checkpoint_interval_ms * 3
+        result.query_latencies.extend(
+            client.latencies_in(window_start, horizon)
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 12 & 13: incremental snapshots (delta-ratio write cost and
+# reconstruction query cost)
+# ---------------------------------------------------------------------------
+
+
+class BlockUpdateOperator(Operator):
+    """Updates a block of co-located keys per record.
+
+    Used by the delta-ratio experiments: it lets the harness control the
+    exact number of distinct keys changed per checkpoint interval
+    without simulating one event per key.  All keys written by instance
+    ``i`` satisfy ``key % parallelism == i``, so updates stay local.
+    """
+
+    stateful = True
+
+    def __init__(self, rows_per_instance: int) -> None:
+        super().__init__()
+        self._rows = rows_per_instance
+        self._instance = 0
+        self._parallelism = 1
+
+    def open(self, instance: int, parallelism: int) -> None:
+        self._instance = instance
+        self._parallelism = parallelism
+
+    def process(self, record, out) -> None:
+        start, count, stamp = record.value
+        for offset in range(count):
+            index = (start + offset) % self._rows
+            key = self._instance + self._parallelism * index
+            self.state.put(key, stamp)
+
+
+class BlockUpdateSource:
+    """Emits block-update commands whose keys route to their instance.
+
+    ``delta_fraction`` restricts updates to that fraction of each
+    instance's rows (Fig. 12's 1%/10%/100% delta ratios);
+    ``randomized`` draws block starts pseudo-uniformly so consecutive
+    checkpoint deltas overlap (Fig. 13's chain-walk cost).
+    """
+
+    def __init__(self, total_rate_per_s: float, rows_per_instance: int,
+                 parallelism: int, block: int = 64,
+                 delta_fraction: float = 1.0,
+                 randomized: bool = False) -> None:
+        self._rate = total_rate_per_s
+        self._rows = rows_per_instance
+        self._parallelism = parallelism
+        self._block = block
+        self._span = max(1, int(rows_per_instance * delta_fraction))
+        self._randomized = randomized
+
+    def generate(self, instance: int, seq: int):
+        if self._randomized:
+            # splitmix64-style avalanche: without it the golden-ratio
+            # multiply yields a low-discrepancy sequence whose blocks
+            # barely overlap, defeating the chain-depth experiment.
+            mixed = (instance * 1_000_003 + seq + 1) \
+                * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF
+            mixed = (mixed ^ (mixed >> 30)) \
+                * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+            mixed = (mixed ^ (mixed >> 27)) \
+                * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+            mixed ^= mixed >> 31
+            start = mixed % self._span
+        else:
+            start = (seq * self._block) % self._span
+        # The record key equals the instance index, which hashes to
+        # itself, so the record is processed by the owning instance.
+        return instance, (start, self._block, float(seq))
+
+    def rate_per_instance(self, parallelism: int) -> float:
+        return self._rate / parallelism
+
+
+@dataclass
+class DeltaExperimentSetup:
+    env: Environment
+    job: Job
+    backend: object
+    rows_per_instance: int
+    parallelism: int
+
+
+def build_delta_job(paper_keys: int, delta_fraction: float,
+                    incremental: bool, nodes: int = 7,
+                    workers_per_node: int = 1,
+                    records_per_s: float = 2000.0, block: int = 64,
+                    prune_chain_length: int = 8,
+                    randomized: bool = False,
+                    checkpoint_interval_ms: float = 1000.0,
+                    incremental_backend: str = "chain",
+                    seed: int = 7) -> DeltaExperimentSetup:
+    """Deploy the delta-ratio workload (operator ``deltastate``)."""
+    config = scaled_cluster(nodes, workers_per_node)
+    env = Environment(config, seed=seed)
+    backend = make_backend(
+        env, "snap", incremental=incremental,
+        prune_chain_length=prune_chain_length,
+        incremental_backend=incremental_backend,
+    )
+    parallelism = config.total_processing_workers
+    keys = paper_keys
+    rows_per_instance = max(1, keys // parallelism)
+    source = BlockUpdateSource(
+        records_per_s, rows_per_instance, parallelism,
+        block=block, delta_fraction=delta_fraction,
+        randomized=randomized,
+    )
+    pipeline = Pipeline()
+    pipeline.add_source("updates", source)
+    pipeline.add_operator(
+        "deltastate", lambda: BlockUpdateOperator(rows_per_instance)
+    )
+    pipeline.connect("updates", "deltastate")
+    job = Job(env, pipeline, JobConfig(
+        checkpoint_interval_ms=checkpoint_interval_ms,
+        parallelism=parallelism,
+        seed=seed,
+    ), backend)
+    # Warm start: the full key universe exists before measurement.
+    for instance_index, instance in enumerate(job.instances_of("deltastate")):
+        for index in range(rows_per_instance):
+            key = instance_index + parallelism * index
+            instance.operator.state.put(key, 0.0)
+    return DeltaExperimentSetup(env, job, backend, rows_per_instance,
+                                parallelism)
+
+
+def run_delta_snapshot_experiment(paper_keys: int, delta_fraction: float,
+                                  incremental: bool,
+                                  checkpoints: int = 30,
+                                  label: str | None = None,
+                                  **kwargs) -> SnapshotResult:
+    """One series of Fig. 12: snapshot 2PC latency vs. delta ratio."""
+    setup = build_delta_job(paper_keys, delta_fraction, incremental,
+                            **kwargs)
+    setup.job.start()
+    interval = setup.job.config.checkpoint_interval_ms
+    setup.env.run_until(interval * (checkpoints + 2))
+    result = SnapshotResult(
+        label=label or (
+            f"{'incr' if incremental else 'full'} "
+            f"{delta_fraction:.0%} delta"
+        ),
+        paper_keys=paper_keys,
+        phase1=LatencyRecorder("phase1"),
+        total=LatencyRecorder("2pc"),
+        checkpoints=0,
+    )
+    samples = setup.job.coordinator.samples[2:]
+    for sample in samples:
+        result.phase1.record(sample.phase1_ms)
+        result.total.record(sample.phase2_ms)
+    result.checkpoints = len(samples)
+    return result
+
+
+@dataclass
+class QueryLatencyResult:
+    label: str
+    paper_keys: int
+    latency: LatencyRecorder
+    queries: int
+
+
+def run_query_latency_experiment(paper_keys: int, incremental: bool,
+                                 checkpoints: int = 60,
+                                 query_concurrency: int = 2,
+                                 prune_chain_length: int = 48,
+                                 update_rate_per_s: float = 80_000.0,
+                                 label: str | None = None,
+                                 nodes: int = 7,
+                                 incremental_backend: str = "chain",
+                                 seed: int = 7) -> QueryLatencyResult:
+    """One series of Fig. 13: SQL query latency, full vs. incremental.
+
+    Runs the delta workload with randomized updates (so incremental
+    chains overlap) and measures end-to-end latency of an aggregate
+    query over the ``snapshot_deltastate`` table.  The update rate is
+    chosen so that a 10K-key state is fully refreshed every checkpoint
+    (incremental reconstruction stops at the newest delta — "identical
+    to full", as the paper observes) while a 100K-key state is only
+    ~50% refreshed (the backward walk goes ~10 deltas deep — the ~5x
+    latency of the paper's 100K series)."""
+    block = 32
+    records = max(100.0, update_rate_per_s / block)
+    setup = build_delta_job(
+        paper_keys, 1.0, incremental,
+        nodes=nodes,
+        records_per_s=records, block=block,
+        prune_chain_length=prune_chain_length, randomized=True,
+        incremental_backend=incremental_backend,
+        seed=seed,
+    )
+    env, job = setup.env, setup.job
+    service = QueryService(env)
+    sql = (
+        'SELECT COUNT(*), MAX(value) FROM "snapshot_deltastate" '
+        "WHERE value >= 0"
+    )
+
+    def submit(on_done):
+        return service.submit(sql, on_done=on_done, materialize=False)
+
+    client = ClosedLoopClient(env.sim, submit, query_concurrency)
+    interval = job.config.checkpoint_interval_ms
+    job.start()
+    env.sim.schedule(interval * 2.5, client.start)
+    horizon = interval * (checkpoints + 2)
+    env.run_until(horizon)
+    client.stop()
+    recorder = LatencyRecorder(label or (
+        f"{'incremental' if incremental else 'full'} "
+        f"{paper_keys // 1000}k"
+    ))
+    # Measure once incremental chains have reached steady depth.
+    window_start = interval * min(checkpoints // 2, 25)
+    recorder.extend(client.latencies_in(window_start, horizon))
+    return QueryLatencyResult(
+        label=recorder.name,
+        paper_keys=paper_keys,
+        latency=recorder,
+        queries=recorder.count,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: direct-object throughput, S-QUERY vs TSpoon
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DirectObjectResult:
+    system: str
+    keys_selected: int
+    throughput_per_s: float
+    queries: int
+
+
+def run_direct_object_experiment(system: str, keys_selected: int,
+                                 total_keys: int = 100_000,
+                                 concurrency: int = 180,
+                                 nodes: int = 3,
+                                 warmup_ms: float = 200.0,
+                                 measure_ms: float = 1000.0,
+                                 seed: int = 7) -> DirectObjectResult:
+    """One point of Fig. 14: throughput at a key-selection size.
+
+    A rider-location job supplies the state (two doubles + timestamp per
+    key, as in §IX-D); ``concurrency`` outstanding queries emulate the
+    paper's 180 client threads against the 3-node cluster."""
+    from ..baselines.tspoon import TSpoonSystem
+    from ..workloads.qcommerce.generator import RiderLocationSource
+    from ..workloads.qcommerce.queries import _latest, _no_output
+    from ..dataflow import KeyedAggregateOperator
+
+    config = scaled_cluster(nodes, workers_per_node=1)
+    env = Environment(config, seed=seed)
+    backend = make_backend(env, "live+snap")
+    parallelism = config.total_processing_workers
+    source = RiderLocationSource(2000.0, total_keys, parallelism)
+    pipeline = Pipeline()
+    pipeline.add_source("rider-events", source)
+    pipeline.add_operator(
+        "riderlocation", lambda: KeyedAggregateOperator(_latest, _no_output)
+    )
+    pipeline.connect("rider-events", "riderlocation")
+    job = Job(env, pipeline, JobConfig(parallelism=parallelism, seed=seed),
+              backend)
+    _preload_vertex(job, "riderlocation",
+                    {k: rider_location_for(k, 0) for k in range(total_keys)})
+    job.start()
+
+    rng = env.sim.rng.stream("direct-keys")
+
+    def pick_keys() -> list[int]:
+        return [rng.randrange(total_keys) for _ in range(keys_selected)]
+
+    if system == "squery":
+        interface = DirectObjectInterface(env)
+
+        def submit(on_done):
+            return interface.submit_get("riderlocation", pick_keys(),
+                                        on_done=on_done)
+    elif system == "tspoon":
+        tspoon = TSpoonSystem(env)
+
+        def submit(on_done):
+            return tspoon.submit_get("riderlocation", pick_keys(),
+                                     on_done=on_done)
+    else:
+        raise ValueError(f"unknown system {system!r}")
+
+    client = ClosedLoopClient(env.sim, submit, concurrency)
+    client.start()
+    env.run_until(warmup_ms + measure_ms)
+    client.stop()
+    throughput = client.throughput_per_s(warmup_ms, warmup_ms + measure_ms)
+    return DirectObjectResult(
+        system=system,
+        keys_selected=keys_selected,
+        throughput_per_s=throughput,
+        queries=len(client.completions),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: scalability (sustainable throughput vs DOP)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScalabilityProbeResult:
+    offered_per_s: float
+    achieved_per_s: float
+    p50_ms: float
+    p99_ms: float
+
+
+#: Time-dilation factor for the throughput experiment: per-record CPU
+#: costs are multiplied by this and offered rates divided by it, which
+#: preserves utilisation and checkpoint-stall fractions while cutting
+#: the simulated event count.  Throughputs are reported multiplied back.
+THROUGHPUT_DILATION = 10.0
+
+
+def measure_max_throughput(nodes: int, snapshot_interval_ms: float,
+                           queries_per_s: float = 10.0,
+                           overload_factor: float = 1.3,
+                           warmup_intervals: float = 2.0,
+                           measure_intervals: float = 3.0,
+                           cost_scale: float = THROUGHPUT_DILATION,
+                           seed: int = 7) -> float:
+    """Peak sustainable throughput for one Fig. 15 configuration.
+
+    Offers a deliberate overload (``overload_factor`` × the cluster's
+    analytic service capacity); the sink completion rate then plateaus
+    at the service capacity, which is the sustainable maximum.  One run
+    per configuration instead of a full binary search keeps the
+    benchmark tractable; :func:`probe_q6_rate` +
+    :func:`repro.bench.throughput.find_sustainable_rate` provide the
+    paper's stricter steady-latency definition when runtime allows.
+
+    The measurement window spans the same number of checkpoint
+    intervals for every configuration so each experiences the same
+    relative snapshot load.  Returns the *undilated* simulated
+    sustainable rate; callers convert to paper-equivalent units via
+    :func:`paper_rate`.
+    """
+    from ..config import CostModel
+
+    base = CostModel()
+    per_record_ms = cost_scale * (
+        2 * base.record_service_ms
+        + base.record_service_ms + base.state_update_ms
+    )
+    capacity = nodes * 1000.0 / per_record_ms
+    offered = capacity * overload_factor
+    probe = probe_q6_rate(
+        offered, nodes, snapshot_interval_ms,
+        queries_per_s=queries_per_s,
+        warmup_ms=warmup_intervals * snapshot_interval_ms,
+        measure_ms=measure_intervals * snapshot_interval_ms,
+        cost_scale=cost_scale,
+        seed=seed,
+    )
+    return probe.achieved_per_s * cost_scale
+
+
+def probe_q6_rate(sim_rate_per_s: float, nodes: int,
+                  snapshot_interval_ms: float,
+                  queries_per_s: float = 10.0,
+                  warmup_ms: float = 1000.0,
+                  measure_ms: float = 2000.0,
+                  cost_scale: float = 1.0,
+                  seed: int = 7) -> ScalabilityProbeResult:
+    """Run NEXMark q6 + SQL query load at one offered rate (Fig. 15)."""
+    import dataclasses
+
+    from ..config import CostModel
+
+    config = scaled_cluster(nodes, workers_per_node=1)
+    base = CostModel()
+    costs = dataclasses.replace(
+        base,
+        record_service_ms=base.record_service_ms * cost_scale,
+        state_update_ms=base.state_update_ms * cost_scale,
+    )
+    env = Environment(config, costs=costs, seed=seed)
+    backend = make_backend(env, "snap")
+    job = build_query6_job(
+        env, backend,
+        rate_per_s=sim_rate_per_s,
+        sellers=10_000,
+        checkpoint_interval_ms=snapshot_interval_ms,
+        parallelism=config.total_processing_workers,
+        seed=seed,
+    )
+    service = QueryService(env)
+    client = OpenLoopSqlClient(
+        env.sim, service,
+        ['SELECT COUNT(*), AVG(average) FROM "snapshot_q6"'],
+        rate_per_s=queries_per_s,
+    )
+    job.start()
+    env.sim.schedule(snapshot_interval_ms * 2.2, client.start)
+    env.run_until(warmup_ms)
+    skip = len(job.metrics.sink_latencies)
+    start_records = job.metrics.sink_records
+    env.run_until(warmup_ms + measure_ms)
+    client.stop()
+    achieved = (
+        (job.metrics.sink_records - start_records) / (measure_ms / 1000.0)
+    )
+    samples = job.metrics.sink_latencies[skip:]
+    recorder = LatencyRecorder("probe")
+    recorder.extend(samples)
+    return ScalabilityProbeResult(
+        offered_per_s=sim_rate_per_s,
+        achieved_per_s=achieved,
+        p50_ms=recorder.percentile(50) if samples else float("inf"),
+        p99_ms=recorder.percentile(99) if samples else float("inf"),
+    )

@@ -1,0 +1,56 @@
+"""Latency recording and exact percentile computation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The percentile axis used by the paper's latency figures (inverted
+#: log scale from 0% to 99.99%).
+PAPER_PERCENTILES = (0.0, 50.0, 90.0, 99.0, 99.9, 99.99)
+
+
+def percentiles(samples: list[float],
+                points: tuple[float, ...] = PAPER_PERCENTILES,
+                ) -> dict[float, float]:
+    """Exact percentiles of ``samples`` at the requested points."""
+    if not samples:
+        return {point: float("nan") for point in points}
+    data = np.asarray(samples, dtype=float)
+    values = np.percentile(data, points)
+    return {point: float(value) for point, value in zip(points, values)}
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and summarises them."""
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: list[float] = []
+
+    def record(self, value_ms: float) -> None:
+        self._samples.append(value_ms)
+
+    def extend(self, values: list[float]) -> None:
+        self._samples.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.mean(self._samples))
+
+    def percentile(self, point: float) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._samples), point))
+
+    def summary(self, points: tuple[float, ...] = PAPER_PERCENTILES,
+                ) -> dict[float, float]:
+        return percentiles(self._samples, points)

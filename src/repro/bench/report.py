@@ -1,0 +1,69 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmarks print the same rows/series the paper's figures plot;
+these helpers keep that output aligned and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from .latency import PAPER_PERCENTILES
+
+
+def format_table(headers: list[str], rows: list[list[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(
+            cell.rjust(width) if _is_numeric(cell) else cell.ljust(width)
+            for cell, width in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def format_series(name: str, summary: dict[float, float],
+                  points: tuple[float, ...] = PAPER_PERCENTILES) -> str:
+    """One latency-distribution series as a single aligned row."""
+    parts = [f"{name:<24}"]
+    for point in points:
+        value = summary.get(point, float("nan"))
+        parts.append(f"p{point:g}={value:8.2f}ms")
+    return "  ".join(parts)
+
+
+def percentile_headers(points: tuple[float, ...] = PAPER_PERCENTILES,
+                       ) -> list[str]:
+    return [f"p{point:g}" for point in points]
+
+
+def percentile_row(label: str, summary: dict[float, float],
+                   points: tuple[float, ...] = PAPER_PERCENTILES,
+                   ) -> list[object]:
+    return [label] + [round(summary.get(point, float("nan")), 2)
+                      for point in points]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

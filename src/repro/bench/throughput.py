@@ -1,0 +1,57 @@
+"""Sustainable-throughput search (§IX-E).
+
+The paper defines sustainable throughput as "the throughput at which
+the system achieves the highest sustainable performance with steady
+latency".  We operationalise that as the largest offered rate at which
+the job (a) keeps up — completed sink records within a few percent of
+offered — and (b) keeps its median latency below a stability bound.
+A geometric bracket followed by binary search finds the knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class RateProbe:
+    """Outcome of running the workload at one offered rate."""
+
+    offered_per_s: float
+    achieved_per_s: float
+    p50_ms: float
+    p99_ms: float
+
+    def sustainable(self, completion_slack: float = 0.05,
+                    p50_bound_ms: float = 50.0) -> bool:
+        keeps_up = (
+            self.achieved_per_s >= self.offered_per_s
+            * (1.0 - completion_slack)
+        )
+        stable = self.p50_ms <= p50_bound_ms
+        return keeps_up and stable
+
+
+def find_sustainable_rate(probe: Callable[[float], RateProbe],
+                          low_per_s: float, high_per_s: float,
+                          iterations: int = 6,
+                          completion_slack: float = 0.05,
+                          p50_bound_ms: float = 50.0) -> float:
+    """Binary search for the highest sustainable rate in the bracket.
+
+    ``probe(rate)`` runs the workload at the offered rate and reports a
+    :class:`RateProbe`.  ``low_per_s`` must be sustainable (the caller
+    picks a conservative floor); ``high_per_s`` should overload.
+    """
+    best = low_per_s
+    low, high = low_per_s, high_per_s
+    for _ in range(iterations):
+        mid = (low + high) / 2.0
+        result = probe(mid)
+        if result.sustainable(completion_slack, p50_bound_ms):
+            best = mid
+            low = mid
+        else:
+            high = mid
+    return best

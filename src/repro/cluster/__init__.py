@@ -1,0 +1,15 @@
+"""Simulated cluster: nodes, network, and key partitioning.
+
+The cluster owns the physical resources of the simulation — per-node
+processing and query worker pools, per-partition store servers — and the
+partition table that maps keys to owner/backup nodes.  Stream operators
+and the KV store both resolve placement through the same
+:class:`~repro.cluster.partition.Partitioner`, which is the paper's
+co-partitioning design decision.
+"""
+
+from .cluster import Cluster, Node
+from .network import NetworkModel
+from .partition import Partitioner
+
+__all__ = ["Cluster", "NetworkModel", "Node", "Partitioner"]

@@ -1,0 +1,103 @@
+"""Cluster: nodes with worker pools and store servers, failure injection."""
+
+from __future__ import annotations
+
+from ..config import ClusterConfig, CostModel
+from ..errors import ClusterError, NodeDownError
+from ..simtime import Server, Simulator, WorkerPool
+from .network import NetworkModel
+from .partition import Partitioner
+
+#: Store operation threads per node.  IMDG runs a fixed pool of partition
+#: operation threads; four matches the auxiliary vCPUs of Table III.
+STORE_THREADS_PER_NODE = 4
+
+
+class Node:
+    """One cluster member.
+
+    Holds the processing worker pool (stream operators), the query worker
+    pool (S-QUERY query tasks), and store partition-operation servers that
+    both snapshot writes and query scans contend on.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int,
+                 config: ClusterConfig) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self.processing_pool = WorkerPool(
+            sim, config.processing_workers_per_node,
+            name=f"node{node_id}.processing",
+        )
+        query_workers = max(1, config.query_workers_per_node)
+        self.query_pool = WorkerPool(
+            sim, query_workers, name=f"node{node_id}.query",
+        )
+        self.store_servers = [
+            Server(sim, name=f"node{node_id}.store{i}")
+            for i in range(STORE_THREADS_PER_NODE)
+        ]
+
+    def store_server(self, partition: int) -> Server:
+        """The partition-operation thread handling ``partition``."""
+        return self.store_servers[partition % len(self.store_servers)]
+
+    def check_alive(self) -> None:
+        if not self.alive:
+            raise NodeDownError(self.node_id)
+
+
+class Cluster:
+    """The simulated cluster: nodes + network + partition table."""
+
+    def __init__(self, sim: Simulator, config: ClusterConfig | None = None,
+                 costs: CostModel | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self.config.validate()
+        self.costs = costs or CostModel()
+        self.costs.validate()
+        self.sim = sim
+        self.network = NetworkModel(sim, self.config.network)
+        self.partitioner = Partitioner(
+            self.config.partition_count,
+            self.config.nodes,
+            self.config.backup_count,
+        )
+        self.nodes = [
+            Node(sim, node_id, self.config)
+            for node_id in range(self.config.nodes)
+        ]
+        self._failure_listeners: list = []
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self.nodes[node_id]
+        except IndexError:
+            raise ClusterError(f"unknown node {node_id}") from None
+
+    def alive_nodes(self) -> list[Node]:
+        return [node for node in self.nodes if node.alive]
+
+    def on_node_failure(self, listener) -> None:
+        """Register ``listener(node_id)`` called when a node dies."""
+        self._failure_listeners.append(listener)
+
+    def kill_node(self, node_id: int) -> None:
+        """Fail a node: promote its backups, notify listeners.
+
+        Partitions owned by the node move to their first surviving
+        backup (as IMDG promotes replicas); registered listeners (the job
+        coordinator, the store) then perform their own recovery.
+        """
+        node = self.node(node_id)
+        if not node.alive:
+            raise NodeDownError(node_id)
+        if len(self.alive_nodes()) <= 1:
+            raise ClusterError("cannot kill the last alive node")
+        node.alive = False
+        self.partitioner.reassign_node(node_id)
+        for listener in self._failure_listeners:
+            listener(node_id)
+
+    def surviving_node_ids(self) -> list[int]:
+        return [node.node_id for node in self.nodes if node.alive]

@@ -1,0 +1,99 @@
+"""Hash partitioning shared by the dataflow layer and the KV store.
+
+Both layers must agree on key placement so that an operator instance and
+the store partition holding its state land on the same node (S-QUERY's
+co-partitioning optimisation).  The partitioner is therefore a standalone
+object handed to both.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable
+
+from ..errors import ConfigurationError
+
+
+def stable_hash(key: Hashable) -> int:
+    """Deterministic, process-independent hash of a key.
+
+    Python's built-in ``hash`` is randomised per process for strings, so
+    we hash the repr through CRC32 instead.  Integers map to themselves
+    (cheap and well spread by the modulo below for our workloads).
+    """
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    data = repr(key).encode("utf-8")
+    return zlib.crc32(data) & 0x7FFFFFFF
+
+
+class Partitioner:
+    """Maps keys → partitions → (owner node, backup nodes)."""
+
+    def __init__(self, partition_count: int, node_count: int,
+                 backup_count: int = 1) -> None:
+        if partition_count < 1:
+            raise ConfigurationError("partition_count must be >= 1")
+        if node_count < 1:
+            raise ConfigurationError("node_count must be >= 1")
+        if not 0 <= backup_count < node_count:
+            raise ConfigurationError("backup_count must be in [0, nodes)")
+        self.partition_count = partition_count
+        self.node_count = node_count
+        self.backup_count = backup_count
+        # Round-robin partition table, as IMDG does after rebalancing.
+        self._owner = [p % node_count for p in range(partition_count)]
+
+    def partition_of(self, key: Hashable) -> int:
+        return stable_hash(key) % self.partition_count
+
+    def owner_of_partition(self, partition: int) -> int:
+        return self._owner[partition]
+
+    def owner_of(self, key: Hashable) -> int:
+        return self.owner_of_partition(self.partition_of(key))
+
+    def backups_of_partition(self, partition: int) -> list[int]:
+        """Backup nodes for a partition: the next nodes in ring order."""
+        owner = self._owner[partition]
+        return [
+            (owner + i) % self.node_count
+            for i in range(1, self.backup_count + 1)
+        ]
+
+    def partitions_owned_by(self, node: int) -> list[int]:
+        return [p for p, owner in enumerate(self._owner) if owner == node]
+
+    def reassign_node(self, dead_node: int) -> dict[int, int]:
+        """Move partitions owned by ``dead_node`` to their first backup.
+
+        Returns the mapping of reassigned partition → new owner.  Mirrors
+        IMDG's promotion of backup replicas after a member failure.
+        """
+        moved: dict[int, int] = {}
+        for partition in range(self.partition_count):
+            if self._owner[partition] != dead_node:
+                continue
+            backups = self.backups_of_partition(partition)
+            candidates = [n for n in backups if n != dead_node]
+            if not candidates:
+                raise ConfigurationError(
+                    f"partition {partition} has no surviving replica"
+                )
+            self._owner[partition] = candidates[0]
+            moved[partition] = candidates[0]
+        return moved
+
+    def instance_of(self, key: Hashable, parallelism: int) -> int:
+        """Operator-instance index for a key at a given parallelism.
+
+        Dataflow routing uses the same stable hash as store placement, so
+        instance and state co-locate when instances are placed with
+        :meth:`node_of_instance`.
+        """
+        return stable_hash(key) % parallelism
+
+    def node_of_instance(self, instance: int, parallelism: int) -> int:
+        """Placement of operator instances: striped across nodes."""
+        del parallelism  # placement depends only on the stripe position
+        return instance % self.node_count

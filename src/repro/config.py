@@ -1,0 +1,265 @@
+"""Configuration objects for the simulated cluster, jobs, and S-QUERY.
+
+All times are expressed in **virtual milliseconds**; all rates in events
+per virtual second.  The :class:`CostModel` is the single place where the
+reproduction's timing behaviour is calibrated — every simulated service
+time, network hop, and store access derives from the constants here, so
+experiments remain deterministic and auditable.
+
+Calibration targets (see DESIGN.md §4): medians of a few milliseconds for
+source→sink latency, checkpoint 2PC latencies in the 10–60 ms range, SQL
+query latencies in the tens-to-hundreds of milliseconds, and direct
+object query service times around 0.1 ms for single-key access.  These
+put the reproduction in the same regime as the paper's AWS measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+#: Number of logical store partitions (Hazelcast's default is 271).
+DEFAULT_PARTITION_COUNT = 271
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Latency/bandwidth model for inter-node messages.
+
+    Defaults approximate a 10 Gbit/s LAN: ~0.25 ms one-way base latency
+    and 1.25e6 bytes per millisecond of throughput.
+    """
+
+    local_delay_ms: float = 0.005
+    remote_base_ms: float = 0.25
+    bytes_per_ms: float = 1.25e6
+    jitter_ms: float = 0.05
+
+    def validate(self) -> None:
+        if self.local_delay_ms < 0 or self.remote_base_ms < 0:
+            raise ConfigurationError("network delays must be non-negative")
+        if self.bytes_per_ms <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.jitter_ms < 0:
+            raise ConfigurationError("jitter must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated cluster.
+
+    Mirrors the paper's Table III setup: c5.4xlarge nodes with 16 vCPUs,
+    of which 12 process stream records and 4 serve queries and garbage
+    collection.  We keep the 12/4 split; the 4 auxiliary workers run
+    S-QUERY query tasks, as in the paper.
+    """
+
+    nodes: int = 3
+    processing_workers_per_node: int = 12
+    query_workers_per_node: int = 4
+    partition_count: int = DEFAULT_PARTITION_COUNT
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    backup_count: int = 1
+
+    @property
+    def total_processing_workers(self) -> int:
+        return self.nodes * self.processing_workers_per_node
+
+    @property
+    def total_query_workers(self) -> int:
+        return self.nodes * self.query_workers_per_node
+
+    def validate(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError("cluster needs at least one node")
+        if self.processing_workers_per_node < 1:
+            raise ConfigurationError("need at least one processing worker")
+        if self.query_workers_per_node < 0:
+            raise ConfigurationError("query workers must be non-negative")
+        if self.partition_count < 1:
+            raise ConfigurationError("partition count must be positive")
+        if not 0 <= self.backup_count < self.nodes:
+            # backup_count may be zero (no fault tolerance) but never
+            # equal to or larger than the node count.
+            raise ConfigurationError("backup_count must be in [0, nodes)")
+        self.network.validate()
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Service-time constants for the discrete-event simulation.
+
+    Grouped by subsystem.  The values are calibrated so that the shapes
+    of the paper's figures emerge from queueing, alignment stalls, and
+    store contention rather than being hard-coded.
+    """
+
+    # --- dataflow record processing -------------------------------------
+    #: CPU time to process one record at one operator.
+    record_service_ms: float = 0.0010
+    #: Extra CPU time for a stateful operator's state update.
+    state_update_ms: float = 0.0003
+    #: Source-side batching delay: records are handed to the dataflow in
+    #: small batches, adding a base latency floor (Jet coalesces too).
+    source_batch_ms: float = 4.0
+
+    # --- S-QUERY live-state mirroring -----------------------------------
+    #: Cost of mirroring one state update into the live IMap (local
+    #: partition write + key lock acquire/release).
+    live_mirror_ms: float = 0.03
+    #: Extra cost when co-partitioning is disabled and the mirror write
+    #: crosses the network (ablation of DESIGN.md decision 1).
+    live_mirror_remote_ms: float = 0.25
+    #: Synchronous hot-standby replication of one state update (§VII-B's
+    #: active-replication setup for read-committed live queries).
+    replication_sync_ms: float = 0.12
+
+    # --- checkpointing ----------------------------------------------------
+    #: Fixed per-instance cost of starting/finishing a snapshot.
+    snapshot_fixed_ms: float = 0.35
+    #: Per-entry serialisation cost for Jet's opaque snapshot blob.
+    snapshot_entry_ms: float = 0.0006
+    #: Additional per-entry cost when S-QUERY exposes snapshot entries as
+    #: individually queryable rows in the store.
+    squery_snapshot_entry_ms: float = 0.0007
+    #: Per-entry housekeeping for incremental snapshots (version-chain
+    #: index maintenance).  Makes a 100%-delta incremental snapshot more
+    #: expensive than a full one, as in Fig. 12.
+    incremental_entry_overhead_ms: float = 0.0014
+    #: Coordinator-side cost per 2PC round trip (phase 1 and phase 2).
+    two_pc_round_ms: float = 0.3
+
+    # --- store access -----------------------------------------------------
+    #: Local store partition read/write of a single entry.
+    store_entry_ms: float = 0.0003
+    #: Scan chunk size: a query releases the partition between chunks so
+    #: snapshot writes can interleave (bounds priority inversion).
+    scan_chunk_entries: int = 256
+    #: Per-entry scan cost for query execution on the store.
+    scan_entry_ms: float = 0.0008
+
+    # --- query service ------------------------------------------------------
+    #: Parse/plan/coordinate fixed cost of a SQL query.
+    sql_fixed_ms: float = 1.2
+    #: Snapshot-id retrieval (atomic read of the committed pointer).
+    snapshot_id_read_ms: float = 1.0
+    #: Coordinator-side merge cost per result row.
+    merge_row_ms: float = 0.0001
+    #: Result-set bytes per row (for network shipping cost).
+    row_bytes: int = 96
+    #: Direct-object interface: fixed per-query cost.
+    direct_fixed_ms: float = 0.02
+    #: Direct-object per-key cost at the first key; additional keys are
+    #: batched with economies of scale (see ``direct_batch_exponent``).
+    direct_key_ms: float = 0.084
+    #: Exponent of the per-query key-batching economy of scale.  Total
+    #: key cost = direct_key_ms * k ** direct_batch_exponent.  Produces
+    #: the power-law throughput curve of Fig. 14.
+    direct_batch_exponent: float = 0.76
+
+    # --- TSpoon baseline ---------------------------------------------------
+    #: TSpoon treats every query as a read-only transaction flowing
+    #: through the operator chain: a fixed transactional overhead is paid
+    #: before any key is read.
+    tspoon_txn_overhead_ms: float = 0.119
+    #: TSpoon per-key read cost (same state layout as S-QUERY).
+    tspoon_key_ms: float = 0.084
+    tspoon_batch_exponent: float = 0.76
+
+    def validate(self) -> None:
+        numeric_fields = [
+            (name, getattr(self, name))
+            for name in self.__dataclass_fields__
+        ]
+        for name, value in numeric_fields:
+            if isinstance(value, (int, float)) and value < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.scan_chunk_entries < 1:
+            raise ConfigurationError("scan_chunk_entries must be >= 1")
+        if not 0 < self.direct_batch_exponent <= 1:
+            raise ConfigurationError(
+                "direct_batch_exponent must be in (0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class SQueryConfig:
+    """Which S-QUERY features are enabled for a job.
+
+    ``live_state`` mirrors every operator state update into a queryable
+    live IMap (Table I schema).  ``snapshot_state`` exposes checkpoint
+    snapshots as queryable rows (Table II schema).  Disabling both yields
+    the vanilla engine ("Jet" in the figures).
+    """
+
+    live_state: bool = True
+    snapshot_state: bool = True
+    #: How many committed snapshot versions to retain (paper default: 2 —
+    #: constant memory, one version always complete and queryable).
+    retained_snapshots: int = 2
+    #: Use incremental snapshots (record only changed keys per
+    #: checkpoint) instead of full snapshots.
+    incremental: bool = False
+    #: Prune/compact incremental chains after this many snapshots: the
+    #: oldest deltas are folded into a new base so backward reconstruction
+    #: stays bounded.
+    prune_chain_length: int = 8
+    #: Storage engine for incremental snapshots: ``"chain"`` keeps
+    #: per-checkpoint delta chains with backward reconstruction (the
+    #: paper's IMDG implementation); ``"lsm"`` stores versions in an
+    #: LSM tree whose compaction bounds read amplification (the
+    #: RocksDB/Cassandra alternative sketched in §VI-B).
+    incremental_backend: str = "chain"
+    #: Co-partition state and compute (paper's design decision; the
+    #: ablation flips this to route mirror writes over the network).
+    colocate_state: bool = True
+    #: Hold key locks for the whole query instead of per-access
+    #: (repeatable-read upgrade discussed in §VII; off by default).
+    repeatable_read_locks: bool = False
+    #: Active replication (§VII-B "read committed"): every state update
+    #: is synchronously applied to a hot-standby replica on another
+    #: node.  A failure then promotes the standby instead of rolling
+    #: back to the last checkpoint, so committed live reads are never
+    #: invalidated by rollback.  Costs an extra synchronous hop per
+    #: update (``CostModel.replication_sync_ms``).
+    active_replication: bool = False
+
+    def validate(self) -> None:
+        if self.retained_snapshots < 1:
+            raise ConfigurationError("must retain at least one snapshot")
+        if self.prune_chain_length < 1:
+            raise ConfigurationError("prune_chain_length must be >= 1")
+        if self.active_replication and not self.live_state:
+            raise ConfigurationError(
+                "active replication requires live_state (the standby is "
+                "maintained from the live update stream)"
+            )
+        if self.incremental_backend not in ("chain", "lsm"):
+            raise ConfigurationError(
+                "incremental_backend must be 'chain' or 'lsm'"
+            )
+
+
+#: S-QUERY with everything off — the vanilla engine used as the "Jet"
+#: baseline throughout the evaluation.
+VANILLA = SQueryConfig(live_state=False, snapshot_state=False)
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Execution parameters of one streaming job."""
+
+    #: Checkpoint interval in virtual milliseconds (paper default: 1 s).
+    checkpoint_interval_ms: float = 1000.0
+    #: Default vertex parallelism; ``None`` means one instance per
+    #: processing worker (the Jet default).
+    parallelism: int | None = None
+    #: Deterministic seed for all randomised arrival processes.
+    seed: int = 7
+
+    def validate(self) -> None:
+        if self.checkpoint_interval_ms <= 0:
+            raise ConfigurationError("checkpoint interval must be positive")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ConfigurationError("parallelism must be >= 1")

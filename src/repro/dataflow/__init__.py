@@ -1,0 +1,54 @@
+"""The stream processor (Hazelcast Jet substitute).
+
+Jobs are DAGs of operators (:mod:`~repro.dataflow.graph`) executed as
+partitioned instances on the simulated cluster.  Fault tolerance follows
+the marker-aligned Chandy–Lamport checkpointing of §IV: a coordinator
+periodically injects markers at the sources, operators align and snapshot
+their state, and a two-phase commit atomically publishes each snapshot id
+(:mod:`~repro.dataflow.checkpoint`).  Failures roll the job back to the
+latest committed snapshot and replay sources from their recorded offsets
+(:mod:`~repro.dataflow.recovery`), giving exactly-once state updates.
+"""
+
+from .graph import Edge, Pipeline, Vertex
+from .job import Job, JobMetrics
+from .operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyedAggregateOperator,
+    MapOperator,
+    Operator,
+    SinkOperator,
+)
+from .joins import StreamJoinOperator
+from .records import CheckpointMarker, Record
+from .sources import RETRY, SourceFunction
+from .windows import (
+    SessionWindowOperator,
+    SlidingCountWindowOperator,
+    TumblingWindowOperator,
+    WindowResult,
+)
+
+__all__ = [
+    "CheckpointMarker",
+    "Edge",
+    "FilterOperator",
+    "FlatMapOperator",
+    "Job",
+    "JobMetrics",
+    "KeyedAggregateOperator",
+    "MapOperator",
+    "Operator",
+    "Pipeline",
+    "RETRY",
+    "Record",
+    "SessionWindowOperator",
+    "SinkOperator",
+    "SlidingCountWindowOperator",
+    "SourceFunction",
+    "StreamJoinOperator",
+    "TumblingWindowOperator",
+    "Vertex",
+    "WindowResult",
+]

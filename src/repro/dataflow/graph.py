@@ -1,0 +1,148 @@
+"""Job graphs: vertices, edges, and the fluent pipeline builder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import GraphError
+from .operators import Operator
+from .sources import SourceFunction
+
+#: Edge routing strategies.
+ROUTE_PARTITIONED = "partitioned"  # hash(record.key) % dst parallelism
+ROUTE_FORWARD = "forward"          # instance i -> instance i (same DOP)
+ROUTE_REBALANCE = "rebalance"      # round-robin
+ROUTE_BROADCAST = "broadcast"      # every instance
+
+
+@dataclass
+class Vertex:
+    """One named operator in the DAG.
+
+    ``factory`` builds a fresh :class:`Operator` per instance (state must
+    not be shared across instances).  Sources set ``source`` instead.
+    """
+
+    name: str
+    factory: Callable[[], Operator] | None = None
+    source: SourceFunction | None = None
+    parallelism: int | None = None  # None -> job default
+
+    @property
+    def is_source(self) -> bool:
+        return self.source is not None
+
+    def validate(self) -> None:
+        if self.is_source == (self.factory is not None):
+            raise GraphError(
+                f"vertex {self.name!r} must have exactly one of "
+                "factory/source"
+            )
+        if self.parallelism is not None and self.parallelism < 1:
+            raise GraphError(f"vertex {self.name!r}: parallelism < 1")
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: str
+    dst: str
+    routing: str = ROUTE_PARTITIONED
+
+
+class Pipeline:
+    """DAG builder with cycle and connectivity validation."""
+
+    def __init__(self) -> None:
+        self._vertices: dict[str, Vertex] = {}
+        self._edges: list[Edge] = []
+
+    # -- construction ---------------------------------------------------
+
+    def add_source(self, name: str, source: SourceFunction,
+                   parallelism: int | None = None) -> "Pipeline":
+        self._add_vertex(Vertex(name, source=source,
+                                parallelism=parallelism))
+        return self
+
+    def add_operator(self, name: str, factory: Callable[[], Operator],
+                     parallelism: int | None = None) -> "Pipeline":
+        self._add_vertex(Vertex(name, factory=factory,
+                                parallelism=parallelism))
+        return self
+
+    def connect(self, src: str, dst: str,
+                routing: str = ROUTE_PARTITIONED) -> "Pipeline":
+        if src not in self._vertices:
+            raise GraphError(f"unknown source vertex {src!r}")
+        if dst not in self._vertices:
+            raise GraphError(f"unknown destination vertex {dst!r}")
+        if self._vertices[dst].is_source:
+            raise GraphError(f"cannot connect into source {dst!r}")
+        valid = {ROUTE_PARTITIONED, ROUTE_FORWARD, ROUTE_REBALANCE,
+                 ROUTE_BROADCAST}
+        if routing not in valid:
+            raise GraphError(f"unknown routing {routing!r}")
+        self._edges.append(Edge(src, dst, routing))
+        return self
+
+    def _add_vertex(self, vertex: Vertex) -> None:
+        vertex.validate()
+        if vertex.name in self._vertices:
+            raise GraphError(f"duplicate vertex {vertex.name!r}")
+        self._vertices[vertex.name] = vertex
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def vertices(self) -> dict[str, Vertex]:
+        return dict(self._vertices)
+
+    @property
+    def edges(self) -> list[Edge]:
+        return list(self._edges)
+
+    def in_edges(self, name: str) -> list[Edge]:
+        return [edge for edge in self._edges if edge.dst == name]
+
+    def out_edges(self, name: str) -> list[Edge]:
+        return [edge for edge in self._edges if edge.src == name]
+
+    def sources(self) -> list[Vertex]:
+        return [v for v in self._vertices.values() if v.is_source]
+
+    def validate(self) -> None:
+        """Check the graph is a DAG with sources and no orphans."""
+        if not self._vertices:
+            raise GraphError("empty pipeline")
+        if not self.sources():
+            raise GraphError("pipeline has no source vertex")
+        for vertex in self._vertices.values():
+            if not vertex.is_source and not self.in_edges(vertex.name):
+                raise GraphError(
+                    f"vertex {vertex.name!r} has no input edges"
+                )
+        self._check_acyclic()
+
+    def topological_order(self) -> list[str]:
+        """Vertex names in topological order (validates acyclicity)."""
+        return self._check_acyclic()
+
+    def _check_acyclic(self) -> list[str]:
+        in_degree = {name: 0 for name in self._vertices}
+        for edge in self._edges:
+            in_degree[edge.dst] += 1
+        ready = sorted(
+            name for name, degree in in_degree.items() if degree == 0
+        )
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for edge in self.out_edges(name):
+                in_degree[edge.dst] -= 1
+                if in_degree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self._vertices):
+            raise GraphError("pipeline contains a cycle")
+        return order

@@ -1,0 +1,85 @@
+"""Keyed stream-stream joins.
+
+A :class:`StreamJoinOperator` consumes two (or more) co-partitioned
+input streams and keeps the latest value per key *per side*; whenever a
+record completes a key (all sides present), the join result is emitted.
+The joint state is one object per key holding both sides — which, with
+S-QUERY attached, makes the *join state itself* queryable: you can ask
+which keys are still waiting for their other side (a classic debugging
+pain point the paper's §III motivates).
+
+Side assignment: routes are distinguished by a ``side_of(value)``
+classifier (streams typically carry distinct event types), so the
+operator stays agnostic of which edge delivered the record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from ..errors import ConfigurationError
+from .operators import Emitter, Operator
+from .records import Record
+
+
+@dataclass(frozen=True)
+class JoinState:
+    """Per-key join state: the latest value seen on each side."""
+
+    sides: dict = field(default_factory=dict)
+
+    def with_side(self, side: str, value: object) -> "JoinState":
+        updated = dict(self.sides)
+        updated[side] = value
+        return JoinState(updated)
+
+    def complete(self, required: tuple[str, ...]) -> bool:
+        return all(side in self.sides for side in required)
+
+
+class StreamJoinOperator(Operator):
+    """Latest-value keyed join over named sides.
+
+    ``side_of(value) -> str`` classifies each record into one of
+    ``sides``; ``output(key, {side: value, ...})`` shapes the emitted
+    result once every side has arrived for the key (and again whenever
+    any side refreshes afterwards).
+    """
+
+    stateful = True
+
+    def __init__(self, sides: tuple[str, ...],
+                 side_of: Callable[[object], str],
+                 output: Callable[[Hashable, dict], object]) -> None:
+        if len(sides) < 2:
+            raise ConfigurationError("a join needs at least two sides")
+        super().__init__()
+        self._sides = tuple(sides)
+        self._side_of = side_of
+        self._output = output
+        self.matches_emitted = 0
+
+    def process(self, record: Record, out: Emitter) -> None:
+        side = self._side_of(record.value)
+        if side not in self._sides:
+            raise ConfigurationError(
+                f"classifier returned unknown side {side!r} "
+                f"(expected one of {self._sides})"
+            )
+        state: JoinState = self.state.get(record.key, JoinState())
+        state = state.with_side(side, record.value)
+        self.state.put(record.key, state)
+        if state.complete(self._sides):
+            result = self._output(record.key, dict(state.sides))
+            if result is not None:
+                self.matches_emitted += 1
+                out.emit(result, record=record)
+
+    def pending_keys(self) -> list[Hashable]:
+        """Keys still waiting for at least one side (debugging aid; the
+        same information is SQL-queryable through the live table)."""
+        return [
+            key for key, state in self.state.items()
+            if not state.complete(self._sides)
+        ]

@@ -1,0 +1,250 @@
+"""Operator base classes and the built-in operator library.
+
+An operator processes one record at a time and may keep keyed state
+through :class:`StateAccess`, which tracks dirty keys (for incremental
+snapshots) and notifies the S-QUERY backend of every update (for live
+state mirroring).  Operators are single-threaded per instance and own a
+disjoint key partition — the architecture property §VII uses to argue
+serialisable snapshot isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from ..errors import DataflowError
+from .records import Record
+
+
+class Emitter:
+    """Collects an operator's output records during one ``process``."""
+
+    def __init__(self) -> None:
+        self._out: list[Record] = []
+
+    def emit(self, value: object, key: Hashable | None = None,
+             record: Record | None = None) -> None:
+        """Emit ``value`` downstream.
+
+        The output record inherits the input record's timestamps so
+        source→sink latency is preserved through the DAG; ``key``
+        defaults to the input record's key.
+        """
+        if record is None:
+            raise DataflowError("emit requires the input record context")
+        self._out.append(Record(
+            key=record.key if key is None else key,
+            value=value,
+            created_ms=record.created_ms,
+            seq=record.seq,
+            source_instance=record.source_instance,
+        ))
+
+    def drain(self) -> list[Record]:
+        out = self._out
+        self._out = []
+        return out
+
+
+class StateAccess:
+    """Keyed state of one operator instance.
+
+    Wraps a plain dict and records which keys changed since the last
+    snapshot (``dirty``).  ``on_update(key, value_or_None)`` fires for
+    every mutation, which is how live-state mirroring hooks in.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[Hashable, object] = {}
+        self.dirty: set[Hashable] = set()
+        self.deleted: set[Hashable] = set()
+        self.on_update: Callable[[Hashable, object], None] | None = None
+        self.updates = 0
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        return self._data.get(key, default)
+
+    def put(self, key: Hashable, value: object) -> None:
+        self._data[key] = value
+        self.dirty.add(key)
+        self.deleted.discard(key)
+        self.updates += 1
+        if self.on_update is not None:
+            self.on_update(key, value)
+
+    def delete(self, key: Hashable) -> bool:
+        existed = self._data.pop(key, _MISSING) is not _MISSING
+        if existed:
+            self.dirty.discard(key)
+            self.deleted.add(key)
+            self.updates += 1
+            if self.on_update is not None:
+                self.on_update(key, None)
+        return existed
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def items(self) -> Iterable[tuple[Hashable, object]]:
+        return self._data.items()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def snapshot_items(self) -> dict[Hashable, object]:
+        """A shallow copy of the full state (full snapshot payload)."""
+        return dict(self._data)
+
+    def take_delta(self) -> tuple[dict[Hashable, object], set[Hashable]]:
+        """Changed entries and deletions since the previous snapshot;
+        clears the dirty tracking (incremental snapshot payload)."""
+        delta = {key: self._data[key] for key in self.dirty
+                 if key in self._data}
+        deleted = set(self.deleted)
+        self.dirty.clear()
+        self.deleted.clear()
+        return delta, deleted
+
+    def restore(self, data: dict[Hashable, object]) -> None:
+        self._data = dict(data)
+        self.dirty.clear()
+        self.deleted.clear()
+
+
+_MISSING = object()
+
+
+class Operator:
+    """Base operator.  Subclasses override :meth:`process`."""
+
+    #: Stateful operators get a :class:`StateAccess` and participate in
+    #: snapshots with a per-entry cost; stateless ones align and forward
+    #: markers only.
+    stateful = False
+
+    def __init__(self) -> None:
+        self.state = StateAccess() if self.stateful else None
+
+    def open(self, instance: int, parallelism: int) -> None:
+        """Called once before processing; default is a no-op."""
+
+    def process(self, record: Record, out: Emitter) -> None:
+        raise NotImplementedError
+
+    # -- snapshot hooks ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        if self.state is None:
+            return {}
+        return self.state.snapshot_items()
+
+    def restore_state(self, data: dict) -> None:
+        if self.state is not None:
+            self.state.restore(data)
+
+
+class MapOperator(Operator):
+    """Stateless 1→1 transform."""
+
+    def __init__(self, fn: Callable[[object], object]) -> None:
+        super().__init__()
+        self._fn = fn
+
+    def process(self, record: Record, out: Emitter) -> None:
+        out.emit(self._fn(record.value), record=record)
+
+
+class FilterOperator(Operator):
+    """Stateless filter."""
+
+    def __init__(self, predicate: Callable[[object], bool]) -> None:
+        super().__init__()
+        self._predicate = predicate
+
+    def process(self, record: Record, out: Emitter) -> None:
+        if self._predicate(record.value):
+            out.emit(record.value, record=record)
+
+
+class FlatMapOperator(Operator):
+    """Stateless 1→N transform; ``fn`` returns an iterable of
+    ``(key, value)`` pairs."""
+
+    def __init__(
+        self, fn: Callable[[object], Iterable[tuple[Hashable, object]]]
+    ) -> None:
+        super().__init__()
+        self._fn = fn
+
+    def process(self, record: Record, out: Emitter) -> None:
+        for key, value in self._fn(record.value):
+            out.emit(value, key=key, record=record)
+
+
+class KeyedAggregateOperator(Operator):
+    """Stateful keyed aggregation.
+
+    ``accumulate(state_value_or_None, record_value) -> new_state_value``
+    updates the per-key state; ``output(key, new_state_value)`` produces
+    the downstream value (``None`` suppresses emission).
+    """
+
+    stateful = True
+
+    def __init__(self, accumulate: Callable[[object, object], object],
+                 output: Callable[[Hashable, object], object] | None = None,
+                 ) -> None:
+        super().__init__()
+        self._accumulate = accumulate
+        self._output = output
+
+    def process(self, record: Record, out: Emitter) -> None:
+        current = self.state.get(record.key)
+        updated = self._accumulate(current, record.value)
+        self.state.put(record.key, updated)
+        if self._output is not None:
+            value = self._output(record.key, updated)
+            if value is not None:
+                out.emit(value, record=record)
+        else:
+            out.emit(updated, record=record)
+
+
+class StatefulMapOperator(Operator):
+    """General stateful transform: ``fn(state, record, out)``.
+
+    Gives workloads full access to :class:`StateAccess` (multi-key
+    updates, deletes) — used by the Q-commerce operators.
+    """
+
+    stateful = True
+
+    def __init__(
+        self,
+        fn: Callable[[StateAccess, Record, Emitter], None],
+    ) -> None:
+        super().__init__()
+        self._fn = fn
+
+    def process(self, record: Record, out: Emitter) -> None:
+        self._fn(self.state, record, out)
+
+
+class SinkOperator(Operator):
+    """Terminal operator; invokes an optional callback per record.
+
+    The job wires sink latency accounting in the worker runtime; the
+    callback exists for tests and examples that want the outputs.
+    """
+
+    def __init__(
+        self, callback: Callable[[Record], None] | None = None
+    ) -> None:
+        super().__init__()
+        self._callback = callback
+        self.received = 0
+
+    def process(self, record: Record, out: Emitter) -> None:
+        self.received += 1
+        if self._callback is not None:
+            self._callback(record)

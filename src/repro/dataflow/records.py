@@ -1,0 +1,36 @@
+"""Stream items: data records and in-band punctuations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Record:
+    """One data record flowing through the dataflow.
+
+    ``key`` routes the record on partitioned edges and keys operator
+    state.  ``created_ms`` is the virtual time the record entered the
+    system (source emission); sink latency = now - created_ms.  ``seq``
+    is the per-source-instance sequence number used for replay.
+    """
+
+    key: object
+    value: object
+    created_ms: float
+    seq: int = -1
+    source_instance: int = -1
+
+
+@dataclass(frozen=True)
+class CheckpointMarker:
+    """Chandy–Lamport checkpoint marker (a punctuation, §IV)."""
+
+    ssid: int
+
+
+@dataclass(frozen=True)
+class SourceTrigger:
+    """Coordinator → source instruction to emit a checkpoint marker."""
+
+    ssid: int

@@ -1,0 +1,67 @@
+"""Replayable sources with Poisson arrivals and offset tracking.
+
+A :class:`SourceFunction` deterministically maps ``(instance, seq)`` to
+a record, which is what makes exactly-once replay possible: after a
+failure the job restores each source instance's offset from the last
+committed snapshot and regenerates exactly the records that followed it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Protocol
+
+
+class _Retry:
+    """Sentinel: nothing to emit right now, poll again later (used by
+    sources reading from live external systems such as a log whose end
+    the consumer has caught up with)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<retry>"
+
+
+RETRY = _Retry()
+
+
+class SourceFunction(Protocol):
+    """Deterministic record generator for one source vertex."""
+
+    def generate(self, instance: int,
+                 seq: int) -> tuple[Hashable, object] | None:
+        """Record ``seq`` for ``instance`` as ``(key, value)``.
+
+        Returning ``None`` means the instance's stream is exhausted
+        (bounded sources); unbounded sources never return ``None``.
+        Returning :data:`RETRY` means "nothing available yet, poll
+        again" — for sources that tail a live external system.
+        """
+        ...
+
+    def rate_per_instance(self, parallelism: int) -> float:
+        """Mean arrivals per virtual second for one instance."""
+        ...
+
+
+class CallableSource:
+    """Adapter turning a plain function into a :class:`SourceFunction`.
+
+    ``fn(instance, seq) -> (key, value) | None``; total rate is split
+    evenly across instances.
+    """
+
+    def __init__(self, fn, total_rate_per_s: float,
+                 limit_per_instance: int | None = None) -> None:
+        self._fn = fn
+        self._total_rate = total_rate_per_s
+        self._limit = limit_per_instance
+
+    def generate(self, instance: int,
+                 seq: int) -> tuple[Hashable, object] | None:
+        if self._limit is not None and seq >= self._limit:
+            return None
+        return self._fn(instance, seq)
+
+    def rate_per_instance(self, parallelism: int) -> float:
+        return self._total_rate / parallelism

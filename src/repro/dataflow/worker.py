@@ -1,0 +1,356 @@
+"""Operator and source instance runtimes.
+
+This module implements the execution semantics of §IV: per-instance
+single-threaded record processing on the node's worker pool, checkpoint
+marker alignment (Fig. 3), snapshot capture through the state backend,
+and marker forwarding.  All asynchronous callbacks are guarded by the
+job epoch so that in-flight work from before a failure is discarded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..cluster.partition import stable_hash
+from ..errors import CheckpointError
+from .graph import (
+    ROUTE_BROADCAST,
+    ROUTE_FORWARD,
+    ROUTE_PARTITIONED,
+    ROUTE_REBALANCE,
+)
+from .operators import Emitter, Operator
+from .records import CheckpointMarker, Record
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .job import Job
+
+
+class InputChannel:
+    """One FIFO input from a specific upstream instance."""
+
+    __slots__ = ("queue", "blocked_ssid", "src_gid")
+
+    def __init__(self, src_gid: str) -> None:
+        self.queue: deque = deque()
+        self.blocked_ssid: int | None = None
+        self.src_gid = src_gid
+
+
+class OutputEdge:
+    """Routing fan-out from one instance to a downstream vertex."""
+
+    def __init__(self, edge_index: int, routing: str,
+                 dst_instances: list["OperatorInstance"]) -> None:
+        self.edge_index = edge_index
+        self.routing = routing
+        self.dst_instances = dst_instances
+        self._rebalance_next = 0
+
+    def targets(self, record: Record) -> list["OperatorInstance"]:
+        parallelism = len(self.dst_instances)
+        if self.routing == ROUTE_PARTITIONED:
+            index = stable_hash(record.key) % parallelism
+            return [self.dst_instances[index]]
+        if self.routing == ROUTE_FORWARD:
+            return [self.dst_instances[record.source_instance % parallelism]]
+        if self.routing == ROUTE_REBALANCE:
+            index = self._rebalance_next % parallelism
+            self._rebalance_next += 1
+            return [self.dst_instances[index]]
+        if self.routing == ROUTE_BROADCAST:
+            return list(self.dst_instances)
+        raise CheckpointError(f"unknown routing {self.routing!r}")
+
+
+class _InstanceBase:
+    """Shared plumbing for operator and source instances."""
+
+    def __init__(self, job: "Job", vertex_name: str, instance: int,
+                 node_id: int) -> None:
+        self.job = job
+        self.vertex_name = vertex_name
+        self.instance = instance
+        self.node_id = node_id
+        self.gid = f"{vertex_name}[{instance}]"
+        self.output_edges: list[OutputEdge] = []
+
+    # -- sending ---------------------------------------------------------
+
+    def _send_record(self, record: Record) -> None:
+        network = self.job.cluster.network
+        nbytes = self.job.costs.row_bytes
+        for edge in self.output_edges:
+            for target in edge.targets(record):
+                network.send(
+                    self.node_id, target.node_id,
+                    target.deliver_guarded, self.job.epoch,
+                    (edge.edge_index, self.gid), record,
+                    nbytes=nbytes,
+                    channel=(edge.edge_index, self.gid, target.gid),
+                )
+
+    def _broadcast_marker(self, ssid: int) -> None:
+        network = self.job.cluster.network
+        marker = CheckpointMarker(ssid)
+        for edge in self.output_edges:
+            for target in edge.dst_instances:
+                network.send(
+                    self.node_id, target.node_id,
+                    target.deliver_guarded, self.job.epoch,
+                    (edge.edge_index, self.gid), marker,
+                    nbytes=16,
+                    channel=(edge.edge_index, self.gid, target.gid),
+                )
+
+    def _ack_snapshot(self, ssid: int) -> None:
+        self.job.coordinator.send_ack(self.node_id, ssid, self.gid)
+
+
+class OperatorInstance(_InstanceBase):
+    """One parallel instance of a DAG operator."""
+
+    def __init__(self, job: "Job", vertex_name: str, instance: int,
+                 node_id: int, operator: Operator) -> None:
+        super().__init__(job, vertex_name, instance, node_id)
+        self.operator = operator
+        self.input_channels: dict[tuple[int, str], InputChannel] = {}
+        self.is_sink = False  # set by the job after wiring
+        self._pending_jobs = 0
+        self._snapshotting = False
+        self._emitter = Emitter()
+        self.records_processed = 0
+        if operator.state is not None:
+            operator.state.on_update = self._on_state_update
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_input_channel(self, edge_index: int, src_gid: str) -> None:
+        self.input_channels[(edge_index, src_gid)] = InputChannel(src_gid)
+
+    # -- delivery and pumping ---------------------------------------------
+
+    def deliver_guarded(self, epoch: int, channel_key: tuple,
+                        item: object) -> None:
+        """Network delivery entry point; drops stale-epoch messages."""
+        if epoch != self.job.epoch:
+            return
+        channel = self.input_channels.get(channel_key)
+        if channel is None:
+            return
+        channel.queue.append(item)
+        self._pump()
+
+    def _pump(self) -> None:
+        """Submit every processable record to the worker pool.
+
+        Channels blocked by a checkpoint marker keep their items queued
+        until the snapshot completes (marker alignment, Fig. 3).
+        """
+        if self._snapshotting:
+            return
+        for channel in self.input_channels.values():
+            if channel.blocked_ssid is not None:
+                continue
+            while channel.queue:
+                item = channel.queue[0]
+                if isinstance(item, CheckpointMarker):
+                    channel.blocked_ssid = item.ssid
+                    channel.queue.popleft()
+                    break
+                channel.queue.popleft()
+                self._submit_record(item)
+        self._maybe_align()
+
+    def _submit_record(self, record: Record) -> None:
+        duration = self._service_time()
+        self._pending_jobs += 1
+        pool = self.job.cluster.node(self.node_id).processing_pool
+        pool.submit(self.gid, duration, self._on_record_done,
+                    self.job.epoch, record)
+
+    def _service_time(self) -> float:
+        costs = self.job.costs
+        duration = costs.record_service_ms
+        if self.operator.stateful:
+            duration += costs.state_update_ms
+            duration += self.job.backend.live_update_cost(self.vertex_name)
+        jitter = self.job.sim.rng.uniform("service", 0.8, 1.2)
+        return duration * jitter
+
+    def _on_record_done(self, epoch: int, record: Record) -> None:
+        if epoch != self.job.epoch:
+            return
+        self._pending_jobs -= 1
+        self.operator.process(record, self._emitter)
+        self.records_processed += 1
+        for output in self._emitter.drain():
+            self._send_record(output)
+        if self.is_sink:
+            latency = self.job.sim.now - record.created_ms
+            self.job.metrics.record_sink_latency(latency)
+        self._maybe_align()
+
+    def _on_state_update(self, key: object, value: object | None) -> None:
+        """StateAccess mutation hook → live-state mirroring."""
+        self.job.backend.on_state_update(self.vertex_name, key, value)
+
+    # -- checkpoint alignment and snapshotting ---------------------------
+
+    def _maybe_align(self) -> None:
+        if self._snapshotting or self._pending_jobs > 0:
+            return
+        if not self.input_channels:
+            return
+        ssids = {
+            channel.blocked_ssid
+            for channel in self.input_channels.values()
+        }
+        if None in ssids or len(ssids) != 1:
+            return
+        ssid = ssids.pop()
+        self._begin_snapshot(ssid)
+
+    def _begin_snapshot(self, ssid: int) -> None:
+        self._snapshotting = True
+        if not self.operator.stateful:
+            self._finish_snapshot(ssid)
+            return
+        state = self.operator.state
+        if self.job.backend.incremental:
+            payload, deleted = state.take_delta()
+        else:
+            payload, deleted = state.snapshot_items(), set()
+        cpu_cost = self.job.backend.snapshot_cpu_cost(len(payload))
+        pool = self.job.cluster.node(self.node_id).processing_pool
+        epoch = self.job.epoch
+
+        def after_serialize() -> None:
+            if epoch != self.job.epoch:
+                return
+            self.job.backend.write_snapshot(
+                self.vertex_name, self.instance, self.node_id, ssid,
+                payload, deleted,
+                lambda: self._snapshot_written(epoch, ssid),
+            )
+
+        pool.submit(self.gid, cpu_cost, after_serialize)
+
+    def _snapshot_written(self, epoch: int, ssid: int) -> None:
+        if epoch != self.job.epoch:
+            return
+        self._finish_snapshot(ssid)
+
+    def _finish_snapshot(self, ssid: int) -> None:
+        self._ack_snapshot(ssid)
+        self._broadcast_marker(ssid)
+        self._snapshotting = False
+        for channel in self.input_channels.values():
+            channel.blocked_ssid = None
+        self._pump()
+
+    # -- recovery ---------------------------------------------------------
+
+    def reset_for_recovery(self, node_id: int) -> None:
+        """Clear in-flight items and rebind to (possibly) a new node."""
+        self.node_id = node_id
+        self._pending_jobs = 0
+        self._snapshotting = False
+        self._emitter = Emitter()
+        for channel in self.input_channels.values():
+            channel.queue.clear()
+            channel.blocked_ssid = None
+
+
+class SourceInstance(_InstanceBase):
+    """One parallel instance of a source vertex.
+
+    Emits records with Poisson interarrivals at the configured rate and
+    reacts to coordinator triggers by recording its offset and emitting
+    a checkpoint marker in-band.
+    """
+
+    def __init__(self, job: "Job", vertex_name: str, instance: int,
+                 node_id: int, source) -> None:
+        super().__init__(job, vertex_name, instance, node_id)
+        self.source = source
+        self.seq = 0
+        self.exhausted = False
+        self.records_emitted = 0
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        parallelism = self.job.vertex_parallelism(self.vertex_name)
+        rate = self.source.rate_per_instance(parallelism)
+        if rate <= 0:
+            return
+        mean_interarrival = 1000.0 / rate
+        delay = self.job.sim.rng.exponential(
+            f"arrivals.{self.gid}", mean_interarrival
+        )
+        self.job.sim.schedule(delay, self._emit, self.job.epoch)
+
+    def _emit(self, epoch: int) -> None:
+        if epoch != self.job.epoch or self.exhausted:
+            return
+        item = self.source.generate(self.instance, self.seq)
+        if item is None:
+            self.exhausted = True
+            self.job.on_source_exhausted(self.gid)
+            return
+        from .sources import RETRY
+
+        if item is RETRY:
+            # Caught up with a live external input: poll again later.
+            self._schedule_next()
+            return
+        key, value = item
+        now = self.job.sim.now
+        batch_wait = self.job.sim.rng.uniform(
+            "source_batch", 0.0, self.job.costs.source_batch_ms
+        )
+        record = Record(
+            key=key,
+            value=value,
+            created_ms=now - batch_wait,
+            seq=self.seq,
+            source_instance=self.instance,
+        )
+        self.seq += 1
+        self.records_emitted += 1
+        # Source processors occupy a processing worker per record (they
+        # are cooperative tasklets in Jet); the offered rate is open-loop
+        # so emission itself is not delayed, but the CPU time contends
+        # with downstream operators on the same node.
+        pool = self.job.cluster.node(self.node_id).processing_pool
+        pool.submit(self.gid, self.job.costs.record_service_ms)
+        self._send_record(record)
+        self._schedule_next()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def on_trigger(self, epoch: int, ssid: int) -> None:
+        """Coordinator trigger: snapshot the offset, emit the marker."""
+        if epoch != self.job.epoch:
+            return
+        offset = self.seq
+        self._broadcast_marker(ssid)
+        self.job.backend.write_source_offset(
+            self.vertex_name, self.instance, self.node_id, ssid, offset,
+            lambda: self._offset_written(epoch, ssid),
+        )
+
+    def _offset_written(self, epoch: int, ssid: int) -> None:
+        if epoch != self.job.epoch:
+            return
+        self._ack_snapshot(ssid)
+
+    # -- recovery ---------------------------------------------------------
+
+    def reset_for_recovery(self, node_id: int, offset: int) -> None:
+        self.node_id = node_id
+        self.seq = offset
+        self.exhausted = False

@@ -1,0 +1,36 @@
+"""Top-level environment bundling simulator, cluster, and store."""
+
+from __future__ import annotations
+
+from .cluster import Cluster
+from .config import ClusterConfig, CostModel
+from .kvstore import StateStore
+from .simtime import Simulator
+
+
+class Environment:
+    """Everything a job and the query system share.
+
+    One environment = one simulated deployment: a virtual-time simulator,
+    a cluster of nodes, and the state store (the paper's Fig. 1).
+    """
+
+    def __init__(self, cluster_config: ClusterConfig | None = None,
+                 costs: CostModel | None = None, seed: int = 7) -> None:
+        self.sim = Simulator(seed)
+        self.cluster = Cluster(self.sim, cluster_config, costs)
+        self.store = StateStore(self.cluster)
+
+    @property
+    def costs(self) -> CostModel:
+        return self.cluster.costs
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run_until(self, time_ms: float) -> None:
+        self.sim.run_until(time_ms)
+
+    def run_for(self, duration_ms: float) -> None:
+        self.sim.run_until(self.sim.now + duration_ms)

@@ -1,0 +1,113 @@
+"""Exception hierarchy for the S-QUERY reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class ClusterError(ReproError):
+    """A cluster-level operation failed (unknown node, bad partition)."""
+
+
+class NodeDownError(ClusterError):
+    """An operation addressed a node that has been killed."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id} is down")
+        self.node_id = node_id
+
+
+class StoreError(ReproError):
+    """A key-value store operation failed."""
+
+
+class MapNotFoundError(StoreError):
+    """A named IMap does not exist in the store registry."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no such map: {name!r}")
+        self.map_name = name
+
+
+class LockError(StoreError):
+    """A key-level lock operation was invalid (e.g. unlock by non-owner)."""
+
+
+class ReplicationError(StoreError):
+    """Replication invariants were violated (e.g. missing backup)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlLexError(SqlError):
+    """The SQL text contains an unrecognisable token."""
+
+
+class SqlParseError(SqlError):
+    """The SQL token stream does not form a valid statement."""
+
+
+class SqlPlanError(SqlError):
+    """The statement is valid SQL but cannot be planned (unknown table,
+    ambiguous column, unsupported feature)."""
+
+
+class SqlExecutionError(SqlError):
+    """A runtime failure while executing a planned query."""
+
+
+class DataflowError(ReproError):
+    """A streaming-job definition or execution error."""
+
+
+class GraphError(DataflowError):
+    """The job graph is malformed (cycle, dangling edge, bad parallelism)."""
+
+
+class CheckpointError(DataflowError):
+    """The checkpoint protocol was violated."""
+
+
+class RecoveryError(DataflowError):
+    """Failure recovery could not restore a consistent state."""
+
+
+class StateError(ReproError):
+    """An S-QUERY state-management operation failed."""
+
+
+class SnapshotNotFoundError(StateError):
+    """A query named a snapshot id that is not available."""
+
+    def __init__(self, snapshot_id: int) -> None:
+        super().__init__(f"snapshot {snapshot_id} is not available")
+        self.snapshot_id = snapshot_id
+
+
+class NoCommittedSnapshotError(StateError):
+    """A snapshot query arrived before the first checkpoint committed."""
+
+
+class IsolationError(StateError):
+    """An operation would violate the configured isolation level."""
+
+
+class QueryError(ReproError):
+    """The query service rejected or failed a query."""

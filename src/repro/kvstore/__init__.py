@@ -1,0 +1,21 @@
+"""Partitioned in-memory key-value store (the IMDG substitute).
+
+Provides named partitioned maps (:class:`~repro.kvstore.imap.IMap`), key
+placement strategies that let operator state co-locate with compute,
+key-level locks, and the :class:`~repro.kvstore.store.StateStore`
+registry which also holds the atomically-published committed snapshot
+pointer used by snapshot queries.
+"""
+
+from .imap import HashPlacement, IMap, InstancePlacement, Placement
+from .locks import LockManager
+from .store import StateStore
+
+__all__ = [
+    "HashPlacement",
+    "IMap",
+    "InstancePlacement",
+    "LockManager",
+    "Placement",
+    "StateStore",
+]

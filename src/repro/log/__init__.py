@@ -1,0 +1,19 @@
+"""A Kafka-like durable partitioned log (§VI substrate).
+
+Stream processors achieve exactly-once end-to-end by pairing their
+checkpoint protocol with *replayable* inputs — "leveraging also
+transactional queues, such as Apache Kafka" (§VI).  This package
+provides that substrate: an append-only, partitioned, offset-addressed
+log that survives compute-node failures (it is an external system), a
+rate-controlled producer, and a :class:`LogBackedSource` that plugs the
+log into the dataflow engine's source/offset-replay machinery.
+"""
+
+from .log import LogAppender, LogBackedSource, PartitionedLog, Record
+
+__all__ = [
+    "LogAppender",
+    "LogBackedSource",
+    "PartitionedLog",
+    "Record",
+]

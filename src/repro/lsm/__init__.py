@@ -1,0 +1,20 @@
+"""A small MVCC log-structured merge-tree store (§VI-B substrate).
+
+The paper's Flink/Cassandra discussion observes that an LSM state
+backend (RocksDB) supports incremental snapshots natively and that
+"level-based compaction bounds read amplification and would reduce the
+search time for historic changes per key, which now limits the
+performance of S-QUERY".  This package provides that substrate: a
+multi-versioned LSM store with a memtable, L0 runs, a compacted L1 run,
+bloom filters, and watermark-driven garbage collection of obsolete
+versions — used by
+:class:`repro.state.lsm_backend.LsmSnapshotTable` as an alternative
+incremental snapshot backend, and benchmarked against the chain-based
+one in ``benchmarks/bench_ablation_lsm.py``.
+"""
+
+from .bloom import BloomFilter
+from .sstable import SSTable, TOMBSTONE
+from .store import LsmStats, LsmStore
+
+__all__ = ["BloomFilter", "LsmStats", "LsmStore", "SSTable", "TOMBSTONE"]

@@ -1,0 +1,52 @@
+"""A plain bloom filter over user keys.
+
+SSTables carry one so point reads can skip runs that cannot contain the
+key — the standard LSM read-path optimisation whose effect the store's
+``bloom_negatives`` statistic makes visible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..cluster.partition import stable_hash
+
+#: Bits per stored key; with 2 hash functions this yields roughly a
+#: 10% false-positive rate — coarse but cheap, like RocksDB's default
+#: whole-key filtering in spirit.
+BITS_PER_KEY = 8
+HASH_COUNT = 2
+
+_SALTS = (0x51ED2701, 0x2545F491)
+
+
+class BloomFilter:
+    """Fixed-size bloom filter built once from a key set."""
+
+    __slots__ = ("_bits", "_size")
+
+    def __init__(self, keys: Iterable[Hashable]) -> None:
+        key_list = list(keys)
+        self._size = max(8, len(key_list) * BITS_PER_KEY)
+        self._bits = bytearray((self._size + 7) // 8)
+        for key in key_list:
+            for position in self._positions(key):
+                self._bits[position // 8] |= 1 << (position % 8)
+
+    def _positions(self, key: Hashable) -> list[int]:
+        base = stable_hash(key)
+        return [
+            (base ^ salt) * 0x9E3779B1 % self._size
+            for salt in _SALTS[:HASH_COUNT]
+        ]
+
+    def might_contain(self, key: Hashable) -> bool:
+        """False means *definitely absent*; True means "maybe"."""
+        return all(
+            self._bits[position // 8] & (1 << (position % 8))
+            for position in self._positions(key)
+        )
+
+    @property
+    def size_bits(self) -> int:
+        return self._size

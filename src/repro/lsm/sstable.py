@@ -1,0 +1,93 @@
+"""Immutable sorted runs (SSTables) of multi-versioned entries.
+
+An entry is ``(user_key, ssid, value)``; a deletion stores the
+:data:`TOMBSTONE` sentinel.  Entries are sorted by ``(user_key, -ssid)``
+so the newest version of a key comes first within its group — a point
+read at snapshot ``ssid`` is a binary search to the key group followed
+by a short forward walk.  User keys within one table must be mutually
+orderable (operator state keys are homogeneous in practice).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Hashable, Iterator
+
+from .bloom import BloomFilter
+
+
+class _Tombstone:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+#: One stored version: (user_key, ssid, value-or-TOMBSTONE).
+Entry = tuple
+
+
+class SSTable:
+    """An immutable sorted run."""
+
+    __slots__ = ("_entries", "_keys", "_bloom", "min_key", "max_key")
+
+    def __init__(self, entries: list[Entry]) -> None:
+        # Sort by user key ascending, version descending.
+        self._entries = sorted(
+            entries, key=lambda e: (e[0], -e[1])
+        )
+        self._keys = [entry[0] for entry in self._entries]
+        distinct = {entry[0] for entry in self._entries}
+        self._bloom = BloomFilter(distinct)
+        self.min_key = self._entries[0][0] if self._entries else None
+        self.max_key = self._entries[-1][0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[Entry]:
+        return self._entries
+
+    def might_contain(self, key: Hashable) -> bool:
+        return self._bloom.might_contain(key)
+
+    def get(self, key: Hashable, ssid: int) -> tuple[str, object, int]:
+        """Newest version of ``key`` with version <= ``ssid``.
+
+        Returns ``(status, value, entries_touched)`` where status is
+        ``"found"`` (value holds the version, possibly TOMBSTONE),
+        ``"newer_only"`` (the key exists here but only with versions
+        above ``ssid`` — older runs must be searched), or ``"absent"``.
+        """
+        index = bisect.bisect_left(self._keys, key)
+        touched = 0
+        while index < len(self._entries):
+            ukey, version, value = self._entries[index]
+            if ukey != key:
+                break
+            touched += 1
+            if version <= ssid:
+                return "found", value, touched
+            index += 1
+        if touched:
+            return "newer_only", None, touched
+        return "absent", None, 0
+
+    def scan(self) -> Iterator[Entry]:
+        return iter(self._entries)
+
+    def versions_of(self, key: Hashable) -> list[tuple[int, object]]:
+        """All stored (ssid, value) versions of ``key``, newest first."""
+        index = bisect.bisect_left(self._keys, key)
+        out = []
+        while index < len(self._entries):
+            ukey, version, value = self._entries[index]
+            if ukey != key:
+                break
+            out.append((version, value))
+            index += 1
+        return out

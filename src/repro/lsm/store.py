@@ -1,0 +1,243 @@
+"""The multi-versioned LSM store: memtable, L0, L1, compaction, GC.
+
+Layout (newest to oldest):
+
+* **memtable** — a mutable dict of ``(key, ssid) -> value``;
+* **L0** — flushed runs, newest first, possibly overlapping;
+* **L1** — a single compacted, non-overlapping run.
+
+Point reads at a snapshot search newest→oldest and stop at the first
+run holding a version ``<= ssid`` (write versions are monotone per
+key).  Compaction merges L0 into L1, drops versions made obsolete by
+the garbage-collection **watermark** (the oldest snapshot id still
+retained), and thereby *bounds read amplification* — the §VI-B claim
+this substrate exists to demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from ..errors import StoreError
+from .sstable import SSTable, TOMBSTONE
+
+
+@dataclass
+class LsmStats:
+    """Operational statistics of one store."""
+
+    puts: int = 0
+    gets: int = 0
+    entries_touched: int = 0
+    bloom_negatives: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    entries_written: int = 0      # user writes
+    entries_rewritten: int = 0    # by flush + compaction
+    entries_dropped: int = 0      # GC'd versions
+
+    @property
+    def write_amplification(self) -> float:
+        if self.entries_written == 0:
+            return 0.0
+        return self.entries_rewritten / self.entries_written
+
+
+class LsmStore:
+    """A single-partition MVCC LSM store."""
+
+    def __init__(self, memtable_limit: int = 4096,
+                 l0_compaction_threshold: int = 4) -> None:
+        if memtable_limit < 1:
+            raise StoreError("memtable_limit must be >= 1")
+        if l0_compaction_threshold < 1:
+            raise StoreError("l0_compaction_threshold must be >= 1")
+        self._memtable: dict[tuple[Hashable, int], object] = {}
+        self._l0: list[SSTable] = []   # newest first
+        self._l1: SSTable | None = None
+        self._memtable_limit = memtable_limit
+        self._l0_threshold = l0_compaction_threshold
+        self._watermark: int | None = None
+        self._max_version = -1
+        self.stats = LsmStats()
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, key: Hashable, ssid: int, value: object) -> None:
+        """Write one version.  Versions must not decrease per key."""
+        self._write(key, ssid, value)
+
+    def delete(self, key: Hashable, ssid: int) -> None:
+        """Write a deletion tombstone at ``ssid``."""
+        self._write(key, ssid, TOMBSTONE)
+
+    def _write(self, key: Hashable, ssid: int, value: object) -> None:
+        self._memtable[(key, ssid)] = value
+        self._max_version = max(self._max_version, ssid)
+        self.stats.puts += 1
+        self.stats.entries_written += 1
+        if len(self._memtable) >= self._memtable_limit:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new L0 run."""
+        if not self._memtable:
+            return
+        entries = [
+            (key, ssid, value)
+            for (key, ssid), value in self._memtable.items()
+        ]
+        self._l0.insert(0, SSTable(entries))
+        self.stats.flushes += 1
+        self.stats.entries_rewritten += len(entries)
+        self._memtable = {}
+        if len(self._l0) > self._l0_threshold:
+            self.compact()
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, key: Hashable, ssid: int | None = None) -> object:
+        """Newest value of ``key`` visible at snapshot ``ssid`` (or the
+        newest overall); ``None`` if absent or deleted."""
+        if ssid is None:
+            ssid = self._max_version
+        self.stats.gets += 1
+        # Memtable: exact-version dict; walk versions newest-first.
+        best: tuple[int, object] | None = None
+        for (ukey, version), value in self._memtable.items():
+            if ukey == key and version <= ssid:
+                self.stats.entries_touched += 1
+                if best is None or version > best[0]:
+                    best = (version, value)
+        if best is not None:
+            return None if best[1] is TOMBSTONE else best[1]
+        for run in self._runs():
+            if not run.might_contain(key):
+                self.stats.bloom_negatives += 1
+                continue
+            status, value, touched = run.get(key, ssid)
+            self.stats.entries_touched += touched
+            if status == "found":
+                return None if value is TOMBSTONE else value
+        return None
+
+    def versions_of(self, key: Hashable) -> list[tuple[int, object]]:
+        """All retained versions of ``key``, newest first (audit use)."""
+        versions: dict[int, object] = {}
+        for run in reversed(list(self._runs())):
+            for ssid, value in run.versions_of(key):
+                versions[ssid] = value
+        for (ukey, ssid), value in self._memtable.items():
+            if ukey == key:
+                versions[ssid] = value
+        return sorted(versions.items(), reverse=True)
+
+    def scan_at(self, ssid: int) -> Iterator[tuple[Hashable, object]]:
+        """All live (key, value) pairs visible at snapshot ``ssid``.
+
+        Touch accounting covers every version inspected — the read
+        amplification a full reconstruction pays.
+        """
+        best: dict[Hashable, tuple[int, object]] = {}
+        for (key, version), value in self._memtable.items():
+            self.stats.entries_touched += 1
+            if version > ssid:
+                continue
+            current = best.get(key)
+            if current is None or version > current[0]:
+                best[key] = (version, value)
+        for run in self._runs():
+            for key, version, value in run.scan():
+                self.stats.entries_touched += 1
+                if version > ssid:
+                    continue
+                current = best.get(key)
+                if current is None or version > current[0]:
+                    best[key] = (version, value)
+        for key in sorted(best, key=repr):
+            version, value = best[key]
+            if value is not TOMBSTONE:
+                yield key, value
+
+    def scan_cost_at(self, ssid: int) -> int:
+        """Entries a :meth:`scan_at` would touch (without touching)."""
+        del ssid  # every stored version is inspected regardless
+        return len(self._memtable) + sum(
+            len(run) for run in self._runs()
+        )
+
+    def _runs(self) -> Iterator[SSTable]:
+        yield from self._l0
+        if self._l1 is not None:
+            yield self._l1
+
+    # -- compaction and GC ---------------------------------------------------
+
+    def set_watermark(self, ssid: int | None) -> None:
+        """Versions older than the newest version ``<= ssid`` per key
+        become garbage at the next compaction (snapshot retention)."""
+        self._watermark = ssid
+
+    def compact(self) -> None:
+        """Merge L0 + L1 into a fresh L1, dropping obsolete versions."""
+        sources = list(self._l0)
+        if self._l1 is not None:
+            sources.append(self._l1)
+        if not sources:
+            return
+        merged: dict[Hashable, list[tuple[int, object]]] = {}
+        total_in = 0
+        for run in sources:
+            for key, version, value in run.scan():
+                total_in += 1
+                merged.setdefault(key, []).append((version, value))
+        entries = []
+        dropped = 0
+        for key, versions in merged.items():
+            versions.sort(reverse=True)
+            kept = self._gc_versions(versions)
+            dropped += len(versions) - len(kept)
+            entries.extend((key, version, value)
+                           for version, value in kept)
+        self._l0 = []
+        self._l1 = SSTable(entries)
+        self.stats.compactions += 1
+        self.stats.entries_rewritten += len(entries)
+        self.stats.entries_dropped += dropped
+
+    def _gc_versions(
+        self, versions: list[tuple[int, object]]
+    ) -> list[tuple[int, object]]:
+        """Keep versions above the watermark plus the newest one at or
+        below it (needed to reconstruct the watermark snapshot); a
+        tombstone in that anchor position disappears entirely."""
+        if self._watermark is None:
+            return versions
+        kept = [v for v in versions if v[0] > self._watermark]
+        anchors = [v for v in versions if v[0] <= self._watermark]
+        if anchors:
+            anchor = anchors[0]  # newest at-or-below the watermark
+            if anchor[1] is not TOMBSTONE or kept:
+                # A leading tombstone with nothing newer means the key
+                # is dead everywhere at and below the watermark.
+                if anchor[1] is not TOMBSTONE:
+                    kept.append(anchor)
+        return kept
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def l0_runs(self) -> int:
+        return len(self._l0)
+
+    @property
+    def read_amplification_bound(self) -> int:
+        """Maximum runs a point read may touch (memtable excluded)."""
+        return len(self._l0) + (1 if self._l1 is not None else 0)
+
+    def total_entries(self) -> int:
+        return len(self._memtable) + sum(len(run) for run in self._runs())
+
+    def memtable_size(self) -> int:
+        return len(self._memtable)

@@ -1,0 +1,109 @@
+"""Cluster and job observability: utilisation and traffic reports.
+
+Benchmarks and operators of the reproduction often need to know *why* a
+configuration behaves as it does — which worker pools are saturated,
+how busy the store partition threads are, how much the network carried,
+how often key locks contended.  :func:`collect_report` gathers all of
+that into one structured snapshot, and :func:`format_report` renders it
+as an aligned table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bench.report import format_table
+from .env import Environment
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """Resource usage of one node over the observed horizon."""
+
+    node_id: int
+    alive: bool
+    processing_utilization: float
+    processing_jobs: int
+    query_utilization: float
+    query_jobs: int
+    store_utilization: float
+    store_jobs: int
+
+
+@dataclass
+class ClusterReport:
+    """A point-in-time utilisation snapshot of the whole deployment."""
+
+    horizon_ms: float
+    nodes: list[NodeReport] = field(default_factory=list)
+    network_messages: int = 0
+    network_bytes: int = 0
+    lock_acquisitions: int = 0
+    lock_contentions: int = 0
+
+    def hottest_pool(self) -> tuple[int, str, float]:
+        """(node, pool kind, utilisation) of the busiest worker pool."""
+        best = (0, "processing", 0.0)
+        for node in self.nodes:
+            if node.processing_utilization > best[2]:
+                best = (node.node_id, "processing",
+                        node.processing_utilization)
+            if node.query_utilization > best[2]:
+                best = (node.node_id, "query", node.query_utilization)
+        return best
+
+
+def collect_report(env: Environment) -> ClusterReport:
+    """Snapshot resource usage from time 0 to the current virtual time."""
+    horizon = max(env.sim.now, 1e-9)
+    report = ClusterReport(horizon_ms=horizon)
+    for node in env.cluster.nodes:
+        store_busy = sum(s.total_busy_ms for s in node.store_servers)
+        store_capacity = horizon * len(node.store_servers)
+        report.nodes.append(NodeReport(
+            node_id=node.node_id,
+            alive=node.alive,
+            processing_utilization=node.processing_pool.utilization(
+                horizon
+            ),
+            processing_jobs=node.processing_pool.jobs_served,
+            query_utilization=node.query_pool.utilization(horizon),
+            query_jobs=node.query_pool.jobs_served,
+            store_utilization=store_busy / store_capacity,
+            store_jobs=sum(s.jobs_served for s in node.store_servers),
+        ))
+    report.network_messages = env.cluster.network.messages_sent
+    report.network_bytes = env.cluster.network.bytes_sent
+    report.lock_acquisitions = env.store.locks.acquisitions
+    report.lock_contentions = env.store.locks.contentions
+    return report
+
+
+def format_report(report: ClusterReport) -> str:
+    """Render a :class:`ClusterReport` as an aligned text table."""
+    rows = []
+    for node in report.nodes:
+        rows.append([
+            node.node_id,
+            "up" if node.alive else "DOWN",
+            f"{node.processing_utilization:.1%}",
+            node.processing_jobs,
+            f"{node.query_utilization:.1%}",
+            node.query_jobs,
+            f"{node.store_utilization:.1%}",
+            node.store_jobs,
+        ])
+    table = format_table(
+        ["node", "status", "proc util", "proc jobs", "query util",
+         "query jobs", "store util", "store ops"],
+        rows,
+        title=(f"cluster utilisation over {report.horizon_ms:.0f} ms "
+               "virtual"),
+    )
+    footer = (
+        f"network: {report.network_messages:,} messages, "
+        f"{report.network_bytes:,} bytes | locks: "
+        f"{report.lock_acquisitions:,} acquisitions, "
+        f"{report.lock_contentions:,} contended"
+    )
+    return f"{table}\n{footer}"

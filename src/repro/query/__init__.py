@@ -1,0 +1,27 @@
+"""The query system of Fig. 1: SQL and direct-object interfaces.
+
+:class:`~repro.query.service.QueryService` executes SQL over live and
+snapshot state with full cost modelling — fixed parse/plan cost,
+snapshot-id retrieval, chunked per-node scans on the store partition
+servers (where they contend with checkpoint writes), result shipping
+over the network, and a coordinator-side merge.  Results are computed by
+the real SQL engine over the real state, so correctness and isolation
+semantics are exact while time is simulated.
+
+:class:`~repro.query.direct.DirectObjectInterface` is the lighter
+key-lookup path used for the TSpoon comparison (Fig. 14).
+"""
+
+from .audit import AuditReport, StateAuditor, TableAudit
+from .direct import DirectObjectInterface, DirectQuery
+from .service import QueryExecution, QueryService
+
+__all__ = [
+    "AuditReport",
+    "DirectObjectInterface",
+    "DirectQuery",
+    "QueryExecution",
+    "QueryService",
+    "StateAuditor",
+    "TableAudit",
+]

@@ -1,0 +1,179 @@
+"""Auditing and compliance queries (§III).
+
+GDPR Article 15 gives individuals the right to access their personal
+data — *including* data held inside a stream processor's internal state.
+:class:`StateAuditor` answers such subject-access requests in one shot:
+for a given key it collects the live value and every retained snapshot
+version from **every** stateful operator in the job, producing a
+complete picture of what the system currently knows and recently knew
+about that subject.
+
+The same machinery serves the paper's debugging story:
+:meth:`StateAuditor.submit_history` shows how one key's state mutated
+across snapshot versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from ..errors import QueryError
+
+
+@dataclass
+class TableAudit:
+    """What one operator's state holds about a subject."""
+
+    table: str
+    live_value: object | None = None
+    #: snapshot id -> state object (only ids where the key was present).
+    versions: dict[int, object] = field(default_factory=dict)
+
+    @property
+    def present(self) -> bool:
+        return self.live_value is not None or bool(self.versions)
+
+
+@dataclass
+class AuditReport:
+    """Result of a subject-access request across all operators."""
+
+    key: Hashable
+    submitted_ms: float
+    completed_ms: float | None = None
+    tables: dict[str, TableAudit] = field(default_factory=dict)
+    on_done: Callable[["AuditReport"], None] | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_ms is not None
+
+    @property
+    def latency_ms(self) -> float:
+        if self.completed_ms is None:
+            raise QueryError("audit still running")
+        return self.completed_ms - self.submitted_ms
+
+    def tables_holding_data(self) -> list[str]:
+        return sorted(
+            name for name, audit in self.tables.items() if audit.present
+        )
+
+
+class StateAuditor:
+    """Subject-access and state-history queries over all operators."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self.sim = env.sim
+        self.cluster = env.cluster
+        self.store = env.store
+        self.costs = env.costs
+        self._entry_rotation = 0
+        self.audits_executed = 0
+
+    # -- subject access -----------------------------------------------------
+
+    def submit_subject_access(
+        self, key: Hashable,
+        on_done: Callable[[AuditReport], None] | None = None,
+    ) -> AuditReport:
+        """Collect everything the system stores about ``key``.
+
+        Performs one keyed lookup per live table plus one per retained
+        snapshot version of each snapshot table, all charged to the
+        entry node's query workers.
+        """
+        report = AuditReport(key=key, submitted_ms=self.sim.now)
+        report.on_done = on_done
+        live_tables = self.store.live_table_names()
+        snapshot_tables = self.store.snapshot_table_names()
+        versions = self.store.available_ssids()
+        lookups = len(live_tables) + len(snapshot_tables) * len(versions)
+        duration = (
+            self.costs.direct_fixed_ms
+            + max(1, lookups) * self.costs.direct_key_ms
+        )
+        node = self._next_entry_node()
+        pool = self.cluster.node(node).query_pool
+        pool.submit(("audit", id(report)), duration,
+                    self._complete, report, versions)
+        return report
+
+    def _complete(self, report: AuditReport, versions: list[int]) -> None:
+        key = report.key
+        for name in self.store.live_table_names():
+            audit = report.tables.setdefault(name, TableAudit(name))
+            audit.live_value = self.store.get_live_table(name).get(key)
+        for name in self.store.snapshot_table_names():
+            base = name.removeprefix("snapshot_")
+            audit = report.tables.setdefault(base, TableAudit(base))
+            table = self.store.get_snapshot_table(name)
+            for ssid in versions:
+                if not table.has_snapshot(ssid):
+                    continue
+                for instance in range(table.parallelism):
+                    state = table.instance_state(ssid, instance)
+                    if key in state:
+                        audit.versions[ssid] = state[key]
+                        break
+        report.completed_ms = self.sim.now
+        self.audits_executed += 1
+        if report.on_done is not None:
+            report.on_done(report)
+
+    # -- state history ------------------------------------------------------
+
+    def submit_history(
+        self, table: str, key: Hashable,
+        on_done: Callable[[AuditReport], None] | None = None,
+    ) -> AuditReport:
+        """How ``key``'s state in one operator evolved across the
+        retained snapshot versions (the §III debugging capability)."""
+        snap_name = table if table.startswith("snapshot_") \
+            else f"snapshot_{table}"
+        if not self.store.has_snapshot_table(snap_name):
+            raise QueryError(f"no snapshot table for {table!r}")
+        report = AuditReport(key=key, submitted_ms=self.sim.now)
+        report.on_done = on_done
+        versions = self.store.available_ssids()
+        duration = (
+            self.costs.direct_fixed_ms
+            + max(1, len(versions)) * self.costs.direct_key_ms
+        )
+        node = self._next_entry_node()
+        pool = self.cluster.node(node).query_pool
+        pool.submit(
+            ("audit", id(report)), duration,
+            self._complete_history, report, snap_name, versions,
+        )
+        return report
+
+    def _complete_history(self, report: AuditReport, snap_name: str,
+                          versions: list[int]) -> None:
+        base = snap_name.removeprefix("snapshot_")
+        audit = report.tables.setdefault(base, TableAudit(base))
+        table = self.store.get_snapshot_table(snap_name)
+        if self.store.has_live_table(base):
+            audit.live_value = self.store.get_live_table(base).get(
+                report.key
+            )
+        for ssid in versions:
+            if not table.has_snapshot(ssid):
+                continue
+            for instance in range(table.parallelism):
+                state = table.instance_state(ssid, instance)
+                if report.key in state:
+                    audit.versions[ssid] = state[report.key]
+                    break
+        report.completed_ms = self.sim.now
+        self.audits_executed += 1
+        if report.on_done is not None:
+            report.on_done(report)
+
+    def _next_entry_node(self) -> int:
+        alive = self.cluster.surviving_node_ids()
+        node = alive[self._entry_rotation % len(alive)]
+        self._entry_rotation += 1
+        return node

@@ -1,0 +1,521 @@
+"""The SQL query service.
+
+A query runs as a small simulated workflow:
+
+1. fixed parse/plan cost on the entry node's query worker pool;
+2. snapshot-id retrieval (atomic committed-pointer read) when any
+   snapshot table is referenced and no explicit id was given;
+3. per-node chunked scans of every referenced table on the store
+   partition servers — queries release the partition between chunks, so
+   concurrent checkpoint writes interleave instead of starving
+   (`CostModel.scan_chunk_entries`);
+4. result shipping to the entry node over the network;
+5. a merge/join/aggregate step on the entry node, after which the real
+   SQL executor produces the actual rows.
+
+Live rows are materialised per node at that node's scan completion time
+(a fuzzy, read-uncommitted view); snapshot rows are immutable per id, so
+they are consistent regardless of timing (§VII).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import (
+    NoCommittedSnapshotError,
+    QueryError,
+    SnapshotNotFoundError,
+)
+from ..sql import EvalContext, parse
+from ..sql.ast import Binary, Column, Expr, Literal, Select, Union
+from ..sql.executor import QueryResult, execute_select
+from ..sql.planner import DictCatalog, ListTable
+from ..state.isolation import IsolationLevel, isolation_of_query
+
+
+class _NoPointKey:
+    """Sentinel: the query has no single-key pushdown."""
+
+    __slots__ = ()
+
+
+NO_POINT_KEY = _NoPointKey()
+
+
+class QueryExecution:
+    """Handle for one in-flight or completed query."""
+
+    def __init__(self, sql: str, submitted_ms: float,
+                 isolation: IsolationLevel) -> None:
+        self.sql = sql
+        self.submitted_ms = submitted_ms
+        self.isolation = isolation
+        self.snapshot_id: int | None = None
+        self.completed_ms: float | None = None
+        self.result: QueryResult | None = None
+        self.error: Exception | None = None
+        self.rows_shipped = 0
+        self.entries_scanned = 0
+        self.materialize = True
+        self.all_versions = False
+        self.snapshot_versions: list[int] | None = None
+        #: Key of a point-lookup pushdown (``NO_POINT_KEY`` if none).
+        self.point_key: object = NO_POINT_KEY
+        self.on_done: Callable[["QueryExecution"], None] | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_ms is not None
+
+    @property
+    def latency_ms(self) -> float:
+        if self.completed_ms is None:
+            raise QueryError("query still running")
+        return self.completed_ms - self.submitted_ms
+
+    def _finish(self, now: float, result: QueryResult | None,
+                error: Exception | None) -> None:
+        self.completed_ms = now
+        self.result = result
+        self.error = error
+        if self.on_done is not None:
+            self.on_done(self)
+
+
+class QueryService:
+    """Executes SQL against the state store of one environment."""
+
+    def __init__(self, env, repeatable_read: bool = False,
+                 ha_mode: bool = False) -> None:
+        """``repeatable_read`` holds key locks for whole live queries;
+        ``ha_mode`` declares that the job runs with active replication
+        (§VII-B), upgrading live queries to read committed — state they
+        observe is never rolled back."""
+        self.env = env
+        self.sim = env.sim
+        self.cluster = env.cluster
+        self.store = env.store
+        self.costs = env.costs
+        self.repeatable_read = repeatable_read
+        self.ha_mode = ha_mode
+        self._entry_rotation = 0
+        self.queries_executed = 0
+
+    # -- public API ------------------------------------------------------
+
+    def submit(self, sql: str, snapshot_id: int | None = None,
+               on_done: Callable[[QueryExecution], None] | None = None,
+               materialize: bool = True,
+               all_versions: bool = False) -> QueryExecution:
+        """Start a query at the current virtual time; returns a handle
+        that completes asynchronously as the simulation advances.
+
+        ``materialize=False`` runs the query as pure load: every cost
+        (scan, shipping, merge) is still simulated against the real
+        state sizes, but no Python result rows are built — benchmarks
+        use this to drive sustained query load cheaply while functional
+        tests keep the default and check real results.
+        """
+        select = parse(sql)
+        table_kinds = self._classify_tables(select)
+        targets_snapshot = any(
+            kind == "snapshot" for _, kind in table_kinds
+        )
+        isolation = isolation_of_query(
+            targets_snapshot, self.repeatable_read,
+            assume_no_failures=self.ha_mode,
+        )
+        execution = QueryExecution(sql, self.sim.now, isolation)
+        execution.on_done = on_done
+        execution.materialize = materialize
+        execution.all_versions = all_versions
+        if snapshot_id is None and not all_versions and \
+                not isinstance(select, Union):
+            snapshot_id = _extract_ssid_filter(select.where)
+        if (
+            not isinstance(select, Union)
+            and not all_versions
+            and len(table_kinds) == 1
+            and not select.joins
+        ):
+            # Point-lookup pushdown: a single-table query pinned to one
+            # key (Fig. 4's ``WHERE key = 1`` pattern) fetches only that
+            # key from its owner node instead of scanning everything.
+            execution.point_key = _extract_key_filter(select.where)
+        entry_node = self._next_entry_node()
+        pool = self.cluster.node(entry_node).query_pool
+        pool.submit(
+            ("query", id(execution)), self.costs.sql_fixed_ms,
+            self._after_plan, execution, select, table_kinds,
+            snapshot_id, entry_node,
+        )
+        return execution
+
+    def execute(self, sql: str,
+                snapshot_id: int | None = None) -> QueryExecution:
+        """Submit and drive the simulation until the query completes.
+
+        Only valid when the caller owns the simulation loop (examples,
+        tests).  Benchmarks submit asynchronously instead.
+        """
+        execution = self.submit(sql, snapshot_id)
+        guard = 0
+        while not execution.done:
+            if not self.sim.step():
+                raise QueryError("simulation drained before query finished")
+            guard += 1
+            if guard > 10_000_000:
+                raise QueryError("query did not terminate")
+        if execution.error is not None:
+            raise execution.error
+        return execution
+
+    # -- internals ------------------------------------------------------
+
+    def _classify_tables(self, select: Select) -> list[tuple[str, str]]:
+        kinds: list[tuple[str, str]] = []
+        for name in select.table_names():
+            if self.store.has_snapshot_table(name):
+                kinds.append((name, "snapshot"))
+            elif self.store.has_live_table(name):
+                kinds.append((name, "live"))
+            else:
+                raise QueryError(f"unknown state table {name!r}")
+        return kinds
+
+    def _next_entry_node(self) -> int:
+        alive = self.cluster.surviving_node_ids()
+        node = alive[self._entry_rotation % len(alive)]
+        self._entry_rotation += 1
+        return node
+
+    def _after_plan(self, execution: QueryExecution, select: Select,
+                    table_kinds: list[tuple[str, str]],
+                    snapshot_id: int | None, entry_node: int) -> None:
+        needs_snapshot = any(kind == "snapshot" for _, kind in table_kinds)
+        if not needs_snapshot:
+            self._start_scans(execution, select, table_kinds, None,
+                              entry_node)
+            return
+        if execution.all_versions:
+            versions = self.store.available_ssids()
+            if not versions:
+                execution._finish(
+                    self.sim.now, None,
+                    NoCommittedSnapshotError("no committed snapshot yet"),
+                )
+                return
+            self._start_scans(execution, select, table_kinds, versions,
+                              entry_node)
+            return
+        if snapshot_id is not None:
+            self._validate_and_scan(execution, select, table_kinds,
+                                    snapshot_id, entry_node)
+            return
+        # Atomic read of the committed-snapshot pointer.
+        server = self.cluster.node(entry_node).store_server(0)
+        server.submit(
+            self.costs.snapshot_id_read_ms,
+            self._after_ssid_read, execution, select, table_kinds,
+            entry_node,
+        )
+
+    def _after_ssid_read(self, execution: QueryExecution, select: Select,
+                         table_kinds: list[tuple[str, str]],
+                         entry_node: int) -> None:
+        committed = self.store.committed_ssid
+        if committed is None:
+            execution._finish(
+                self.sim.now, None,
+                NoCommittedSnapshotError("no committed snapshot yet"),
+            )
+            return
+        self._start_scans(execution, select, table_kinds, committed,
+                          entry_node)
+
+    def _validate_and_scan(self, execution: QueryExecution, select: Select,
+                           table_kinds: list[tuple[str, str]],
+                           snapshot_id: int, entry_node: int) -> None:
+        if snapshot_id not in self.store.available_ssids():
+            execution._finish(
+                self.sim.now, None, SnapshotNotFoundError(snapshot_id)
+            )
+            return
+        self._start_scans(execution, select, table_kinds, snapshot_id,
+                          entry_node)
+
+    # -- scan phase ---------------------------------------------------------
+
+    def _start_scans(self, execution: QueryExecution, select: Select,
+                     table_kinds: list[tuple[str, str]],
+                     snapshot_id: int | list[int] | None,
+                     entry_node: int) -> None:
+        if isinstance(snapshot_id, list):
+            execution.snapshot_versions = list(snapshot_id)
+        else:
+            execution.snapshot_id = snapshot_id
+        nodes = self.cluster.surviving_node_ids()
+        if (
+            execution.point_key is not NO_POINT_KEY
+            and not isinstance(snapshot_id, list)
+        ):
+            self._point_lookup(execution, select, table_kinds[0],
+                               snapshot_id, entry_node, nodes)
+            return
+        shards: list[tuple[str, str, int]] = []
+        seen: set[str] = set()
+        for table_name, kind in table_kinds:
+            if table_name in seen:  # self-join scans once per node anyway
+                continue
+            seen.add(table_name)
+            for node_id in nodes:
+                shards.append((table_name, kind, node_id))
+        state = {
+            "pending": len(shards),
+            "rows": {name: [] for name, _ in table_kinds},
+            "scanned": 0,
+        }
+        if not shards:
+            self._merge(execution, select, state, entry_node)
+            return
+        for table_index, (table_name, kind, node_id) in enumerate(shards):
+            self._scan_shard(
+                execution, select, state, table_name, kind, node_id,
+                entry_node, table_index, snapshot_id,
+            )
+
+    def _point_lookup(self, execution: QueryExecution, select: Select,
+                      table_kind: tuple[str, str],
+                      snapshot_id: int | None, entry_node: int,
+                      nodes: list[int]) -> None:
+        """Fetch a single key from its owner node (pushdown path)."""
+        table_name, kind = table_kind
+        key = execution.point_key
+        table = (self.store.get_live_table(table_name) if kind == "live"
+                 else self.store.get_snapshot_table(table_name))
+        owner = table.owner_node_of(key)
+        if owner not in nodes:
+            owner = nodes[0]  # placement mid-recovery: any survivor
+        state = {"pending": 1, "rows": {table_name: []}, "scanned": 0}
+        server = self.cluster.node(owner).store_server(0)
+        # Index seek + entry read: a handful of store operations.
+        duration = 4 * self.costs.store_entry_ms
+
+        def finish() -> None:
+            if execution.done:
+                return
+            try:
+                if kind == "live":
+                    rows = table.point_rows(key)
+                else:
+                    rows = table.point_rows(key, snapshot_id)
+            except SnapshotNotFoundError as exc:
+                execution._finish(self.sim.now, None, exc)
+                return
+            if self.repeatable_read and kind == "live":
+                self._lock_rows(execution, table_name, rows)
+            state["scanned"] += 1
+            self.cluster.network.send(
+                owner, entry_node,
+                self._shard_arrived, execution, select, state,
+                table_name, rows, entry_node,
+                nbytes=len(rows) * self.costs.row_bytes,
+                channel=("query-result", id(execution), table_name,
+                         owner),
+            )
+
+        server.submit(duration, finish)
+
+    def _scan_shard(self, execution: QueryExecution, select: Select,
+                    state: dict, table_name: str, kind: str, node_id: int,
+                    entry_node: int, table_index: int,
+                    snapshot_id: int | None) -> None:
+        try:
+            entries = self._entries_on_node(table_name, kind, node_id,
+                                            snapshot_id)
+        except SnapshotNotFoundError as exc:
+            execution._finish(self.sim.now, None, exc)
+            return
+        chunk = self.costs.scan_chunk_entries
+        chunks = max(1, -(-entries // chunk))
+        node = self.cluster.node(node_id)
+
+        def run_chunk(remaining: int) -> None:
+            if execution.done:
+                return
+            if remaining == 0:
+                self._shard_scanned(
+                    execution, select, state, table_name, kind, node_id,
+                    entry_node, entries, snapshot_id,
+                )
+                return
+            entries_in_chunk = min(chunk, entries) if entries else 0
+            duration = entries_in_chunk * self.costs.scan_entry_ms
+            # Successive chunks visit successive store partitions, so a
+            # scan spreads over (and contends on) all partition threads.
+            server = node.store_server(table_index + remaining)
+            server.submit(duration, run_chunk, remaining - 1)
+
+        run_chunk(chunks)
+
+    def _entries_on_node(self, table_name: str, kind: str, node_id: int,
+                         snapshot_id: int | list[int] | None) -> int:
+        if kind == "live":
+            return self.store.get_live_table(table_name).entries_on_node(
+                node_id
+            )
+        table = self.store.get_snapshot_table(table_name)
+        if isinstance(snapshot_id, list):
+            return table.entries_all_versions_on_node(node_id, snapshot_id)
+        return table.entries_on_node(node_id, snapshot_id)
+
+    def _shard_scanned(self, execution: QueryExecution, select: Select,
+                       state: dict, table_name: str, kind: str,
+                       node_id: int, entry_node: int, entries: int,
+                       snapshot_id: int | None) -> None:
+        """Materialise this shard's rows *now* and ship them."""
+        if not execution.materialize:
+            rows: list[dict] | int = self._row_count(
+                table_name, kind, node_id, snapshot_id
+            )
+        elif kind == "live":
+            table = self.store.get_live_table(table_name)
+            rows = list(table.rows_on_node(node_id))
+            if self.repeatable_read:
+                self._lock_rows(execution, table_name, rows)
+        elif isinstance(snapshot_id, list):
+            table = self.store.get_snapshot_table(table_name)
+            rows = list(
+                table.rows_all_versions_on_node(node_id, snapshot_id)
+            )
+        else:
+            table = self.store.get_snapshot_table(table_name)
+            rows = list(table.rows_on_node(node_id, snapshot_id))
+        state["scanned"] += entries
+        row_count = rows if isinstance(rows, int) else len(rows)
+        nbytes = row_count * self.costs.row_bytes
+        self.cluster.network.send(
+            node_id, entry_node,
+            self._shard_arrived, execution, select, state, table_name,
+            rows, entry_node,
+            nbytes=nbytes,
+            channel=("query-result", id(execution), table_name, node_id),
+        )
+
+    def _row_count(self, table_name: str, kind: str, node_id: int,
+                   snapshot_id: int | list[int] | None) -> int:
+        if kind == "live":
+            return self.store.get_live_table(table_name).row_count_on_node(
+                node_id
+            )
+        table = self.store.get_snapshot_table(table_name)
+        if isinstance(snapshot_id, list):
+            return table.rows_all_versions_count_on_node(
+                node_id, snapshot_id
+            )
+        return table.row_count_on_node(node_id, snapshot_id)
+
+    def _lock_rows(self, execution: QueryExecution, table_name: str,
+                   rows: list[dict]) -> None:
+        """Repeatable read: hold every read key's lock until the end."""
+        locks = self.store.locks
+        for row in rows:
+            locks.try_acquire((table_name, row["partitionKey"]), execution)
+
+    def _shard_arrived(self, execution: QueryExecution, select: Select,
+                       state: dict, table_name: str,
+                       rows: list[dict] | int, entry_node: int) -> None:
+        if execution.done:
+            return
+        if isinstance(rows, int):
+            execution.rows_shipped += rows
+        else:
+            state["rows"][table_name].extend(rows)
+            execution.rows_shipped += len(rows)
+        state["pending"] -= 1
+        if state["pending"] == 0:
+            self._merge(execution, select, state, entry_node)
+
+    # -- merge phase ---------------------------------------------------------
+
+    def _merge(self, execution: QueryExecution, select: Select,
+               state: dict, entry_node: int) -> None:
+        execution.entries_scanned = state["scanned"]
+        duration = execution.rows_shipped * self.costs.merge_row_ms
+        pool = self.cluster.node(entry_node).query_pool
+        pool.submit(
+            ("query", id(execution)), duration,
+            self._finish, execution, select, state,
+        )
+
+    def _finish(self, execution: QueryExecution, select: Select,
+                state: dict) -> None:
+        if not execution.materialize:
+            self.queries_executed += 1
+            execution._finish(self.sim.now, None, None)
+            return
+        catalog = DictCatalog()
+        for name, rows in state["rows"].items():
+            catalog.add(ListTable(name, tuple(rows)))
+        try:
+            result = execute_select(
+                select, catalog, EvalContext(now_ms=self.sim.now)
+            )
+        except Exception as exc:  # surface SQL errors on the handle
+            self._release_locks(execution)
+            execution._finish(self.sim.now, None, exc)
+            return
+        self._release_locks(execution)
+        self.queries_executed += 1
+        execution._finish(self.sim.now, result, None)
+
+    def _release_locks(self, execution: QueryExecution) -> None:
+        if self.repeatable_read:
+            self.store.locks.release_all(execution)
+
+
+def _extract_key_filter(where: Expr | None) -> object:
+    """Find a top-level ``key = <literal>`` / ``partitionKey = <literal>``
+    conjunct; returns :data:`NO_POINT_KEY` when absent."""
+    if where is None:
+        return NO_POINT_KEY
+    if isinstance(where, Binary) and where.op == "AND":
+        left = _extract_key_filter(where.left)
+        if left is not NO_POINT_KEY:
+            return left
+        return _extract_key_filter(where.right)
+    if isinstance(where, Binary) and where.op == "=":
+        sides = [(where.left, where.right), (where.right, where.left)]
+        for column, literal in sides:
+            if (
+                isinstance(column, Column)
+                and column.name in ("key", "partitionKey")
+                and isinstance(literal, Literal)
+                and literal.value is not None
+            ):
+                return literal.value
+    return NO_POINT_KEY
+
+
+def _extract_ssid_filter(where: Expr | None) -> int | None:
+    """Find a top-level ``ssid = <literal>`` conjunct, as in the paper's
+    ``WHERE ssid=9 AND key=2`` example (Fig. 4)."""
+    if where is None:
+        return None
+    if isinstance(where, Binary) and where.op == "AND":
+        left = _extract_ssid_filter(where.left)
+        if left is not None:
+            return left
+        return _extract_ssid_filter(where.right)
+    if isinstance(where, Binary) and where.op == "=":
+        sides = [(where.left, where.right), (where.right, where.left)]
+        for column, literal in sides:
+            if (
+                isinstance(column, Column)
+                and column.name == "ssid"
+                and isinstance(literal, Literal)
+                and isinstance(literal.value, int)
+            ):
+                return literal.value
+    return None

@@ -1,0 +1,144 @@
+"""Simulated contended resources: FIFO servers and worker pools.
+
+These model CPUs and store partitions.  Both use *advance reservation*:
+because jobs are only ever submitted at the current virtual time and the
+simulator processes events in time order, reserving the earliest feasible
+completion slot at submission time yields the same schedule as an
+operational FIFO queue, with far fewer events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from ..errors import SimulationError
+from .simulator import Simulator
+
+Callback = Callable[..., None]
+
+
+class Server:
+    """A single FIFO server (e.g. one store partition).
+
+    Jobs run one at a time, in submission order; each job occupies the
+    server for its ``duration`` and then fires its completion callback.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "server") -> None:
+        self._sim = sim
+        self.name = name
+        self._busy_until = 0.0
+        self._jobs = 0
+        self._busy_time = 0.0
+        self._wait_time = 0.0
+
+    @property
+    def busy_until(self) -> float:
+        return max(self._busy_until, self._sim.now)
+
+    @property
+    def jobs_served(self) -> int:
+        return self._jobs
+
+    @property
+    def total_busy_ms(self) -> float:
+        return self._busy_time
+
+    @property
+    def total_wait_ms(self) -> float:
+        """Sum of queueing delays experienced by submitted jobs."""
+        return self._wait_time
+
+    def submit(self, duration: float, on_complete: Callback | None = None,
+               *args: Any) -> float:
+        """Queue a job; returns its completion time (virtual ms)."""
+        if duration < 0:
+            raise SimulationError("job duration must be non-negative")
+        start = max(self._sim.now, self._busy_until)
+        finish = start + duration
+        self._busy_until = finish
+        self._jobs += 1
+        self._busy_time += duration
+        self._wait_time += start - self._sim.now
+        if on_complete is not None:
+            self._sim.schedule_at(finish, on_complete, *args)
+        return finish
+
+    def utilization(self, horizon_ms: float) -> float:
+        """Fraction of ``horizon_ms`` spent busy (may exceed 1 if the
+        queue has grown beyond the horizon — a sign of overload)."""
+        if horizon_ms <= 0:
+            return 0.0
+        return self._busy_time / horizon_ms
+
+
+class WorkerPool:
+    """An ``n``-worker pool with per-key FIFO ordering.
+
+    Jobs tagged with the same key execute in submission order (this is
+    how we keep per-operator-instance record processing ordered while
+    instances share a node's CPU pool).  Jobs with different keys run
+    concurrently, up to the worker count.
+    """
+
+    def __init__(self, sim: Simulator, workers: int,
+                 name: str = "pool") -> None:
+        if workers < 1:
+            raise SimulationError("worker pool needs at least one worker")
+        self._sim = sim
+        self.name = name
+        self._worker_busy_until = [0.0] * workers
+        self._key_busy_until: dict[Hashable, float] = {}
+        self._jobs = 0
+        self._busy_time = 0.0
+        self._wait_time = 0.0
+
+    @property
+    def workers(self) -> int:
+        return len(self._worker_busy_until)
+
+    @property
+    def jobs_served(self) -> int:
+        return self._jobs
+
+    @property
+    def total_busy_ms(self) -> float:
+        return self._busy_time
+
+    @property
+    def total_wait_ms(self) -> float:
+        return self._wait_time
+
+    def submit(self, key: Hashable, duration: float,
+               on_complete: Callback | None = None, *args: Any) -> float:
+        """Queue a job for ``key``; returns its completion time."""
+        if duration < 0:
+            raise SimulationError("job duration must be non-negative")
+        now = self._sim.now
+        worker = min(
+            range(len(self._worker_busy_until)),
+            key=self._worker_busy_until.__getitem__,
+        )
+        earliest = max(
+            now,
+            self._worker_busy_until[worker],
+            self._key_busy_until.get(key, 0.0),
+        )
+        finish = earliest + duration
+        self._worker_busy_until[worker] = finish
+        self._key_busy_until[key] = finish
+        self._jobs += 1
+        self._busy_time += duration
+        self._wait_time += earliest - now
+        if on_complete is not None:
+            self._sim.schedule_at(finish, on_complete, *args)
+        return finish
+
+    def key_available_at(self, key: Hashable) -> float:
+        """Earliest time a new job for ``key`` could start."""
+        return max(self._sim.now, self._key_busy_until.get(key, 0.0))
+
+    def utilization(self, horizon_ms: float) -> float:
+        if horizon_ms <= 0:
+            return 0.0
+        return self._busy_time / (horizon_ms * self.workers)

@@ -1,0 +1,103 @@
+"""The discrete-event simulator loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import SimulationError
+from .events import EventHandle, EventQueue
+from .rng import RngStreams
+
+
+class Simulator:
+    """Executes scheduled callbacks in virtual-time order.
+
+    Components schedule callbacks with :meth:`schedule` (relative delay)
+    or :meth:`schedule_at` (absolute time).  The simulation advances with
+    :meth:`run_until` / :meth:`run`; time never moves backwards.
+    """
+
+    def __init__(self, seed: int = 7) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+        self.rng = RngStreams(seed)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self._now})"
+            )
+        return self._queue.push(time, callback, args)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when none remain."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue produced a past event")
+        self._now = event.time
+        self._processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamps ``<= time``, then set now=time.
+
+        Events scheduled during execution are processed too, as long as
+        they fall within the horizon.
+        """
+        if time < self._now:
+            raise SimulationError("run_until target is in the past")
+        if self._running:
+            raise SimulationError("simulator re-entered while running")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                self.step()
+            self._now = max(self._now, time)
+        finally:
+            self._running = False
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or ``max_events``); returns count."""
+        if self._running:
+            raise SimulationError("simulator re-entered while running")
+        self._running = True
+        executed = 0
+        try:
+            while max_events is None or executed < max_events:
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+        return executed

@@ -1,0 +1,687 @@
+"""SQL execution over dict rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SqlExecutionError
+from .ast import (
+    AGGREGATE_FUNCTIONS,
+    Between,
+    Binary,
+    CaseWhen,
+    Column,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    LocalTimestamp,
+    Select,
+    SelectItem,
+    Star,
+    Unary,
+    Union,
+    collect_aggregates,
+)
+from .functions import SCALAR_FUNCTIONS, make_aggregate
+from .planner import Catalog, JoinStep, Plan, plan_select
+
+
+@dataclass
+class EvalContext:
+    """Runtime context for expression evaluation.
+
+    ``now_ms`` backs ``LOCALTIMESTAMP``; timestamps in this reproduction
+    are virtual milliseconds.
+    """
+
+    now_ms: float = 0.0
+
+
+@dataclass
+class QueryResult:
+    """Materialised query result."""
+
+    columns: list[str]
+    rows: list[dict]
+    #: number of raw entries scanned across all inputs (cost accounting).
+    scanned: int = 0
+
+    def tuples(self) -> list[tuple]:
+        return [tuple(row[col] for col in self.columns) for row in self.rows]
+
+    def column(self, name: str) -> list:
+        if name not in self.columns:
+            raise SqlExecutionError(f"no result column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def execute_select(select: "Select | Union", catalog: Catalog,
+                   context: EvalContext | None = None) -> QueryResult:
+    """Plan and execute a statement; returns a :class:`QueryResult`.
+
+    Accepts a single SELECT or a UNION [ALL] chain (branch results are
+    concatenated under the first branch's column names; plain UNION
+    deduplicates)."""
+    context = context or EvalContext()
+    if isinstance(select, Union):
+        return _execute_union(select, catalog, context)
+    plan = plan_select(select, catalog)
+    return execute_plan(plan, context)
+
+
+def _execute_union(union: "Union", catalog: Catalog,
+                   context: EvalContext) -> QueryResult:
+    results = [
+        execute_plan(plan_select(branch, catalog), context)
+        for branch in union.branches
+    ]
+    columns = results[0].columns
+    width = len(columns)
+    for index, result in enumerate(results[1:], start=2):
+        if len(result.columns) != width:
+            raise SqlExecutionError(
+                f"UNION branch {index} has {len(result.columns)} "
+                f"columns, expected {width}"
+            )
+    rows: list[dict] = []
+    scanned = 0
+    for result in results:
+        scanned += result.scanned
+        for row in result.rows:
+            values = [row[column] for column in result.columns]
+            rows.append(dict(zip(columns, values)))
+    if not union.all:
+        seen: set[tuple] = set()
+        unique = []
+        for row in rows:
+            key = tuple(_hashable(row[column]) for column in columns)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(row)
+        rows = unique
+    return QueryResult(columns=columns, rows=rows, scanned=scanned)
+
+
+def execute_plan(plan: Plan, context: EvalContext) -> QueryResult:
+    select = plan.select
+    scanned = 0
+
+    rows: list[dict] = []
+    for raw in plan.base_source.rows():
+        rows.append(_bind_row(raw, plan.base_binding))
+        scanned += 1
+    for step in plan.joins:
+        rows, step_scanned = _execute_join(rows, step, context)
+        scanned += step_scanned
+
+    if select.where is not None:
+        rows = [
+            row for row in rows
+            if _truthy(_eval(select.where, row, context, None))
+        ]
+
+    if plan.is_aggregate:
+        out_rows, columns = _execute_aggregate(select, rows, context)
+    else:
+        out_rows, columns = _execute_projection(select, rows, context)
+
+    if select.distinct:
+        out_rows = _distinct(out_rows, columns)
+
+    if select.order_by:
+        out_rows = _execute_order(select, out_rows, context)
+
+    if select.offset:
+        out_rows = out_rows[select.offset:]
+    if select.limit is not None:
+        out_rows = out_rows[: select.limit]
+
+    final = [{col: row[col] for col in columns} for row in out_rows]
+    return QueryResult(columns=columns, rows=final, scanned=scanned)
+
+
+# -- scanning and joins ------------------------------------------------------
+
+
+def _bind_row(raw: dict, binding: str) -> dict:
+    """Expose columns both unqualified and as ``binding.column``."""
+    row = dict(raw)
+    for key, value in raw.items():
+        row[f"{binding}.{key}"] = value
+    return row
+
+
+def _execute_join(left_rows: list[dict], step: JoinStep,
+                  context: EvalContext) -> tuple[list[dict], int]:
+    right_rows = [_bind_row(raw, step.binding) for raw in step.source.rows()]
+    scanned = len(right_rows)
+    right_columns = set()
+    for row in right_rows:
+        right_columns.update(row.keys())
+
+    if step.using:
+        result = _hash_join_using(left_rows, right_rows, step, right_columns)
+    elif step.hash_on is not None:
+        result = _hash_join_on(
+            left_rows, right_rows, step, right_columns, context
+        )
+    else:
+        result = _nested_loop_join(
+            left_rows, right_rows, step, right_columns, context
+        )
+    return result, scanned
+
+
+def _null_extend(left: dict, right_columns: set[str]) -> dict:
+    merged = dict(left)
+    for column in right_columns:
+        merged.setdefault(column, None)
+    return merged
+
+
+def _merge(left: dict, right: dict) -> dict:
+    """Merge join sides; on unqualified collisions the left value wins
+    (matches USING semantics where the shared column is equal anyway)."""
+    merged = dict(right)
+    merged.update(left)
+    return merged
+
+
+def _hash_join_using(left_rows: list[dict], right_rows: list[dict],
+                     step: JoinStep,
+                     right_columns: set[str]) -> list[dict]:
+    index: dict[tuple, list[dict]] = {}
+    for row in right_rows:
+        key = tuple(row.get(col) for col in step.using)
+        if any(part is None for part in key):
+            continue
+        index.setdefault(key, []).append(row)
+    result = []
+    for left in left_rows:
+        key = tuple(left.get(col) for col in step.using)
+        matches = index.get(key, []) if not any(
+            part is None for part in key
+        ) else []
+        if matches:
+            result.extend(_merge(left, right) for right in matches)
+        elif step.kind == "LEFT":
+            result.append(_null_extend(left, right_columns))
+    return result
+
+
+def _hash_join_on(left_rows: list[dict], right_rows: list[dict],
+                  step: JoinStep, right_columns: set[str],
+                  context: EvalContext) -> list[dict]:
+    probe_expr, build_expr = step.hash_on
+    index: dict[object, list[dict]] = {}
+    for row in right_rows:
+        key = _eval(build_expr, row, context, None)
+        if key is None:
+            continue
+        index.setdefault(key, []).append(row)
+    result = []
+    for left in left_rows:
+        key = _eval(probe_expr, left, context, None)
+        matches = index.get(key, []) if key is not None else []
+        if matches:
+            result.extend(_merge(left, right) for right in matches)
+        elif step.kind == "LEFT":
+            result.append(_null_extend(left, right_columns))
+    return result
+
+
+def _nested_loop_join(left_rows: list[dict], right_rows: list[dict],
+                      step: JoinStep, right_columns: set[str],
+                      context: EvalContext) -> list[dict]:
+    result = []
+    for left in left_rows:
+        matched = False
+        for right in right_rows:
+            merged = _merge(left, right)
+            if step.on is None or _truthy(
+                _eval(step.on, merged, context, None)
+            ):
+                result.append(merged)
+                matched = True
+        if not matched and step.kind == "LEFT":
+            result.append(_null_extend(left, right_columns))
+    return result
+
+
+# -- projection and aggregation ---------------------------------------------
+
+
+def _output_name(item: SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, Column):
+        return item.expr.name
+    if isinstance(item.expr, FuncCall):
+        return render_expr(item.expr)
+    if isinstance(item.expr, LocalTimestamp):
+        return "LOCALTIMESTAMP"
+    return f"expr{position}"
+
+
+def _execute_projection(select: Select, rows: list[dict],
+                        context: EvalContext) -> tuple[list[dict], list[str]]:
+    if select.select_star:
+        columns = _star_columns(rows)
+        out = []
+        for row in rows:
+            projected = {col: row.get(col) for col in columns}
+            projected["__env__"] = row
+            out.append(projected)
+        return out, columns
+    columns = [
+        _output_name(item, position)
+        for position, item in enumerate(select.items)
+    ]
+    out = []
+    for row in rows:
+        projected = {}
+        for name, item in zip(columns, select.items):
+            projected[name] = _eval(item.expr, row, context, None)
+        projected["__env__"] = row
+        out.append(projected)
+    return out, columns
+
+
+def _star_columns(rows: list[dict]) -> list[str]:
+    """Unqualified column names for ``SELECT *``, in first-seen order."""
+    columns: list[str] = []
+    seen: set[str] = set()
+    for row in rows:
+        for key in row:
+            if "." in key or key in seen:
+                continue
+            seen.add(key)
+            columns.append(key)
+    return columns
+
+
+def _execute_aggregate(select: Select, rows: list[dict],
+                       context: EvalContext) -> tuple[list[dict], list[str]]:
+    aggregates: list[FuncCall] = []
+    for item in select.items:
+        collect_aggregates(item.expr, aggregates)
+    if select.having is not None:
+        collect_aggregates(select.having, aggregates)
+    for order in select.order_by:
+        collect_aggregates(order.expr, aggregates)
+    # De-duplicate structurally identical calls (frozen dataclasses hash).
+    unique: list[FuncCall] = []
+    seen: set[FuncCall] = set()
+    for call in aggregates:
+        if call not in seen:
+            seen.add(call)
+            unique.append(call)
+
+    groups: dict[tuple, dict] = {}
+    for row in rows:
+        key = tuple(
+            _hashable(_eval(expr, row, context, None))
+            for expr in select.group_by
+        )
+        group = groups.get(key)
+        if group is None:
+            group = {
+                "row": row,
+                "accs": [
+                    make_aggregate(
+                        call.name,
+                        bool(call.args)
+                        and isinstance(call.args[0], Star),
+                        call.distinct,
+                    )
+                    for call in unique
+                ],
+            }
+            groups[key] = group
+        for call, acc in zip(unique, group["accs"]):
+            if call.args and not isinstance(call.args[0], Star):
+                acc.add(_eval(call.args[0], row, context, None))
+            else:
+                acc.add(1)
+
+    if not select.group_by and not groups:
+        # Aggregates over an empty input produce one row (COUNT = 0).
+        groups[()] = {
+            "row": {},
+            "accs": [
+                make_aggregate(
+                    call.name,
+                    bool(call.args) and isinstance(call.args[0], Star),
+                    call.distinct,
+                )
+                for call in unique
+            ],
+        }
+
+    columns = [
+        _output_name(item, position)
+        for position, item in enumerate(select.items)
+    ]
+    out = []
+    for group in groups.values():
+        agg_values = {
+            call: acc.result()
+            for call, acc in zip(unique, group["accs"])
+        }
+        representative = group["row"]
+        if select.having is not None:
+            keep = _truthy(
+                _eval(select.having, representative, context, agg_values)
+            )
+            if not keep:
+                continue
+        projected = {}
+        for name, item in zip(columns, select.items):
+            projected[name] = _eval(
+                item.expr, representative, context, agg_values
+            )
+        projected["__env__"] = representative
+        projected["__aggs__"] = agg_values
+        out.append(projected)
+    return out, columns
+
+
+def _distinct(rows: list[dict], columns: list[str]) -> list[dict]:
+    seen: set[tuple] = set()
+    out = []
+    for row in rows:
+        key = tuple(_hashable(row[col]) for col in columns)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(row)
+    return out
+
+
+def _execute_order(select: Select, rows: list[dict],
+                   context: EvalContext) -> list[dict]:
+    def sort_key(row: dict) -> tuple:
+        env = dict(row.get("__env__", {}))
+        for key, value in row.items():
+            if not key.startswith("__"):
+                env[key] = value
+        aggs = row.get("__aggs__")
+        parts = []
+        for order in select.order_by:
+            value = _eval(order.expr, env, context, aggs)
+            # NULLs sort last regardless of direction.
+            null_rank = 1 if value is None else 0
+            if order.descending:
+                parts.append((null_rank, _Reversed(value)))
+            else:
+                parts.append((null_rank, _Sortable(value)))
+        return tuple(parts)
+
+    return sorted(rows, key=sort_key)
+
+
+class _Sortable:
+    """Comparison wrapper tolerating None (already ranked separately)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Sortable") -> bool:
+        if self.value is None or other.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Sortable) and self.value == other.value
+
+
+class _Reversed(_Sortable):
+    def __lt__(self, other: "_Sortable") -> bool:
+        if self.value is None or other.value is None:
+            return False
+        return other.value < self.value
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+# -- expression evaluation -----------------------------------------------------
+
+
+def _truthy(value: object) -> bool:
+    """SQL WHERE semantics: only TRUE passes (NULL does not)."""
+    return value is True or (
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        and value != 0
+    )
+
+
+def _eval(expr: Expr, row: dict, context: EvalContext,
+          agg_values: dict | None) -> object:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, LocalTimestamp):
+        return context.now_ms
+    if isinstance(expr, Column):
+        return _resolve_column(expr, row)
+    if isinstance(expr, FuncCall):
+        return _eval_call(expr, row, context, agg_values)
+    if isinstance(expr, Unary):
+        return _eval_unary(expr, row, context, agg_values)
+    if isinstance(expr, Binary):
+        return _eval_binary(expr, row, context, agg_values)
+    if isinstance(expr, InList):
+        return _eval_in(expr, row, context, agg_values)
+    if isinstance(expr, Between):
+        return _eval_between(expr, row, context, agg_values)
+    if isinstance(expr, Like):
+        return _eval_like(expr, row, context, agg_values)
+    if isinstance(expr, IsNull):
+        value = _eval(expr.operand, row, context, agg_values)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, CaseWhen):
+        for condition, result in expr.branches:
+            if _truthy(_eval(condition, row, context, agg_values)):
+                return _eval(result, row, context, agg_values)
+        if expr.default is not None:
+            return _eval(expr.default, row, context, agg_values)
+        return None
+    if isinstance(expr, Star):
+        raise SqlExecutionError("* is only valid in COUNT(*) or SELECT *")
+    raise SqlExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _resolve_column(column: Column, row: dict) -> object:
+    key = f"{column.table}.{column.name}" if column.table else column.name
+    if key in row:
+        return row[key]
+    raise SqlExecutionError(f"unknown column {column.display()!r}")
+
+
+def _eval_call(call: FuncCall, row: dict, context: EvalContext,
+               agg_values: dict | None) -> object:
+    if call.name in AGGREGATE_FUNCTIONS:
+        if agg_values is None or call not in agg_values:
+            raise SqlExecutionError(
+                f"aggregate {call.name} used outside aggregation"
+            )
+        return agg_values[call]
+    func = SCALAR_FUNCTIONS.get(call.name)
+    if func is None:
+        raise SqlExecutionError(f"unknown function {call.name}")
+    args = [_eval(arg, row, context, agg_values) for arg in call.args]
+    return func(args)
+
+
+def _eval_unary(expr: Unary, row: dict, context: EvalContext,
+                agg_values: dict | None) -> object:
+    value = _eval(expr.operand, row, context, agg_values)
+    if expr.op == "NOT":
+        if value is None:
+            return None
+        return not _truthy(value)
+    if value is None:
+        return None
+    if expr.op == "-":
+        return -value
+    return +value
+
+
+_COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
+
+
+def _eval_binary(expr: Binary, row: dict, context: EvalContext,
+                 agg_values: dict | None) -> object:
+    if expr.op == "AND":
+        left = _eval(expr.left, row, context, agg_values)
+        if left is False or (left is not None and not _truthy(left)):
+            return False
+        right = _eval(expr.right, row, context, agg_values)
+        if right is False or (right is not None and not _truthy(right)):
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if expr.op == "OR":
+        left = _eval(expr.left, row, context, agg_values)
+        if left is not None and _truthy(left):
+            return True
+        right = _eval(expr.right, row, context, agg_values)
+        if right is not None and _truthy(right):
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    left = _eval(expr.left, row, context, agg_values)
+    right = _eval(expr.right, row, context, agg_values)
+    if left is None or right is None:
+        return None
+    if expr.op in _COMPARISONS:
+        return _compare(expr.op, left, right)
+    if expr.op == "+":
+        return left + right
+    if expr.op == "-":
+        return left - right
+    if expr.op == "*":
+        return left * right
+    if expr.op == "/":
+        if right == 0:
+            raise SqlExecutionError("division by zero")
+        return left / right
+    if expr.op == "%":
+        if right == 0:
+            raise SqlExecutionError("modulo by zero")
+        return left % right
+    raise SqlExecutionError(f"unknown operator {expr.op}")
+
+
+def _compare(op: str, left: object, right: object) -> bool:
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    except TypeError:
+        raise SqlExecutionError(
+            f"cannot compare {type(left).__name__} with "
+            f"{type(right).__name__}"
+        ) from None
+
+
+def _eval_in(expr: InList, row: dict, context: EvalContext,
+             agg_values: dict | None) -> object:
+    value = _eval(expr.operand, row, context, agg_values)
+    if value is None:
+        return None
+    saw_null = False
+    for item in expr.items:
+        candidate = _eval(item, row, context, agg_values)
+        if candidate is None:
+            saw_null = True
+        elif candidate == value:
+            return not expr.negated
+    if saw_null:
+        return None
+    return expr.negated
+
+
+def _eval_between(expr: Between, row: dict, context: EvalContext,
+                  agg_values: dict | None) -> object:
+    value = _eval(expr.operand, row, context, agg_values)
+    low = _eval(expr.low, row, context, agg_values)
+    high = _eval(expr.high, row, context, agg_values)
+    if value is None or low is None or high is None:
+        return None
+    result = low <= value <= high
+    return (not result) if expr.negated else result
+
+
+def _eval_like(expr: Like, row: dict, context: EvalContext,
+               agg_values: dict | None) -> object:
+    value = _eval(expr.operand, row, context, agg_values)
+    pattern = _eval(expr.pattern, row, context, agg_values)
+    if value is None or pattern is None:
+        return None
+    result = _like_match(str(value), str(pattern))
+    return (not result) if expr.negated else result
+
+
+def _like_match(text: str, pattern: str) -> bool:
+    """SQL LIKE with ``%`` and ``_`` wildcards (no escapes)."""
+    import re
+
+    regex_parts = []
+    for ch in pattern:
+        if ch == "%":
+            regex_parts.append(".*")
+        elif ch == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(ch))
+    return re.fullmatch("".join(regex_parts), text) is not None
+
+
+def render_expr(expr: Expr) -> str:
+    """Readable rendering used for derived output column names."""
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            return f"'{expr.value}'"
+        return str(expr.value)
+    if isinstance(expr, Column):
+        return expr.display()
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, LocalTimestamp):
+        return "LOCALTIMESTAMP"
+    if isinstance(expr, FuncCall):
+        inner = ", ".join(render_expr(arg) for arg in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{inner})"
+    if isinstance(expr, Unary):
+        return f"{expr.op} {render_expr(expr.operand)}"
+    if isinstance(expr, Binary):
+        return (
+            f"({render_expr(expr.left)} {expr.op} "
+            f"{render_expr(expr.right)})"
+        )
+    return type(expr).__name__

@@ -1,0 +1,88 @@
+"""EXPLAIN-style plan rendering for debugging and documentation.
+
+``explain(sql, catalog)`` returns a readable tree of what the executor
+will do: scans, join strategies (hash vs nested loop), filters,
+aggregation, and output shaping.  Used by tests and handy in examples
+to show *why* a query is cheap or expensive.
+"""
+
+from __future__ import annotations
+
+from .ast import Select, Union
+from .executor import render_expr
+from .parser import parse
+from .planner import Catalog, Plan, plan_select
+
+
+def explain(sql: str, catalog: Catalog) -> str:
+    """Render the logical plan of ``sql`` against ``catalog``."""
+    statement = parse(sql)
+    if isinstance(statement, Union):
+        kind = "UNION ALL" if statement.all else "UNION"
+        parts = [f"{kind} [{len(statement.branches)} branches]"]
+        for index, branch in enumerate(statement.branches, start=1):
+            plan = plan_select(branch, catalog)
+            parts.append(f"  branch {index}:")
+            parts.extend("  " + line for line in _render_plan(plan))
+        return "\n".join(parts)
+    plan = plan_select(statement, catalog)
+    return "\n".join(_render_plan(plan))
+
+
+def _render_plan(plan: Plan) -> list[str]:
+    select = plan.select
+    lines: list[str] = []
+    lines.append(_render_output(select, plan))
+    if select.order_by:
+        keys = ", ".join(
+            render_expr(item.expr) + (" DESC" if item.descending else "")
+            for item in select.order_by
+        )
+        lines.append(f"  sort: {keys}"
+                     + (f"  limit {select.limit}"
+                        if select.limit is not None else ""))
+    elif select.limit is not None:
+        lines.append(f"  limit: {select.limit}")
+    if plan.is_aggregate:
+        if select.group_by:
+            keys = ", ".join(render_expr(e) for e in select.group_by)
+            lines.append(f"  aggregate: group by {keys}")
+        else:
+            lines.append("  aggregate: single group")
+        if select.having is not None:
+            lines.append(f"  having: {render_expr(select.having)}")
+    if select.where is not None:
+        lines.append(f"  filter: {render_expr(select.where)}")
+    for step in reversed(plan.joins):
+        lines.append("  " + _render_join(step))
+    lines.append(f"  scan: {plan.base_source.name}"
+                 + (f" AS {plan.base_binding}"
+                    if plan.base_binding != plan.base_source.name
+                    else ""))
+    return lines
+
+
+def _render_output(select: Select, plan: Plan) -> str:
+    if select.select_star:
+        shape = "*"
+    else:
+        shape = ", ".join(
+            (item.alias or render_expr(item.expr))
+            for item in select.items
+        )
+    prefix = "select distinct" if select.distinct else "select"
+    return f"{prefix}: {shape}"
+
+
+def _render_join(step) -> str:
+    kind = step.kind.lower()
+    if step.using:
+        strategy = f"hash join USING({', '.join(step.using)})"
+    elif step.hash_on is not None:
+        probe, build = step.hash_on
+        strategy = (f"hash join ON {render_expr(probe)} = "
+                    f"{render_expr(build)}")
+    else:
+        condition = render_expr(step.on) if step.on else "TRUE"
+        strategy = f"nested-loop join ON {condition}"
+    return f"{kind} {strategy} with {step.source.name}"

@@ -1,0 +1,135 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SqlLexError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "TRUE",
+    "FALSE", "JOIN", "INNER", "LEFT", "OUTER", "ON", "USING", "ASC",
+    "DESC", "BETWEEN", "LIKE", "DISTINCT", "LOCALTIMESTAMP", "CASE",
+    "WHEN", "THEN", "ELSE", "END", "UNION", "ALL",
+}
+
+#: Multi- and single-character operators, longest first.
+OPERATORS = ["<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/",
+             "%", "(", ")", ",", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``,
+    ``OP`` or ``EOF``.  ``value`` holds the uppercase keyword, the
+    identifier (case preserved, unquoted), the parsed number, the string
+    body, or the operator text.
+    """
+
+    kind: str
+    value: object
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Convert SQL text into tokens; raises :class:`SqlLexError`."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # Line comments.
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        # Quoted identifier: "name" (doubled quote escapes).
+        if ch == '"':
+            value, i = _read_quoted(sql, i, '"')
+            tokens.append(Token("IDENT", value, i))
+            continue
+        # String literal: 'text' (doubled quote escapes).
+        if ch == "'":
+            value, i = _read_quoted(sql, i, "'")
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token("NUMBER", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        matched = False
+        for op in OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SqlLexError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _read_quoted(sql: str, start: int, quote: str) -> tuple[str, int]:
+    """Read a quoted region starting at ``start``; handles doubling."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == quote:
+            if i + 1 < n and sql[i + 1] == quote:
+                parts.append(quote)
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlLexError(f"unterminated {quote} starting at offset {start}")
+
+
+def _read_number(sql: str, start: int) -> tuple[float | int, int]:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            nxt = sql[i + 1] if i + 1 < n else ""
+            if nxt.isdigit() or nxt in "+-":
+                seen_exp = True
+                i += 2 if nxt in "+-" else 1
+            else:
+                break
+        else:
+            break
+    text = sql[start:i]
+    try:
+        if seen_dot or seen_exp:
+            return float(text), i
+        return int(text), i
+    except ValueError:
+        raise SqlLexError(f"bad number {text!r} at offset {start}") from None

@@ -1,0 +1,163 @@
+"""Catalog abstraction and the logical planner.
+
+The planner resolves table names against a :class:`Catalog`, decides the
+join strategy for each JOIN clause (hash join for ``USING`` and simple
+equality ``ON``; nested loop otherwise), and validates aggregate usage.
+The result is a :class:`Plan` the executor walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from ..errors import SqlPlanError
+from .ast import (
+    Binary,
+    Column,
+    Expr,
+    Join,
+    Select,
+    contains_aggregate,
+)
+
+
+class TableSource(Protocol):
+    """Anything the SQL engine can scan."""
+
+    @property
+    def name(self) -> str: ...
+
+    def rows(self) -> Iterable[dict]: ...
+
+
+class Catalog(Protocol):
+    """Resolves table names to sources."""
+
+    def table(self, name: str) -> TableSource: ...
+
+
+@dataclass(frozen=True)
+class ListTable:
+    """In-memory table source (used by tests and the query service)."""
+
+    name: str
+    data: tuple[dict, ...]
+
+    def rows(self) -> Iterable[dict]:
+        return self.data
+
+
+class DictCatalog:
+    """A trivial catalog over a dict of table sources."""
+
+    def __init__(self, tables: dict[str, TableSource] | None = None) -> None:
+        self._tables: dict[str, TableSource] = dict(tables or {})
+
+    def add(self, table: TableSource) -> None:
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> TableSource:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SqlPlanError(f"unknown table {name!r}") from None
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One join in the left-deep plan."""
+
+    source: TableSource
+    binding: str
+    kind: str  # 'INNER' | 'LEFT'
+    #: columns for a hash join via USING (empty if ON is used).
+    using: tuple[str, ...]
+    #: for equality ON joins: (left expr, right expr) hash keys.
+    hash_on: tuple[Expr, Expr] | None
+    #: residual ON predicate evaluated on merged rows (nested loop or
+    #: post-hash filter).
+    on: Expr | None
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A resolved, executable SELECT."""
+
+    select: Select
+    base_source: TableSource
+    base_binding: str
+    joins: tuple[JoinStep, ...]
+    is_aggregate: bool
+
+
+def plan_select(select: Select, catalog: Catalog) -> Plan:
+    """Resolve and validate ``select`` against ``catalog``."""
+    base_source = catalog.table(select.table.name)
+    bindings = {select.table.binding}
+    steps: list[JoinStep] = []
+    for join in select.joins:
+        binding = join.table.binding
+        if binding in bindings:
+            raise SqlPlanError(f"duplicate table binding {binding!r}")
+        bindings.add(binding)
+        steps.append(_plan_join(join, catalog))
+    is_aggregate = bool(select.group_by) or any(
+        contains_aggregate(item.expr) for item in select.items
+    )
+    if select.having is not None and not is_aggregate:
+        raise SqlPlanError("HAVING requires GROUP BY or aggregates")
+    if is_aggregate and select.select_star:
+        raise SqlPlanError("SELECT * cannot be combined with aggregation")
+    return Plan(
+        select=select,
+        base_source=base_source,
+        base_binding=select.table.binding,
+        joins=tuple(steps),
+        is_aggregate=is_aggregate,
+    )
+
+
+def _plan_join(join: Join, catalog: Catalog) -> JoinStep:
+    source = catalog.table(join.table.name)
+    if join.using:
+        return JoinStep(
+            source=source,
+            binding=join.table.binding,
+            kind=join.kind,
+            using=join.using,
+            hash_on=None,
+            on=None,
+        )
+    hash_on = _extract_hash_keys(join.on, join.table.binding)
+    return JoinStep(
+        source=source,
+        binding=join.table.binding,
+        kind=join.kind,
+        using=(),
+        hash_on=hash_on,
+        on=join.on,
+    )
+
+
+def _extract_hash_keys(
+    on: Expr | None, right_binding: str
+) -> tuple[Expr, Expr] | None:
+    """Detect ``left.col = right.col`` equality for a hash join.
+
+    Returns ``(probe_expr, build_expr)`` where the build expression
+    references only the newly joined (right) table.  Anything more
+    complex falls back to a nested loop.
+    """
+    if not isinstance(on, Binary) or on.op != "=":
+        return None
+    left, right = on.left, on.right
+    if not isinstance(left, Column) or not isinstance(right, Column):
+        return None
+    if left.table is None or right.table is None:
+        return None
+    if right.table == right_binding and left.table != right_binding:
+        return left, right
+    if left.table == right_binding and right.table != right_binding:
+        return right, left
+    return None

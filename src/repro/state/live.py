@@ -1,0 +1,89 @@
+"""Live-state tables (Table I).
+
+A :class:`LiveStateTable` wraps the IMap that mirrors one stateful
+operator's running state.  Rows reflect whatever the operators have done
+so far — uncommitted by definition, hence the read-uncommitted isolation
+level of live queries (§VII-B).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from ..kvstore import IMap
+from .rows import live_row
+
+_MISSING = object()
+
+
+class LiveStateTable:
+    """Queryable view over an operator's live IMap."""
+
+    def __init__(self, imap: IMap) -> None:
+        self._imap = imap
+
+    @property
+    def name(self) -> str:
+        return self._imap.name
+
+    @property
+    def imap(self) -> IMap:
+        return self._imap
+
+    def __len__(self) -> int:
+        return len(self._imap)
+
+    def rows(self) -> Iterator[dict]:
+        for key, value in self._imap.entries():
+            yield live_row(key, value)
+
+    def rows_on_node(self, node_id: int) -> Iterator[dict]:
+        for key, value in self._imap.entries_on_node(node_id):
+            yield live_row(key, value)
+
+    def entries_on_node(self, node_id: int) -> int:
+        return sum(
+            self._imap.partition_size(partition)
+            for partition in self._imap.partitions_on_node(node_id)
+        )
+
+    def row_count_on_node(self, node_id: int) -> int:
+        return self.entries_on_node(node_id)
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        return self._imap.get(key, default)
+
+    def owner_node_of(self, key: Hashable) -> int:
+        """Node holding ``key`` (point-lookup routing)."""
+        return self._imap.placement.owner_of(key)
+
+    def point_rows(self, key: Hashable) -> list[dict]:
+        """The single row for ``key``, or empty (point lookup)."""
+        value = self._imap.get(key, _MISSING)
+        if value is _MISSING:
+            return []
+        return [live_row(key, value)]
+
+    # -- mutation (called by the S-QUERY backend) --------------------------
+
+    def apply_update(self, key: Hashable, value: object | None) -> None:
+        """Mirror one operator state mutation (None = delete)."""
+        if value is None:
+            self._imap.delete(key)
+        else:
+            self._imap.put(key, value)
+
+    def replace_partition(self, partition: int,
+                          state: dict[Hashable, object]) -> None:
+        """Bulk-refresh one instance partition after rollback recovery.
+
+        The live view must reflect the restored operator state, which is
+        how a post-recovery live query observes the rolled-back value in
+        the paper's Fig. 5c."""
+        stale = [
+            key for key, _ in self._imap.partition_entries(partition)
+        ]
+        for key in stale:
+            self._imap.delete(key)
+        for key, value in state.items():
+            self._imap.put(key, value)

@@ -1,0 +1,54 @@
+"""Row shaping: turning state objects into queryable SQL rows.
+
+State values are arbitrary Python objects (the paper: "the value can be
+any object").  The SQL layer sees them as rows: dataclasses and mappings
+expose their fields as columns; scalars appear as a single ``value``
+column.  Every row carries the partition key under both ``partitionKey``
+(the name used by the paper's queries) and ``key`` (Fig. 4's header).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable
+
+
+def value_to_columns(value: object) -> dict:
+    """Flatten a state object into column name → value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: getattr(value, field.name)
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return dict(value)
+    if hasattr(value, "_asdict"):  # namedtuple
+        return dict(value._asdict())
+    return {"value": value}
+
+
+def live_row(key: Hashable, value: object) -> dict:
+    """Table I: | Key | State object |."""
+    row = value_to_columns(value)
+    row["partitionKey"] = key
+    row["key"] = key
+    return row
+
+
+def snapshot_row(key: Hashable, ssid: int, value: object) -> dict:
+    """Table II: | Key | Snapshot ID | State object |."""
+    row = value_to_columns(value)
+    row["partitionKey"] = key
+    row["key"] = key
+    row["ssid"] = ssid
+    return row
+
+
+def sanitize_table_name(vertex_name: str) -> str:
+    """Operator name → table name (the paper lowercases and strips
+    spaces: operator "stateful map" → table ``statefulmap``)."""
+    return "".join(vertex_name.split()).lower()
+
+
+def snapshot_table_name(vertex_name: str) -> str:
+    return f"snapshot_{sanitize_table_name(vertex_name)}"

@@ -1,0 +1,72 @@
+"""Savepoints: exporting a committed snapshot and bootstrapping a new
+job from it.
+
+Jet (and Flink) let operators export a snapshot and start a different
+job from it — upgrades, A/B topologies, migrations.  Because S-QUERY
+snapshots are already first-class queryable data, exporting one is just
+materialising it; bootstrapping seeds a new job's operator state (and
+its live tables) before the job starts, after which normal checkpoints
+take over.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..cluster.partition import stable_hash
+from ..errors import DataflowError, SnapshotNotFoundError, StateError
+
+
+def export_snapshot(backend, ssid: int | None = None
+                    ) -> dict[str, dict[Hashable, object]]:
+    """Materialise one committed snapshot as ``{vertex: {key: value}}``.
+
+    ``ssid`` defaults to the latest committed snapshot.  The export is
+    a plain nested dict — portable across environments (and trivially
+    serialisable by callers).
+    """
+    store = backend.store
+    if ssid is None:
+        ssid = store.committed_ssid
+        if ssid is None:
+            raise StateError("no committed snapshot to export")
+    exported: dict[str, dict[Hashable, object]] = {}
+    for vertex_name, table in backend.snapshot_tables.items():
+        if not table.has_snapshot(ssid):
+            raise SnapshotNotFoundError(ssid)
+        merged: dict[Hashable, object] = {}
+        for instance in range(table.parallelism):
+            merged.update(table.instance_state(ssid, instance))
+        exported[vertex_name] = merged
+    return exported
+
+
+def bootstrap_job(job, exported: dict[str, dict[Hashable, object]],
+                  strict: bool = True) -> None:
+    """Seed a not-yet-started job's stateful operators from an export.
+
+    Keys are distributed to instances with the job's own routing
+    function, so the new job may have a *different* parallelism than
+    the exporting one (the rescaling story).  With ``strict`` the
+    export must not reference unknown vertices.
+    """
+    if job._started:
+        raise DataflowError("bootstrap must happen before job.start()")
+    known = {
+        name for name in job.pipeline.vertices
+        if name in job._instances
+        and job._instances[name][0].operator.stateful
+    }
+    for vertex_name, state in exported.items():
+        if vertex_name not in known:
+            if strict:
+                raise DataflowError(
+                    f"export references unknown or stateless vertex "
+                    f"{vertex_name!r}"
+                )
+            continue
+        instances = job.instances_of(vertex_name)
+        parallelism = len(instances)
+        for key, value in state.items():
+            index = stable_hash(key) % parallelism
+            instances[index].operator.state.put(key, value)

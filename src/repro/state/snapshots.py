@@ -1,0 +1,141 @@
+"""Full snapshot state tables (Table II).
+
+Each stateful operator gets one snapshot table holding complete copies
+of its keyed state per snapshot id.  With the paper's default retention
+of two versions, memory stays constant: a newly committed snapshot
+overwrites the older of the two (the store drives this through
+``drop_snapshot``).  Committed snapshots are replicated synchronously
+during the 2PC, so they survive node failures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterator
+
+from ..errors import SnapshotNotFoundError
+from .rows import snapshot_row
+
+
+class FullSnapshotTable:
+    """Snapshot state of one operator, full-copy mode."""
+
+    def __init__(self, name: str, parallelism: int,
+                 node_of_instance: Callable[[int], int]) -> None:
+        self.name = name
+        self.parallelism = parallelism
+        self._node_of_instance = node_of_instance
+        #: ssid -> instance -> {key: state object}
+        self._by_ssid: dict[int, dict[int, dict[Hashable, object]]] = {}
+
+    # -- writes ---------------------------------------------------------
+
+    def write_instance(self, ssid: int, instance: int,
+                       payload: dict[Hashable, object]) -> None:
+        self._by_ssid.setdefault(ssid, {})[instance] = dict(payload)
+
+    def drop_snapshot(self, ssid: int) -> None:
+        self._by_ssid.pop(ssid, None)
+
+    # -- reads ----------------------------------------------------------
+
+    def available_ssids(self) -> list[int]:
+        return sorted(self._by_ssid)
+
+    def has_snapshot(self, ssid: int) -> bool:
+        return ssid in self._by_ssid
+
+    def instance_state(self, ssid: int, instance: int) -> dict:
+        snapshot = self._by_ssid.get(ssid)
+        if snapshot is None:
+            raise SnapshotNotFoundError(ssid)
+        return dict(snapshot.get(instance, {}))
+
+    def rows_for_snapshot(self, ssid: int) -> Iterator[dict]:
+        snapshot = self._by_ssid.get(ssid)
+        if snapshot is None:
+            raise SnapshotNotFoundError(ssid)
+        for instance_state in snapshot.values():
+            for key, value in instance_state.items():
+                yield snapshot_row(key, ssid, value)
+
+    def rows_all_versions(self) -> Iterator[dict]:
+        """Rows across every retained version, each tagged with its
+        ssid — the multi-version result sets of §VI-A."""
+        for ssid in sorted(self._by_ssid):
+            yield from self.rows_for_snapshot(ssid)
+
+    def rows_all_versions_on_node(self, node_id: int,
+                                  ssids: list[int]) -> Iterator[dict]:
+        for ssid in ssids:
+            yield from self.rows_on_node(node_id, ssid)
+
+    def entries_all_versions_on_node(self, node_id: int,
+                                     ssids: list[int]) -> int:
+        return sum(self.entries_on_node(node_id, ssid) for ssid in ssids)
+
+    def rows_all_versions_count_on_node(self, node_id: int,
+                                        ssids: list[int]) -> int:
+        return sum(
+            self.row_count_on_node(node_id, ssid) for ssid in ssids
+        )
+
+    def rows_on_node(self, node_id: int, ssid: int) -> Iterator[dict]:
+        snapshot = self._by_ssid.get(ssid)
+        if snapshot is None:
+            raise SnapshotNotFoundError(ssid)
+        for instance, instance_state in snapshot.items():
+            if self._node_of_instance(instance) != node_id:
+                continue
+            for key, value in instance_state.items():
+                yield snapshot_row(key, ssid, value)
+
+    def entries_on_node(self, node_id: int, ssid: int) -> int:
+        """Raw entries a node-local scan of ``ssid`` must visit."""
+        snapshot = self._by_ssid.get(ssid)
+        if snapshot is None:
+            raise SnapshotNotFoundError(ssid)
+        return sum(
+            len(instance_state)
+            for instance, instance_state in snapshot.items()
+            if self._node_of_instance(instance) == node_id
+        )
+
+    def row_count_on_node(self, node_id: int, ssid: int) -> int:
+        """Result rows a node-local scan produces (== entries for full
+        snapshots; incremental tables visit more entries than rows)."""
+        return self.entries_on_node(node_id, ssid)
+
+    def owner_node_of(self, key: Hashable) -> int:
+        """Node holding ``key``'s instance partition (point lookups)."""
+        from ..cluster.partition import stable_hash
+
+        return self._node_of_instance(stable_hash(key) % self.parallelism)
+
+    def point_rows(self, key: Hashable, ssid: int) -> list[dict]:
+        """The single (key, ssid) row, or empty (point lookup)."""
+        from ..cluster.partition import stable_hash
+
+        instance = stable_hash(key) % self.parallelism
+        state = self.instance_state(ssid, instance)
+        if key not in state:
+            return []
+        return [snapshot_row(key, ssid, state[key])]
+
+    def snapshot_size(self, ssid: int) -> int:
+        snapshot = self._by_ssid.get(ssid)
+        if snapshot is None:
+            raise SnapshotNotFoundError(ssid)
+        return sum(len(state) for state in snapshot.values())
+
+    def total_entries(self) -> int:
+        """All stored entries across versions (memory accounting)."""
+        return sum(
+            len(state)
+            for snapshot in self._by_ssid.values()
+            for state in snapshot.values()
+        )
+
+    # -- failure handling ------------------------------------------------
+
+    def on_node_failure(self, node_id: int) -> None:
+        """Committed snapshots survive via synchronous replicas."""

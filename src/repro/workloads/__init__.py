@@ -1,0 +1,6 @@
+"""Evaluation workloads: NEXMark and the Delivery Hero Q-commerce
+order-delivery stream (§VIII–IX)."""
+
+from . import nexmark, qcommerce
+
+__all__ = ["nexmark", "qcommerce"]

@@ -1,0 +1,35 @@
+"""NEXMark benchmark workload (Tucker et al.), as used in §IX.
+
+The overhead and scalability experiments run **query 6**: the average
+selling price of the last 10 closed auctions per seller, over a stream
+of auctions and bids, keeping state for 10K sellers.
+"""
+
+from .generator import AuctionClosedSource, BidSource, PersonSource
+from .model import Auction, AuctionClosed, Bid, Person
+from .pipelines import (
+    build_query1_job,
+    build_query2_job,
+    build_query3_job,
+    build_windowed_price_job,
+    convert_bid,
+)
+from .queries import Q6_SELLERS_DEFAULT, build_query6_job, make_q6_operator
+
+__all__ = [
+    "Auction",
+    "AuctionClosed",
+    "AuctionClosedSource",
+    "Bid",
+    "BidSource",
+    "Person",
+    "PersonSource",
+    "Q6_SELLERS_DEFAULT",
+    "build_query1_job",
+    "build_query2_job",
+    "build_query3_job",
+    "build_query6_job",
+    "build_windowed_price_job",
+    "convert_bid",
+    "make_q6_operator",
+]

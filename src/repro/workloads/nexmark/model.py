@@ -1,0 +1,66 @@
+"""NEXMark domain objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Person:
+    """An auction participant."""
+
+    person_id: int
+    name: str
+    city: str
+    state: str
+
+
+@dataclass(frozen=True)
+class Auction:
+    """An open auction listed by a seller."""
+
+    auction_id: int
+    seller_id: int
+    item: str
+    initial_bid: float
+    expires_ms: float
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A bid on an open auction."""
+
+    auction_id: int
+    bidder_id: int
+    price: float
+
+
+@dataclass(frozen=True)
+class AuctionClosed:
+    """A closed auction with its winning price.
+
+    Query 6 consumes the join of auctions with their winning bids; this
+    event is that join's output, which the generator can also produce
+    directly for the single-operator variant of the q6 job.
+    """
+
+    auction_id: int
+    seller_id: int
+    final_price: float
+
+
+@dataclass
+class SellerPrices:
+    """Query-6 state: the last 10 selling prices of one seller."""
+
+    prices: tuple[float, ...] = ()
+    average: float = 0.0
+    closed_auctions: int = 0
+
+    def with_price(self, price: float, window: int = 10) -> "SellerPrices":
+        prices = (self.prices + (price,))[-window:]
+        return SellerPrices(
+            prices=prices,
+            average=sum(prices) / len(prices),
+            closed_auctions=self.closed_auctions + 1,
+        )

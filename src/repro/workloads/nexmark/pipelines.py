@@ -1,0 +1,166 @@
+"""Additional NEXMark pipelines (queries 1, 2 and a windowed variant).
+
+The paper's evaluation uses query 6; these extra pipelines exercise the
+stateless operator paths and the window library, and give the examples
+and tests more realistic topologies to work with.
+
+* **Query 1** (currency conversion): map every bid's price from dollars
+  to euros — stateless 1→1.
+* **Query 2** (selection): bids on a set of auctions — stateless filter.
+* **Windowed average price**: a tumbling-window average of bid prices
+  per auction, whose *open windows* are queryable through S-QUERY.
+"""
+
+from __future__ import annotations
+
+from ...config import JobConfig
+from ...dataflow import (
+    FilterOperator,
+    Job,
+    MapOperator,
+    Pipeline,
+    SinkOperator,
+)
+from ...dataflow.windows import TumblingWindowOperator
+from .generator import BidSource
+from .model import Bid
+
+#: The fixed conversion rate of the original NEXMark query 1.
+DOLLAR_TO_EUR = 0.908
+
+
+def convert_bid(bid: Bid) -> Bid:
+    """Query 1's per-record transformation."""
+    return Bid(
+        auction_id=bid.auction_id,
+        bidder_id=bid.bidder_id,
+        price=round(bid.price * DOLLAR_TO_EUR, 2),
+    )
+
+
+def build_query1_job(env, backend=None, rate_per_s: float = 10_000,
+                     auctions: int = 10_000,
+                     parallelism: int | None = None,
+                     seed: int = 7) -> Job:
+    """NEXMark query 1: dollar→euro conversion of every bid."""
+    pipeline = Pipeline()
+    pipeline.add_source("bids", BidSource(rate_per_s, auctions=auctions))
+    pipeline.add_operator("currency", lambda: MapOperator(convert_bid))
+    pipeline.add_operator("out", SinkOperator)
+    pipeline.connect("bids", "currency")
+    pipeline.connect("currency", "out")
+    return Job(env, pipeline, JobConfig(parallelism=parallelism,
+                                        seed=seed), backend)
+
+
+def build_query2_job(env, backend=None, rate_per_s: float = 10_000,
+                     auctions: int = 10_000, modulo: int = 123,
+                     parallelism: int | None = None,
+                     seed: int = 7) -> Job:
+    """NEXMark query 2: select bids on auction ids divisible by
+    ``modulo`` (the original uses a fixed id set; the modulo variant is
+    the common benchmark formulation)."""
+    pipeline = Pipeline()
+    pipeline.add_source("bids", BidSource(rate_per_s, auctions=auctions))
+    pipeline.add_operator(
+        "selection",
+        lambda: FilterOperator(lambda bid: bid.auction_id % modulo == 0),
+    )
+    pipeline.add_operator("out", SinkOperator)
+    pipeline.connect("bids", "selection")
+    pipeline.connect("selection", "out")
+    return Job(env, pipeline, JobConfig(parallelism=parallelism,
+                                        seed=seed), backend)
+
+
+def build_query3_job(env, backend=None, rate_per_s: float = 10_000,
+                     sellers: int = 2_000,
+                     parallelism: int | None = None,
+                     seed: int = 7) -> Job:
+    """NEXMark query 3 (simplified): join new auctions with their
+    sellers' person records, keyed by seller id.
+
+    Two independent streams — person registrations and auction listings
+    — meet in a :class:`~repro.dataflow.joins.StreamJoinOperator`; the
+    join state (who is still missing their other side) is queryable as
+    the ``sellerjoin`` table when an S-QUERY backend is attached.
+    """
+    from ...dataflow.joins import StreamJoinOperator
+    from .generator import PersonSource
+    from .model import Auction, Person
+    from .generator import make_auction
+
+    class _AuctionBySellerSource:
+        def __init__(self, rate: float) -> None:
+            self._rate = rate
+
+        def generate(self, instance: int, seq: int):
+            auction = make_auction(instance, seq, sellers=sellers)
+            return auction.seller_id, auction
+
+        def rate_per_instance(self, par: int) -> float:
+            return self._rate / par
+
+    def side_of(value) -> str:
+        return "person" if isinstance(value, Person) else "auction"
+
+    def output(seller_id, sides):
+        person: Person = sides["person"]
+        auction: Auction = sides["auction"]
+        return {
+            "seller": seller_id,
+            "name": person.name,
+            "city": person.city,
+            "item": auction.item,
+        }
+
+    pipeline = Pipeline()
+    pipeline.add_source(
+        "persons", PersonSource(rate_per_s / 2, population=sellers)
+    )
+    pipeline.add_source(
+        "auctions", _AuctionBySellerSource(rate_per_s / 2)
+    )
+    pipeline.add_operator(
+        "sellerjoin",
+        lambda: StreamJoinOperator(("person", "auction"), side_of,
+                                   output),
+    )
+    pipeline.add_operator("out", SinkOperator)
+    pipeline.connect("persons", "sellerjoin")
+    pipeline.connect("auctions", "sellerjoin")
+    pipeline.connect("sellerjoin", "out")
+    return Job(env, pipeline, JobConfig(parallelism=parallelism,
+                                        seed=seed), backend)
+
+
+def build_windowed_price_job(env, backend=None,
+                             rate_per_s: float = 10_000,
+                             auctions: int = 1_000,
+                             window_ms: float = 1_000.0,
+                             parallelism: int | None = None,
+                             seed: int = 7) -> Job:
+    """Tumbling-window average bid price per auction.
+
+    The stateful vertex is named ``bidwindow``; with an S-QUERY backend
+    its open windows are live-queryable as the ``bidwindow`` table."""
+
+    def accumulate(acc, bid: Bid):
+        count, total = acc or (0, 0.0)
+        return count + 1, total + bid.price
+
+    def output(auction_id, acc):
+        count, total = acc
+        return total / count
+
+    pipeline = Pipeline()
+    pipeline.add_source("bids", BidSource(rate_per_s, auctions=auctions))
+    pipeline.add_operator(
+        "bidwindow",
+        lambda: TumblingWindowOperator(window_ms, accumulate, output),
+    )
+    pipeline.add_operator("out", SinkOperator)
+    pipeline.connect("bids", "bidwindow")
+    pipeline.connect("bidwindow", "out")
+    return Job(env, pipeline, JobConfig(parallelism=parallelism,
+                                        seed=seed), backend)

@@ -1,0 +1,65 @@
+"""NEXMark query-6 job builder (the §IX overhead/scalability workload).
+
+Query 6 computes the average selling price over the last 10 closed
+auctions per seller.  The stateful ``q6`` operator keeps a
+:class:`~repro.workloads.nexmark.model.SellerPrices` object per seller
+(10K sellers by default), which S-QUERY exposes as the live table
+``q6`` and the snapshot table ``snapshot_q6``.
+"""
+
+from __future__ import annotations
+
+from ...config import JobConfig
+from ...dataflow import Job, KeyedAggregateOperator, Pipeline, SinkOperator
+from .generator import AuctionClosedSource
+from .model import AuctionClosed, SellerPrices
+
+#: Number of distinct auction sellers in the paper's experiments.
+Q6_SELLERS_DEFAULT = 10_000
+
+#: Window of auctions the average is taken over.
+Q6_WINDOW = 10
+
+
+def make_q6_operator() -> KeyedAggregateOperator:
+    """The query-6 stateful operator."""
+
+    def accumulate(state: SellerPrices | None,
+                   event: AuctionClosed) -> SellerPrices:
+        current = state or SellerPrices()
+        return current.with_price(event.final_price, window=Q6_WINDOW)
+
+    def output(seller_id: int, state: SellerPrices) -> float:
+        return state.average
+
+    return KeyedAggregateOperator(accumulate, output)
+
+
+def build_query6_job(env, backend=None, rate_per_s: float = 10_000,
+                     sellers: int = Q6_SELLERS_DEFAULT,
+                     checkpoint_interval_ms: float = 1000.0,
+                     parallelism: int | None = None,
+                     limit_per_instance: int | None = None,
+                     seed: int = 7) -> Job:
+    """Deploy the NEXMark query-6 job on ``env``.
+
+    ``rate_per_s`` is the total offered load in events per virtual
+    second; the benchmark harness maps the paper's 1M/5M/9M events/s to
+    scaled rates with identical per-worker utilisation (see
+    ``repro.bench.harness``).
+    """
+    source = AuctionClosedSource(
+        rate_per_s, sellers=sellers, limit_per_instance=limit_per_instance
+    )
+    pipeline = Pipeline()
+    pipeline.add_source("auctions", source)
+    pipeline.add_operator("q6", make_q6_operator)
+    pipeline.add_operator("out", SinkOperator)
+    pipeline.connect("auctions", "q6")
+    pipeline.connect("q6", "out")
+    config = JobConfig(
+        checkpoint_interval_ms=checkpoint_interval_ms,
+        parallelism=parallelism,
+        seed=seed,
+    )
+    return Job(env, pipeline, config, backend)

@@ -1,0 +1,50 @@
+"""Delivery Hero Q-commerce order-delivery workload (§VIII).
+
+Three event streams feed three stateful operators: **order info**
+(one-time general order data), **order status** (the order-state
+machine with deadlines), and **rider location** (periodic coordinates).
+The four real monitoring queries of the paper run verbatim against the
+resulting snapshot tables (:data:`QUERY_1` … :data:`QUERY_4`).
+"""
+
+from .generator import (
+    OrderInfoSource,
+    OrderStatusSource,
+    RiderLocationSource,
+    order_info_for,
+    order_status_for,
+    rider_location_for,
+)
+from .model import (
+    ORDER_STATES,
+    OrderInfo,
+    OrderStatus,
+    RiderLocation,
+)
+from .queries import (
+    ALL_QUERIES,
+    QUERY_1,
+    QUERY_2,
+    QUERY_3,
+    QUERY_4,
+    build_qcommerce_job,
+)
+
+__all__ = [
+    "ALL_QUERIES",
+    "ORDER_STATES",
+    "OrderInfo",
+    "OrderInfoSource",
+    "OrderStatus",
+    "OrderStatusSource",
+    "QUERY_1",
+    "QUERY_2",
+    "QUERY_3",
+    "QUERY_4",
+    "RiderLocation",
+    "RiderLocationSource",
+    "build_qcommerce_job",
+    "order_info_for",
+    "order_status_for",
+    "rider_location_for",
+]

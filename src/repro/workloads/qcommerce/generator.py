@@ -1,0 +1,198 @@
+"""Deterministic Q-commerce event generators.
+
+The paper used real anonymised Delivery Hero data enriched with
+synthetic events; we substitute a fully synthetic but structurally
+faithful generator (see DESIGN.md §2).  Every generator is a pure
+function of ``(instance, seq)`` so replay after failure is exact, and
+each key is owned by exactly one source instance (like a Kafka
+partition), so per-key event order is total — which keeps the
+latest-value operator state deterministic across failures.
+
+Order lifecycle: each order key cycles through the order-state machine;
+after ``DELIVERED`` the key is reused for a new order (keeping the state
+size pinned at the configured number of unique keys, as in §IX-C's
+1K/10K/100K experiments).  A configurable fraction of transitions carry
+an already-expired deadline so Query 1 has late orders to find.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from .model import (
+    DELIVERY_ZONES,
+    ORDER_STATES,
+    OrderInfo,
+    OrderStatus,
+    RiderLocation,
+    VENDOR_CATEGORIES,
+)
+
+_MIX = 0x9E3779B97F4A7C15
+
+
+def _mix(instance: int, seq: int, salt: int) -> int:
+    value = (instance * 1_000_003 + seq) * _MIX + salt
+    value ^= value >> 29
+    return value & 0x7FFFFFFFFFFFFFFF
+
+
+def order_info_for(order_id: int) -> OrderInfo:
+    """The deterministic :class:`OrderInfo` of one order (used both by
+    the source and by benchmark state preloading)."""
+    h = _mix(0, order_id, 5)
+    return OrderInfo(
+        deliveryZone=DELIVERY_ZONES[h % len(DELIVERY_ZONES)],
+        vendorCategory=VENDOR_CATEGORIES[(h >> 8) % len(VENDOR_CATEGORIES)],
+        customerLat=52.0 + (h % 1000) / 1000.0,
+        customerLon=4.3 + ((h >> 10) % 1000) / 1000.0,
+        vendorLat=52.0 + ((h >> 20) % 1000) / 1000.0,
+        vendorLon=4.3 + ((h >> 30) % 1000) / 1000.0,
+    )
+
+
+def order_status_for(order_id: int, round_number: int,
+                     late: bool) -> OrderStatus:
+    """A deterministic :class:`OrderStatus` at a lifecycle round."""
+    state = ORDER_STATES[round_number % len(ORDER_STATES)]
+    return OrderStatus(
+        orderState=state,
+        lateTimestamp=-1.0 if late else 1e15,
+    )
+
+
+def rider_location_for(rider_id: int, seq: int) -> RiderLocation:
+    """A deterministic :class:`RiderLocation` update."""
+    h = _mix(rider_id, seq, 59)
+    return RiderLocation(
+        latitude=52.0 + (h % 100_000) / 100_000.0,
+        longitude=4.3 + ((h >> 17) % 100_000) / 100_000.0,
+        updatedTimestamp=float(seq),
+    )
+
+
+class _PartitionedKeySource:
+    """Base class: a key universe partitioned over source instances.
+
+    Instance ``i`` owns the keys ``{k : k % parallelism == i}`` and
+    walks them in order, so every key is emitted by exactly one
+    instance, once per *round*.
+    """
+
+    def __init__(self, total_rate_per_s: float, universe: int,
+                 parallelism: int, limit_per_instance: int | None = None,
+                 randomized: bool = False) -> None:
+        if universe < 1:
+            raise ConfigurationError("key universe must be >= 1")
+        if parallelism < 1:
+            raise ConfigurationError("source parallelism must be >= 1")
+        self._rate = total_rate_per_s
+        self._universe = universe
+        self._parallelism = parallelism
+        self._limit = limit_per_instance
+        #: Randomised key selection draws keys pseudo-uniformly from the
+        #: owned set instead of cycling, which makes consecutive deltas
+        #: overlap — the update pattern the incremental-snapshot query
+        #: experiments need (Fig. 13).  Still a pure (instance, seq)
+        #: function, so replay stays exact.
+        self._randomized = randomized
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    def _owned_count(self, instance: int) -> int:
+        if instance >= self._universe:
+            return 0
+        full, extra = divmod(self._universe, self._parallelism)
+        return full + (1 if instance < extra else 0)
+
+    def _key_and_round(self, instance: int,
+                       seq: int) -> tuple[int, int] | None:
+        owned = self._owned_count(instance)
+        if owned == 0:
+            return None  # more instances than keys: idle instance
+        round_number = seq // owned
+        if self._randomized:
+            index = _mix(instance, seq, 73) % owned
+        else:
+            index = seq % owned
+        return instance + self._parallelism * index, round_number
+
+    def rate_per_instance(self, parallelism: int) -> float:
+        active = min(parallelism, self._universe)
+        return self._rate / active if active else 0.0
+
+    def _exhausted(self, seq: int) -> bool:
+        return self._limit is not None and seq >= self._limit
+
+
+class OrderInfoSource(_PartitionedKeySource):
+    """One-time order information events.
+
+    Each owned key receives its info event once per lifecycle round, so
+    the ``orderinfo`` state converges to exactly ``universe`` keys and
+    stays there (re-rounds refresh the same key).
+    """
+
+    def generate(self, instance: int, seq: int):
+        if self._exhausted(seq):
+            return None
+        located = self._key_and_round(instance, seq)
+        if located is None:
+            return None
+        order_id, _ = located
+        return order_id, order_info_for(order_id)
+
+
+class OrderStatusSource(_PartitionedKeySource):
+    """Order state-machine transition events.
+
+    The round number (how many times this key has been emitted) selects
+    the state, so a key's events always appear in machine order.
+    ``late_fraction`` of transitions carry a deadline already in the
+    past relative to any query time.
+    """
+
+    def __init__(self, total_rate_per_s: float, universe: int,
+                 parallelism: int, late_fraction: float = 0.25,
+                 limit_per_instance: int | None = None,
+                 randomized: bool = False) -> None:
+        super().__init__(total_rate_per_s, universe, parallelism,
+                         limit_per_instance, randomized)
+        if not 0.0 <= late_fraction <= 1.0:
+            raise ConfigurationError("late_fraction must be in [0, 1]")
+        self._late_fraction = late_fraction
+
+    def generate(self, instance: int, seq: int):
+        if self._exhausted(seq):
+            return None
+        located = self._key_and_round(instance, seq)
+        if located is None:
+            return None
+        order_id, round_number = located
+        # A per-order phase offset staggers the lifecycles: at any
+        # instant the population spreads over all order states, like a
+        # real stream of independent orders (otherwise every key would
+        # sit in the same state simultaneously).
+        phase = _mix(0, order_id, 83) % len(ORDER_STATES)
+        h = _mix(instance, seq, 31)
+        late = (h % 1000) < self._late_fraction * 1000
+        return order_id, order_status_for(order_id, round_number + phase,
+                                          late)
+
+
+class RiderLocationSource(_PartitionedKeySource):
+    """Periodic rider coordinate updates.
+
+    Rider state is the two doubles + timestamp used by the paper's
+    direct-object comparison against TSpoon (§IX-D).
+    """
+
+    def generate(self, instance: int, seq: int):
+        if self._exhausted(seq):
+            return None
+        located = self._key_and_round(instance, seq)
+        if located is None:
+            return None
+        rider_id, _ = located
+        return rider_id, rider_location_for(rider_id, seq)

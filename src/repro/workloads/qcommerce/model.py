@@ -1,0 +1,67 @@
+"""Q-commerce domain objects (§VIII).
+
+The paper enumerates three event/state types: rider locations (latest
+coordinates + timestamp), order status (a state machine with a deadline
+for the next transition), and order info (one-time general order data:
+customer/vendor location, vendor category).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The order-state machine, from §VIII (the paper lists a subset and
+#: omits several states "for space savings"; the queries reference all
+#: of these).
+ORDER_STATES = (
+    "ORDER_RECEIVED",
+    "VENDOR_ACCEPTED",
+    "NOTIFIED",
+    "ACCEPTED",
+    "PICKED_UP",
+    "LEFT_PICKUP",
+    "NEAR_CUSTOMER",
+    "DELIVERED",
+)
+
+#: Delivery zones used by the GROUP BY queries.
+DELIVERY_ZONES = tuple(f"zone-{i:02d}" for i in range(12))
+
+#: Vendor categories used by Query 2's GROUP BY.
+VENDOR_CATEGORIES = (
+    "restaurant", "groceries", "pharmacy", "flowers", "electronics",
+)
+
+
+@dataclass(frozen=True)
+class RiderLocation:
+    """Latest coordinates of one delivery rider."""
+
+    latitude: float
+    longitude: float
+    updatedTimestamp: float
+
+
+@dataclass(frozen=True)
+class OrderStatus:
+    """Current state of one order plus its transition deadline.
+
+    ``lateTimestamp`` is the virtual time by which the order should
+    have moved to the next state; Query 1 flags orders whose deadline
+    has passed (``lateTimestamp < LOCALTIMESTAMP``).
+    """
+
+    orderState: str
+    lateTimestamp: float
+
+
+@dataclass(frozen=True)
+class OrderInfo:
+    """One-time general information about an order."""
+
+    deliveryZone: str
+    vendorCategory: str
+    customerLat: float
+    customerLon: float
+    vendorLat: float
+    vendorLon: float

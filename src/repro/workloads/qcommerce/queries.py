@@ -1,0 +1,116 @@
+"""The four real Delivery Hero monitoring queries, verbatim (§VIII–IX),
+and the Q-commerce job builder."""
+
+from __future__ import annotations
+
+from ...config import JobConfig
+from ...dataflow import Job, KeyedAggregateOperator, Pipeline
+from .generator import (
+    OrderInfoSource,
+    OrderStatusSource,
+    RiderLocationSource,
+)
+
+#: Query 1: how many orders are late (in preparation by the vendor for
+#: too long) per area?
+QUERY_1 = (
+    'SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo" '
+    'JOIN "snapshot_orderstate" USING(partitionKey) WHERE '
+    "(orderState='VENDOR_ACCEPTED' AND lateTimestamp<LOCALTIMESTAMP) "
+    "GROUP BY deliveryZone"
+)
+
+#: Query 2: how many deliveries are ready for pickup per shop category?
+QUERY_2 = (
+    'SELECT COUNT(*), vendorCategory FROM "snapshot_orderinfo" '
+    'JOIN "snapshot_orderstate" USING(partitionKey) WHERE '
+    "(orderState='NOTIFIED' OR orderState='ACCEPTED') "
+    "GROUP BY vendorCategory"
+)
+
+#: Query 3: how many deliveries are being prepared per area?
+QUERY_3 = (
+    'SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo" '
+    'JOIN "snapshot_orderstate" USING(partitionKey) WHERE '
+    "(orderState='VENDOR_ACCEPTED') GROUP BY deliveryZone"
+)
+
+#: Query 4: how many deliveries are in transit per area?
+QUERY_4 = (
+    'SELECT COUNT(*), deliveryZone FROM "snapshot_orderinfo" '
+    'JOIN "snapshot_orderstate" USING(partitionKey) WHERE '
+    "orderState='PICKED_UP' OR orderState='LEFT_PICKUP' OR "
+    "orderState='NEAR_CUSTOMER' GROUP BY deliveryZone"
+)
+
+ALL_QUERIES = (QUERY_1, QUERY_2, QUERY_3, QUERY_4)
+
+
+def _latest(_state, value):
+    """Keep the latest event as the keyed state."""
+    return value
+
+
+def build_qcommerce_job(env, backend=None, orders: int = 10_000,
+                        riders: int | None = None,
+                        events_per_s: float = 2_000,
+                        rider_events_per_s: float | None = None,
+                        checkpoint_interval_ms: float = 1000.0,
+                        parallelism: int | None = None,
+                        randomized: bool = False,
+                        seed: int = 7) -> Job:
+    """Deploy the Q-commerce monitoring job (Fig. 1's three operators).
+
+    ``orders`` controls the number of unique keys in the order state —
+    the 1K/10K/100K axis of the snapshot experiments.  The three
+    stateful operators are named so their tables match the paper's
+    queries: ``orderinfo``, ``orderstate``, and ``riderlocation``.
+    """
+    if riders is None:
+        riders = max(10, orders // 10)
+    if rider_events_per_s is None:
+        rider_events_per_s = events_per_s / 2
+    effective_parallelism = parallelism or env.cluster.config.nodes
+
+    info_source = OrderInfoSource(
+        events_per_s / 2, orders, effective_parallelism,
+        randomized=randomized,
+    )
+    status_source = OrderStatusSource(
+        events_per_s / 2, orders, effective_parallelism,
+        randomized=randomized,
+    )
+    rider_source = RiderLocationSource(
+        rider_events_per_s, riders, effective_parallelism,
+        randomized=randomized,
+    )
+
+    pipeline = Pipeline()
+    pipeline.add_source("orderinfo-events", info_source)
+    pipeline.add_source("orderstate-events", status_source)
+    pipeline.add_source("rider-events", rider_source)
+    pipeline.add_operator(
+        "orderinfo", lambda: KeyedAggregateOperator(_latest, _no_output)
+    )
+    pipeline.add_operator(
+        "orderstate", lambda: KeyedAggregateOperator(_latest, _no_output)
+    )
+    pipeline.add_operator(
+        "riderlocation", lambda: KeyedAggregateOperator(_latest, _no_output)
+    )
+    pipeline.connect("orderinfo-events", "orderinfo")
+    pipeline.connect("orderstate-events", "orderstate")
+    pipeline.connect("rider-events", "riderlocation")
+
+    config = JobConfig(
+        checkpoint_interval_ms=checkpoint_interval_ms,
+        parallelism=parallelism,
+        seed=seed,
+    )
+    return Job(env, pipeline, config, backend)
+
+
+def _no_output(_key, _state):
+    """The monitoring operators are terminal: they accumulate state for
+    querying and emit nothing downstream."""
+    return None

@@ -1,0 +1,118 @@
+"""Tests for the query load drivers."""
+
+from repro.query import QueryService
+from repro.bench import ClosedLoopClient, OpenLoopSqlClient
+from repro.simtime import Simulator
+
+from ..conftest import build_average_job, make_squery_backend
+
+
+class FakeHandle:
+    def __init__(self, latency_ms):
+        self.latency_ms = latency_ms
+
+
+def test_closed_loop_maintains_concurrency():
+    sim = Simulator()
+    in_flight = {"count": 0, "max": 0}
+
+    def submit(on_done):
+        in_flight["count"] += 1
+        in_flight["max"] = max(in_flight["max"], in_flight["count"])
+
+        def finish():
+            in_flight["count"] -= 1
+            on_done(FakeHandle(2.0))
+
+        sim.schedule(2.0, finish)
+
+    client = ClosedLoopClient(sim, submit, concurrency=3)
+    client.start()
+    sim.run_until(20.0)
+    assert in_flight["max"] == 3
+    # 3 concurrent clients x (20ms / 2ms per query) completions.
+    assert len(client.completions) == 30
+
+
+def test_closed_loop_throughput_window():
+    sim = Simulator()
+
+    def submit(on_done):
+        sim.schedule(1.0, on_done, FakeHandle(1.0))
+
+    client = ClosedLoopClient(sim, submit, concurrency=1)
+    client.start()
+    sim.run_until(100.0)
+    # 1 query per ms -> 1000 q/s inside any window.
+    assert client.throughput_per_s(50.0, 100.0) == 1000.0
+    assert len(client.latencies_in(0.0, 10.0)) == 9  # [0, 10) half-open
+
+
+def test_closed_loop_stop_halts_resubmission():
+    sim = Simulator()
+
+    def submit(on_done):
+        sim.schedule(1.0, on_done, FakeHandle(1.0))
+
+    client = ClosedLoopClient(sim, submit, concurrency=1)
+    client.start()
+    sim.run_until(5.0)
+    client.stop()
+    count = len(client.completions)
+    sim.run_until(20.0)
+    assert len(client.completions) <= count + 1
+
+
+def test_open_loop_sql_client_submits_at_rate(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_200)
+    service = QueryService(env)
+    client = OpenLoopSqlClient(
+        env.sim, service,
+        ['SELECT COUNT(*) FROM "snapshot_average"'],
+        rate_per_s=100.0,
+    )
+    client.start()
+    env.run_for(2_000)
+    client.stop()
+    assert 120 < len(client.completions) < 280
+    assert client.errors == 0
+
+
+def test_open_loop_counts_errors(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend)
+    job.start()
+    env.run_until(100)  # before the first commit
+    service = QueryService(env)
+    client = OpenLoopSqlClient(
+        env.sim, service,
+        ['SELECT COUNT(*) FROM "snapshot_average"'],
+        rate_per_s=50.0,
+    )
+    client.start()
+    env.run_for(300)
+    client.stop()
+    assert client.errors > 0
+
+
+def test_open_loop_rotates_statements(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_200)
+    service = QueryService(env)
+    client = OpenLoopSqlClient(
+        env.sim, service,
+        ['SELECT COUNT(*) FROM "average"',
+         'SELECT SUM(count) FROM "average"'],
+        rate_per_s=50.0, materialize=True,
+    )
+    client.start()
+    env.run_for(1_000)
+    client.stop()
+    assert len(client.completions) > 10

@@ -1,0 +1,64 @@
+"""Tests for trendline fits."""
+
+import pytest
+
+from repro.bench import linear_fit, power_law_fit
+
+
+def test_linear_fit_exact():
+    fit = linear_fit([1, 2, 3], [5, 7, 9])
+    slope, intercept = fit.coefficients
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(3.0)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.predict(10) == pytest.approx(23.0)
+
+
+def test_linear_fit_noisy_r_squared_below_one():
+    fit = linear_fit([1, 2, 3, 4], [2, 4.5, 5.5, 8.5])
+    assert 0.9 < fit.r_squared < 1.0
+
+
+def test_linear_fit_needs_two_points():
+    with pytest.raises(ValueError):
+        linear_fit([1], [1])
+
+
+def test_power_law_exact():
+    xs = [1, 10, 100, 1000]
+    ys = [5 * x ** -0.7 for x in xs]
+    fit = power_law_fit(xs, ys)
+    scale, exponent = fit.coefficients
+    assert scale == pytest.approx(5.0)
+    assert exponent == pytest.approx(-0.7)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.predict(10) == pytest.approx(5 * 10 ** -0.7)
+
+
+def test_power_law_requires_positive_values():
+    with pytest.raises(ValueError):
+        power_law_fit([1, 2], [0, 1])
+    with pytest.raises(ValueError):
+        power_law_fit([0, 2], [1, 1])
+
+
+def test_power_law_fits_paper_fig14_data_well():
+    """The paper reports R² = 0.993 (S-QUERY) and 0.97 (TSpoon) on
+    these exact throughput numbers."""
+    keys = [1, 10, 100, 1000]
+    squery = [115037, 23186, 3133, 906]
+    tspoon = [53900, 26100, 3200, 890]
+    assert power_law_fit(keys, squery).r_squared > 0.99
+    assert power_law_fit(keys, tspoon).r_squared > 0.96
+
+
+def test_constant_data_r_squared_one():
+    fit = linear_fit([1, 2, 3], [5, 5, 5])
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_predict_unknown_kind_rejected():
+    from repro.bench.fitting import Fit
+
+    with pytest.raises(ValueError):
+        Fit("spline", (1.0,), 1.0).predict(1.0)

@@ -1,0 +1,53 @@
+"""Tests for latency recording and percentile computation."""
+
+import math
+
+from repro.bench import LatencyRecorder, percentiles
+from repro.bench.latency import PAPER_PERCENTILES
+
+
+def test_percentiles_of_known_distribution():
+    samples = [float(i) for i in range(1, 101)]
+    summary = percentiles(samples, (0.0, 50.0, 99.0))
+    assert summary[0.0] == 1.0
+    assert summary[50.0] == 50.5
+    assert 99.0 < summary[99.0] <= 100.0
+
+
+def test_percentiles_empty_is_nan():
+    summary = percentiles([])
+    assert all(math.isnan(v) for v in summary.values())
+
+
+def test_paper_percentile_axis():
+    assert PAPER_PERCENTILES == (0.0, 50.0, 90.0, 99.0, 99.9, 99.99)
+
+
+def test_recorder_accumulates():
+    recorder = LatencyRecorder("x")
+    recorder.record(1.0)
+    recorder.extend([2.0, 3.0])
+    assert recorder.count == 3
+    assert recorder.samples == [1.0, 2.0, 3.0]
+    assert recorder.mean() == 2.0
+
+
+def test_recorder_percentile():
+    recorder = LatencyRecorder()
+    recorder.extend([float(i) for i in range(11)])
+    assert recorder.percentile(50) == 5.0
+    assert recorder.percentile(0) == 0.0
+    assert recorder.percentile(100) == 10.0
+
+
+def test_recorder_summary_uses_paper_axis():
+    recorder = LatencyRecorder()
+    recorder.extend([1.0, 2.0, 3.0])
+    summary = recorder.summary()
+    assert set(summary) == set(PAPER_PERCENTILES)
+
+
+def test_empty_recorder_is_nan():
+    recorder = LatencyRecorder()
+    assert math.isnan(recorder.mean())
+    assert math.isnan(recorder.percentile(50))

@@ -1,0 +1,46 @@
+"""Tests for text reporting helpers."""
+
+from repro.bench import format_series, format_table
+from repro.bench.report import percentile_headers, percentile_row
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [["alpha", 1.5], ["b", 22.25]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "1.50" in text and "22.25" in text
+
+
+def test_format_table_numbers_right_aligned():
+    text = format_table(["n"], [[1.0], [100.0]])
+    rows = text.splitlines()[2:]
+    assert rows[0].endswith("1.00")
+    assert rows[1].endswith("100.00")
+
+
+def test_format_series_contains_points():
+    text = format_series("jet", {0.0: 1.0, 50.0: 2.0},
+                         points=(0.0, 50.0))
+    assert text.startswith("jet")
+    assert "p0=" in text and "p50=" in text
+
+
+def test_percentile_headers_and_row_align():
+    headers = percentile_headers((0.0, 99.9))
+    assert headers == ["p0", "p99.9"]
+    row = percentile_row("jet", {0.0: 1.234, 99.9: 5.678},
+                         points=(0.0, 99.9))
+    assert row == ["jet", 1.23, 5.68]
+
+
+def test_missing_points_render_nan():
+    import math
+
+    row = percentile_row("x", {}, points=(50.0,))
+    assert math.isnan(row[1])

@@ -1,0 +1,38 @@
+"""Tests for the sustainable-throughput search."""
+
+from repro.bench import find_sustainable_rate
+from repro.bench.throughput import RateProbe
+
+
+def synthetic_probe(capacity):
+    """A system that keeps up until `capacity` then collapses."""
+
+    def probe(rate):
+        if rate <= capacity:
+            return RateProbe(rate, rate, p50_ms=2.0, p99_ms=5.0)
+        return RateProbe(rate, capacity, p50_ms=500.0, p99_ms=900.0)
+
+    return probe
+
+
+def test_search_converges_to_capacity():
+    best = find_sustainable_rate(synthetic_probe(700.0), 100.0, 1600.0,
+                                 iterations=10)
+    assert 680.0 < best <= 700.0
+
+
+def test_search_returns_low_if_everything_fails():
+    def probe(rate):
+        return RateProbe(rate, rate * 0.5, p50_ms=999.0, p99_ms=999.0)
+
+    assert find_sustainable_rate(probe, 50.0, 100.0) == 50.0
+
+
+def test_probe_sustainability_criteria():
+    ok = RateProbe(100.0, 99.0, p50_ms=3.0, p99_ms=10.0)
+    assert ok.sustainable()
+    lagging = RateProbe(100.0, 80.0, p50_ms=3.0, p99_ms=10.0)
+    assert not lagging.sustainable()
+    slow = RateProbe(100.0, 100.0, p50_ms=80.0, p99_ms=200.0)
+    assert not slow.sustainable()
+    assert slow.sustainable(p50_bound_ms=100.0)

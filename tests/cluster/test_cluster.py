@@ -1,0 +1,89 @@
+"""Tests for cluster nodes and failure injection."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.errors import ClusterError, NodeDownError
+from repro.simtime import Simulator
+
+
+def make_cluster(nodes=3, backup_count=1):
+    sim = Simulator()
+    config = ClusterConfig(nodes=nodes, processing_workers_per_node=2,
+                           backup_count=backup_count)
+    return Cluster(sim, config)
+
+
+def test_cluster_builds_requested_nodes():
+    cluster = make_cluster(3)
+    assert len(cluster.nodes) == 3
+    assert [n.node_id for n in cluster.nodes] == [0, 1, 2]
+    assert all(n.alive for n in cluster.nodes)
+
+
+def test_node_pools_sized_from_config():
+    cluster = make_cluster()
+    node = cluster.node(0)
+    assert node.processing_pool.workers == 2
+    assert node.query_pool.workers == 4
+    assert len(node.store_servers) == 4
+
+
+def test_store_server_selection_wraps():
+    node = make_cluster().node(0)
+    assert node.store_server(0) is node.store_servers[0]
+    assert node.store_server(5) is node.store_servers[1]
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(ClusterError):
+        make_cluster().node(9)
+
+
+def test_kill_node_marks_dead_and_reassigns():
+    cluster = make_cluster()
+    owned_before = cluster.partitioner.partitions_owned_by(1)
+    assert owned_before
+    cluster.kill_node(1)
+    assert not cluster.node(1).alive
+    assert cluster.partitioner.partitions_owned_by(1) == []
+    assert cluster.surviving_node_ids() == [0, 2]
+
+
+def test_kill_node_twice_rejected():
+    cluster = make_cluster()
+    cluster.kill_node(1)
+    with pytest.raises(NodeDownError):
+        cluster.kill_node(1)
+
+
+def test_cannot_kill_last_node():
+    cluster = make_cluster(2)
+    cluster.kill_node(0)
+    with pytest.raises(ClusterError):
+        cluster.kill_node(1)
+
+
+def test_failure_listeners_invoked():
+    cluster = make_cluster()
+    seen = []
+    cluster.on_node_failure(seen.append)
+    cluster.kill_node(2)
+    assert seen == [2]
+
+
+def test_check_alive_raises_on_dead_node():
+    cluster = make_cluster()
+    cluster.kill_node(0)
+    with pytest.raises(NodeDownError):
+        cluster.node(0).check_alive()
+
+
+def test_invalid_cluster_config_rejected():
+    from repro.errors import ConfigurationError
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        Cluster(sim, ClusterConfig(nodes=0))
+    with pytest.raises(ConfigurationError):
+        Cluster(sim, ClusterConfig(nodes=2, backup_count=2))

@@ -1,0 +1,82 @@
+"""Tests for hash partitioning and placement."""
+
+import pytest
+
+from repro.cluster import Partitioner
+from repro.cluster.partition import stable_hash
+from repro.errors import ConfigurationError
+
+
+def test_stable_hash_deterministic_for_strings():
+    assert stable_hash("order-1") == stable_hash("order-1")
+    assert stable_hash("order-1") != stable_hash("order-2")
+
+
+def test_stable_hash_int_identity():
+    assert stable_hash(12345) == 12345
+    assert stable_hash(0) == 0
+
+
+def test_partition_of_in_range():
+    part = Partitioner(271, 3)
+    for key in ["a", "b", 1, 42, (1, "x")]:
+        assert 0 <= part.partition_of(key) < 271
+
+
+def test_owner_round_robin():
+    part = Partitioner(6, 3)
+    owners = [part.owner_of_partition(p) for p in range(6)]
+    assert owners == [0, 1, 2, 0, 1, 2]
+
+
+def test_backups_are_next_nodes():
+    part = Partitioner(6, 3, backup_count=1)
+    assert part.backups_of_partition(0) == [1]
+    assert part.backups_of_partition(2) == [0]
+
+
+def test_backups_multiple():
+    part = Partitioner(4, 4, backup_count=2)
+    assert part.backups_of_partition(3) == [0, 1]
+
+
+def test_partitions_owned_by():
+    part = Partitioner(6, 3)
+    assert part.partitions_owned_by(1) == [1, 4]
+
+
+def test_reassign_node_promotes_backups():
+    part = Partitioner(6, 3, backup_count=1)
+    moved = part.reassign_node(0)
+    assert set(moved) == {0, 3}
+    for partition, new_owner in moved.items():
+        assert new_owner != 0
+        assert part.owner_of_partition(partition) == new_owner
+
+
+def test_reassign_without_backups_fails():
+    part = Partitioner(4, 2, backup_count=0)
+    with pytest.raises(ConfigurationError):
+        part.reassign_node(0)
+
+
+def test_instance_routing_consistent_with_hash():
+    part = Partitioner(271, 3)
+    for key in range(100):
+        assert part.instance_of(key, 7) == stable_hash(key) % 7
+
+
+def test_node_of_instance_striped():
+    part = Partitioner(271, 3)
+    assert [part.node_of_instance(i, 6) for i in range(6)] == [
+        0, 1, 2, 0, 1, 2,
+    ]
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ConfigurationError):
+        Partitioner(0, 3)
+    with pytest.raises(ConfigurationError):
+        Partitioner(10, 0)
+    with pytest.raises(ConfigurationError):
+        Partitioner(10, 3, backup_count=3)

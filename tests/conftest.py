@@ -1,0 +1,89 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import (
+    ClusterConfig,
+    Environment,
+    JobConfig,
+    KeyedAggregateOperator,
+    Pipeline,
+    SinkOperator,
+    SQueryBackend,
+    SQueryConfig,
+)
+from repro.dataflow import Job
+from repro.dataflow.sources import CallableSource
+
+
+@pytest.fixture
+def env():
+    """A small three-node environment (2 processing workers per node)."""
+    return Environment(
+        ClusterConfig(nodes=3, processing_workers_per_node=2)
+    )
+
+
+@pytest.fixture
+def single_node_env():
+    return Environment(
+        ClusterConfig(nodes=1, processing_workers_per_node=2,
+                      backup_count=0)
+    )
+
+
+@dataclass
+class Avg:
+    """A small state object with named fields (exercises row shaping)."""
+
+    count: int
+    total: float
+
+
+def accumulate_avg(state, value):
+    if state is None:
+        return Avg(1, float(value))
+    return Avg(state.count + 1, state.total + float(value))
+
+
+def counting_source(total_rate_per_s: float = 2000.0, keys: int = 40,
+                    limit_per_instance: int | None = None):
+    """Deterministic source: cycles keys, value = seq % 10."""
+
+    def gen(instance, seq):
+        return (instance * 97 + seq) % keys, float(seq % 10)
+
+    return CallableSource(gen, total_rate_per_s,
+                          limit_per_instance=limit_per_instance)
+
+
+def build_average_job(env, backend=None, rate=2000.0, keys=40,
+                      parallelism=3, checkpoint_interval_ms=1000.0,
+                      limit_per_instance=None):
+    """source -> stateful 'average' operator -> sink."""
+    pipeline = Pipeline()
+    pipeline.add_source(
+        "nums", counting_source(rate, keys, limit_per_instance)
+    )
+    pipeline.add_operator(
+        "average",
+        lambda: KeyedAggregateOperator(
+            accumulate_avg, lambda k, s: s.total / s.count
+        ),
+    )
+    pipeline.add_operator("sink", SinkOperator)
+    pipeline.connect("nums", "average")
+    pipeline.connect("average", "sink")
+    return Job(env, pipeline, JobConfig(
+        checkpoint_interval_ms=checkpoint_interval_ms,
+        parallelism=parallelism,
+    ), backend)
+
+
+def make_squery_backend(env, **overrides):
+    config = SQueryConfig(**overrides) if overrides else SQueryConfig()
+    return SQueryBackend(env.cluster, env.store, config)

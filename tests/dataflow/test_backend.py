@@ -1,0 +1,106 @@
+"""Tests for the vanilla (Jet) state backend."""
+
+import pytest
+
+from repro.dataflow.backend import VanillaBackend, submit_chunked_write
+from repro.errors import RecoveryError
+from repro.simtime import Server, Simulator
+
+
+def test_write_and_restore_blob(env):
+    backend = VanillaBackend(env.cluster)
+    done = []
+    backend.write_snapshot("v", 0, 0, 1, {"a": 1, "b": 2}, set(),
+                           lambda: done.append(True))
+    env.sim.run()
+    assert done == [True]
+    assert backend.restore_instance_state("v", 0, 1) == {"a": 1, "b": 2}
+
+
+def test_restore_missing_blob_raises(env):
+    backend = VanillaBackend(env.cluster)
+    with pytest.raises(RecoveryError):
+        backend.restore_instance_state("v", 0, 9)
+
+
+def test_blob_is_a_copy(env):
+    backend = VanillaBackend(env.cluster)
+    payload = {"a": 1}
+    backend.write_snapshot("v", 0, 0, 1, payload, set(), lambda: None)
+    env.sim.run()
+    payload["a"] = 999
+    assert backend.restore_instance_state("v", 0, 1) == {"a": 1}
+
+
+def test_source_offsets_roundtrip(env):
+    backend = VanillaBackend(env.cluster)
+    backend.write_source_offset("src", 2, 1, 5, 1234, lambda: None)
+    env.sim.run()
+    assert backend.restore_source_offset("src", 2, 5) == 1234
+    with pytest.raises(RecoveryError):
+        backend.restore_source_offset("src", 2, 6)
+
+
+def test_drop_snapshot_removes_blobs_and_offsets(env):
+    backend = VanillaBackend(env.cluster)
+    backend.write_snapshot("v", 0, 0, 1, {"a": 1}, set(), lambda: None)
+    backend.write_source_offset("src", 0, 0, 1, 10, lambda: None)
+    env.sim.run()
+    backend.drop_snapshot(1)
+    assert backend.blob_count() == 0
+    with pytest.raises(RecoveryError):
+        backend.restore_source_offset("src", 0, 1)
+
+
+def test_vanilla_has_no_live_mirroring(env):
+    backend = VanillaBackend(env.cluster)
+    backend.register_vertex("v", 2, lambda i: 0, stateful=True)
+    assert backend.live_update_cost("v") == 0.0
+    backend.on_state_update("v", "k", 1)  # must be a no-op
+    assert not env.store.map_names()
+
+
+def test_write_cost_proportional_to_entries(env):
+    backend = VanillaBackend(env.cluster)
+    sim = env.sim
+    backend.write_snapshot("v", 0, 0, 1, {i: i for i in range(1000)},
+                           set(), lambda: None)
+    sim.run()
+    small_time = sim.now
+    backend.write_snapshot("v", 0, 0, 2, {i: i for i in range(2000)},
+                           set(), lambda: None)
+    sim.run()
+    assert (sim.now - small_time) > small_time * 1.5
+
+
+def test_submit_chunked_write_total_duration():
+    sim = Simulator()
+    server = Server(sim)
+    done = []
+    submit_chunked_write(server, 1000, 0.01, 256, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(10.0)]
+
+
+def test_submit_chunked_write_zero_entries():
+    sim = Simulator()
+    server = Server(sim)
+    done = []
+    submit_chunked_write(server, 0, 0.01, 256, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_chunked_write_lets_other_jobs_interleave():
+    """A competing job submitted between chunks finishes long before the
+    chunked write does — the bounded priority inversion property."""
+    sim = Simulator()
+    server = Server(sim)
+    finished = {}
+    submit_chunked_write(server, 10_000, 0.01, 100,
+                         lambda: finished.setdefault("big", sim.now))
+    sim.schedule(0.5, lambda: server.submit(
+        1.0, lambda: finished.setdefault("small", sim.now)
+    ))
+    sim.run()
+    assert finished["small"] < finished["big"]

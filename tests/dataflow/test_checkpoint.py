@@ -1,0 +1,155 @@
+"""Tests for marker-aligned checkpoints and the 2PC protocol."""
+
+from repro.config import JobConfig
+from repro.dataflow import (
+    Job,
+    KeyedAggregateOperator,
+    MapOperator,
+    Pipeline,
+    SinkOperator,
+)
+from repro.dataflow.backend import VanillaBackend
+from repro.dataflow.sources import CallableSource
+
+from ..conftest import build_average_job
+
+
+def test_checkpoints_complete_periodically(env):
+    job = build_average_job(env, checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(5_250)
+    assert job.coordinator.completed == 10
+    assert env.store.committed_ssid == 10
+
+
+def test_snapshot_ids_monotonic(env):
+    job = build_average_job(env, checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(3_000)
+    ssids = [s.ssid for s in job.coordinator.samples]
+    assert ssids == sorted(ssids)
+    assert len(set(ssids)) == len(ssids)
+
+
+def test_phase1_precedes_phase2(env):
+    job = build_average_job(env)
+    job.start()
+    env.run_until(4_000)
+    for sample in job.coordinator.samples:
+        assert 0 < sample.phase1_ms < sample.phase2_ms
+
+
+def test_retention_keeps_two_snapshots(env):
+    job = build_average_job(env, checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(4_000)
+    assert env.store.available_ssids() == [
+        env.store.committed_ssid - 1, env.store.committed_ssid,
+    ]
+
+
+def test_blob_backend_prunes_with_retention(env):
+    backend = VanillaBackend(env.cluster)
+    job = build_average_job(env, backend=backend,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(4_000)
+    # Blobs exist only for the two retained snapshots: 2 ssids x
+    # (1 stateful vertex x 3 instances).
+    assert backend.blob_count() == 2 * 3
+    committed = env.store.committed_ssid
+    assert backend.has_blob("average", committed, 0)
+    assert not backend.has_blob("average", committed - 2, 0)
+
+
+def test_snapshot_state_is_consistent_cut(env):
+    """Every committed snapshot's record count equals a prefix count:
+    the sum over keys must equal the number of records the sources had
+    emitted before the markers (exactly the checkpoint boundary)."""
+    backend = VanillaBackend(env.cluster)
+    job = build_average_job(env, backend=backend, rate=2000,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(5_000)
+    committed = env.store.committed_ssid
+    total = 0
+    for instance in range(3):
+        state = backend.restore_instance_state("average", instance,
+                                               committed)
+        total += sum(avg.count for avg in state.values())
+    offsets = sum(
+        backend.restore_source_offset("nums", i.instance, committed)
+        for i in job.source_instances()
+    )
+    assert total == offsets
+
+
+def test_exactly_once_no_duplicates_without_failures(env):
+    job = build_average_job(env, rate=1000, keys=10,
+                            limit_per_instance=300,
+                            checkpoint_interval_ms=250)
+    job.start()
+    env.run_until(60_000)
+    state = job.operator_state("average")
+    assert sum(s.count for s in state.values()) == 900
+
+
+def test_marker_alignment_blocks_fast_channel(env):
+    """An operator fed by two sources must not apply post-marker records
+    from the fast channel before its snapshot: the snapshotted count can
+    never exceed the recorded source offsets."""
+    backend = VanillaBackend(env.cluster)
+
+    def gen(instance, seq):
+        return seq % 7, 1
+
+    pipeline = Pipeline()
+    pipeline.add_source("fast", CallableSource(gen, 4000.0))
+    pipeline.add_source("slow", CallableSource(gen, 100.0))
+    pipeline.add_operator(
+        "count", lambda: KeyedAggregateOperator(lambda s, v: (s or 0) + v)
+    )
+    pipeline.add_operator("out", SinkOperator)
+    pipeline.connect("fast", "count")
+    pipeline.connect("slow", "count")
+    pipeline.connect("count", "out")
+    job = Job(env, pipeline, JobConfig(checkpoint_interval_ms=300,
+                                       parallelism=2), backend)
+    job.start()
+    env.run_until(4_000)
+    assert job.coordinator.completed >= 5
+    committed = env.store.committed_ssid
+    counted = sum(
+        sum(backend.restore_instance_state("count", i, committed).values())
+        for i in range(2)
+    )
+    offsets = sum(
+        backend.restore_source_offset(s.vertex_name, s.instance, committed)
+        for s in job.source_instances()
+    )
+    assert counted == offsets
+
+
+def test_skipped_checkpoints_counted_when_interval_too_short(env):
+    # A 1ms interval cannot complete before the next tick fires.
+    job = build_average_job(env, checkpoint_interval_ms=1.0)
+    job.start()
+    env.run_until(500)
+    assert job.coordinator.skipped > 0
+    # But checkpoints still make progress.
+    assert job.coordinator.completed > 0
+
+
+def test_stateless_operators_participate_in_checkpoints(env):
+    pipeline = Pipeline()
+    pipeline.add_source(
+        "s", CallableSource(lambda i, q: (q % 3, q), 500.0)
+    )
+    pipeline.add_operator("noop", lambda: MapOperator(lambda v: v))
+    pipeline.add_operator("out", SinkOperator)
+    pipeline.connect("s", "noop")
+    pipeline.connect("noop", "out")
+    job = Job(env, pipeline, JobConfig(parallelism=2))
+    job.start()
+    env.run_until(3_500)
+    assert job.coordinator.completed == 3

@@ -1,0 +1,115 @@
+"""Tests for the pipeline/DAG builder."""
+
+import pytest
+
+from repro.dataflow import MapOperator, Pipeline
+from repro.dataflow.graph import ROUTE_FORWARD, Vertex
+from repro.dataflow.sources import CallableSource
+from repro.errors import GraphError
+
+
+def source():
+    return CallableSource(lambda i, s: (s, s), 100.0)
+
+
+def test_linear_pipeline_validates():
+    p = Pipeline()
+    p.add_source("src", source())
+    p.add_operator("map", lambda: MapOperator(lambda v: v))
+    p.connect("src", "map")
+    p.validate()
+    assert p.topological_order() == ["src", "map"]
+
+
+def test_duplicate_vertex_rejected():
+    p = Pipeline().add_source("x", source())
+    with pytest.raises(GraphError):
+        p.add_operator("x", lambda: MapOperator(lambda v: v))
+
+
+def test_connect_unknown_vertices_rejected():
+    p = Pipeline().add_source("src", source())
+    with pytest.raises(GraphError):
+        p.connect("src", "nope")
+    with pytest.raises(GraphError):
+        p.connect("nope", "src")
+
+
+def test_connect_into_source_rejected():
+    p = Pipeline()
+    p.add_source("a", source())
+    p.add_source("b", source())
+    with pytest.raises(GraphError):
+        p.connect("a", "b")
+
+
+def test_unknown_routing_rejected():
+    p = Pipeline()
+    p.add_source("src", source())
+    p.add_operator("map", lambda: MapOperator(lambda v: v))
+    with pytest.raises(GraphError):
+        p.connect("src", "map", routing="teleport")
+
+
+def test_empty_pipeline_invalid():
+    with pytest.raises(GraphError):
+        Pipeline().validate()
+
+
+def test_pipeline_without_source_invalid():
+    p = Pipeline().add_operator("map", lambda: MapOperator(lambda v: v))
+    with pytest.raises(GraphError):
+        p.validate()
+
+
+def test_orphan_operator_invalid():
+    p = Pipeline()
+    p.add_source("src", source())
+    p.add_operator("orphan", lambda: MapOperator(lambda v: v))
+    with pytest.raises(GraphError):
+        p.validate()
+
+
+def test_cycle_detected():
+    p = Pipeline()
+    p.add_source("src", source())
+    p.add_operator("a", lambda: MapOperator(lambda v: v))
+    p.add_operator("b", lambda: MapOperator(lambda v: v))
+    p.connect("src", "a")
+    p.connect("a", "b")
+    p.connect("b", "a")
+    with pytest.raises(GraphError):
+        p.validate()
+
+
+def test_diamond_topology_valid():
+    p = Pipeline()
+    p.add_source("src", source())
+    for name in ("left", "right", "join"):
+        p.add_operator(name, lambda: MapOperator(lambda v: v))
+    p.connect("src", "left")
+    p.connect("src", "right")
+    p.connect("left", "join")
+    p.connect("right", "join")
+    p.validate()
+    order = p.topological_order()
+    assert order.index("src") < order.index("left") < order.index("join")
+
+
+def test_in_out_edges():
+    p = Pipeline()
+    p.add_source("src", source())
+    p.add_operator("a", lambda: MapOperator(lambda v: v))
+    p.connect("src", "a", routing=ROUTE_FORWARD)
+    assert p.out_edges("src")[0].routing == ROUTE_FORWARD
+    assert p.in_edges("a")[0].src == "src"
+
+
+def test_vertex_validation():
+    with pytest.raises(GraphError):
+        Vertex("bad").validate()  # neither source nor factory
+    with pytest.raises(GraphError):
+        Vertex("bad", factory=lambda: MapOperator(lambda v: v),
+               source=source()).validate()
+    with pytest.raises(GraphError):
+        Vertex("bad", source=source(), parallelism=0).validate()

@@ -1,0 +1,182 @@
+"""Tests for operators and state access."""
+
+import pytest
+
+from repro.dataflow import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyedAggregateOperator,
+    MapOperator,
+    Record,
+    SinkOperator,
+)
+from repro.dataflow.operators import Emitter, StateAccess, StatefulMapOperator
+from repro.errors import DataflowError
+
+
+def record(key, value):
+    return Record(key=key, value=value, created_ms=0.0)
+
+
+def process(operator, *records):
+    out = Emitter()
+    for item in records:
+        operator.process(item, out)
+    return out.drain()
+
+
+def test_map_operator():
+    outputs = process(MapOperator(lambda v: v * 2), record("k", 3))
+    assert [(o.key, o.value) for o in outputs] == [("k", 6)]
+
+
+def test_map_preserves_timestamps():
+    operator = MapOperator(lambda v: v)
+    out = Emitter()
+    operator.process(Record("k", 1, created_ms=42.0, seq=7,
+                            source_instance=2), out)
+    output = out.drain()[0]
+    assert output.created_ms == 42.0
+    assert output.seq == 7
+    assert output.source_instance == 2
+
+
+def test_filter_operator():
+    outputs = process(FilterOperator(lambda v: v > 2),
+                      record("a", 1), record("b", 5))
+    assert [o.value for o in outputs] == [5]
+
+
+def test_flatmap_operator_rekeys():
+    operator = FlatMapOperator(lambda v: [(f"w{i}", i) for i in range(v)])
+    outputs = process(operator, record("k", 3))
+    assert [(o.key, o.value) for o in outputs] == [
+        ("w0", 0), ("w1", 1), ("w2", 2),
+    ]
+
+
+def test_keyed_aggregate_accumulates_per_key():
+    operator = KeyedAggregateOperator(lambda s, v: (s or 0) + v)
+    process(operator, record("a", 1), record("b", 10), record("a", 2))
+    assert operator.state.get("a") == 3
+    assert operator.state.get("b") == 10
+
+
+def test_keyed_aggregate_output_fn():
+    operator = KeyedAggregateOperator(
+        lambda s, v: (s or 0) + v, lambda k, s: s * 100
+    )
+    outputs = process(operator, record("a", 1), record("a", 2))
+    assert [o.value for o in outputs] == [100, 300]
+
+
+def test_keyed_aggregate_output_none_suppresses():
+    operator = KeyedAggregateOperator(
+        lambda s, v: (s or 0) + v, lambda k, s: None
+    )
+    assert process(operator, record("a", 1)) == []
+
+
+def test_stateful_map_operator_multi_key():
+    def fn(state, rec, out):
+        state.put(rec.key, rec.value)
+        state.put(("shadow", rec.key), rec.value * 2)
+
+    operator = StatefulMapOperator(fn)
+    process(operator, record("a", 5))
+    assert operator.state.get("a") == 5
+    assert operator.state.get(("shadow", "a")) == 10
+
+
+def test_sink_counts_and_calls_back():
+    got = []
+    sink = SinkOperator(got.append)
+    process(sink, record("a", 1), record("b", 2))
+    assert sink.received == 2
+    assert [r.value for r in got] == [1, 2]
+
+
+def test_emit_without_record_context_rejected():
+    with pytest.raises(DataflowError):
+        Emitter().emit("x")
+
+
+def test_stateless_operator_has_no_state():
+    assert MapOperator(lambda v: v).state is None
+    assert MapOperator(lambda v: v).snapshot_state() == {}
+
+
+# -- StateAccess --------------------------------------------------------------
+
+
+def test_state_access_tracks_dirty_keys():
+    state = StateAccess()
+    state.put("a", 1)
+    state.put("b", 2)
+    assert state.dirty == {"a", "b"}
+    delta, deleted = state.take_delta()
+    assert delta == {"a": 1, "b": 2}
+    assert deleted == set()
+    assert state.dirty == set()
+
+
+def test_state_access_delete_produces_tombstone():
+    state = StateAccess()
+    state.put("a", 1)
+    state.take_delta()
+    state.delete("a")
+    delta, deleted = state.take_delta()
+    assert delta == {}
+    assert deleted == {"a"}
+    assert not state.contains("a")
+
+
+def test_delete_missing_key_returns_false():
+    state = StateAccess()
+    assert state.delete("zzz") is False
+    assert state.take_delta() == ({}, set())
+
+
+def test_put_after_delete_clears_tombstone():
+    state = StateAccess()
+    state.put("a", 1)
+    state.take_delta()
+    state.delete("a")
+    state.put("a", 2)
+    delta, deleted = state.take_delta()
+    assert delta == {"a": 2}
+    assert deleted == set()
+
+
+def test_on_update_hook_fires():
+    state = StateAccess()
+    events = []
+    state.on_update = lambda key, value: events.append((key, value))
+    state.put("a", 1)
+    state.delete("a")
+    assert events == [("a", 1), ("a", None)]
+
+
+def test_snapshot_items_is_a_copy():
+    state = StateAccess()
+    state.put("a", 1)
+    snap = state.snapshot_items()
+    state.put("a", 2)
+    assert snap == {"a": 1}
+
+
+def test_restore_resets_tracking():
+    state = StateAccess()
+    state.put("junk", 0)
+    state.restore({"a": 1, "b": 2})
+    assert dict(state.items()) == {"a": 1, "b": 2}
+    assert state.dirty == set()
+    assert len(state) == 2
+
+
+def test_update_counter():
+    state = StateAccess()
+    state.put("a", 1)
+    state.put("a", 2)
+    state.delete("a")
+    assert state.updates == 3

@@ -1,0 +1,205 @@
+"""Tests for windowed operators."""
+
+import pytest
+
+from repro.dataflow.operators import Emitter
+from repro.dataflow.records import Record
+from repro.dataflow.windows import (
+    CountWindowState,
+    SessionWindowOperator,
+    SlidingCountWindowOperator,
+    TumblingWindowOperator,
+    WindowResult,
+)
+from repro.errors import ConfigurationError
+
+
+def feed(operator, items):
+    """items: (key, value, created_ms); returns emitted values."""
+    out = Emitter()
+    emitted = []
+    for key, value, ts in items:
+        operator.process(Record(key, value, created_ms=ts), out)
+        emitted.extend(r.value for r in out.drain())
+    return emitted
+
+
+def add(acc, value):
+    return (acc or 0) + value
+
+
+# -- tumbling ---------------------------------------------------------------
+
+
+def test_tumbling_window_emits_on_rollover():
+    op = TumblingWindowOperator(100.0, add)
+    emitted = feed(op, [
+        ("k", 1, 10.0), ("k", 2, 50.0),   # window [0, 100)
+        ("k", 5, 120.0),                   # rolls over -> emit [0,100)
+    ])
+    assert len(emitted) == 1
+    result = emitted[0]
+    assert isinstance(result, WindowResult)
+    assert result.window_start == 0.0
+    assert result.window_end == 100.0
+    assert result.count == 2
+    assert result.value == 3
+
+
+def test_tumbling_window_per_key_independent():
+    op = TumblingWindowOperator(100.0, add)
+    emitted = feed(op, [
+        ("a", 1, 10.0), ("b", 10, 20.0),
+        ("a", 2, 150.0),                    # closes only a's window
+    ])
+    assert len(emitted) == 1
+    assert emitted[0].key == "a"
+    assert op.state.get("b").accumulator == 10
+
+
+def test_tumbling_window_output_transform():
+    op = TumblingWindowOperator(100.0, add,
+                                output=lambda k, acc: acc * 10)
+    emitted = feed(op, [("k", 3, 0.0), ("k", 1, 200.0)])
+    assert emitted[0].value == 30
+
+
+def test_tumbling_in_flight_state_queryable():
+    """The open window is visible in the operator state — this is what
+    S-QUERY exposes before the window closes."""
+    op = TumblingWindowOperator(100.0, add)
+    feed(op, [("k", 7, 30.0)])
+    state = op.state.get("k")
+    assert state.accumulator == 7
+    assert state.window_start == 0.0
+    assert state.count == 1
+
+
+def test_tumbling_late_record_folds_into_current():
+    op = TumblingWindowOperator(100.0, add)
+    emitted = feed(op, [
+        ("k", 1, 250.0),
+        ("k", 100, 10.0),  # late: folds into the current window
+    ])
+    assert emitted == []
+    assert op.state.get("k").accumulator == 101
+
+
+def test_tumbling_invalid_size():
+    with pytest.raises(ConfigurationError):
+        TumblingWindowOperator(0.0, add)
+
+
+# -- sliding count ------------------------------------------------------------
+
+
+def test_sliding_count_window_keeps_last_n():
+    op = SlidingCountWindowOperator(3, lambda k, vs: sum(vs))
+    emitted = feed(op, [("k", v, float(v)) for v in (1, 2, 3, 4, 5)])
+    assert emitted == [1, 3, 6, 9, 12]
+    assert op.state.get("k").values == (3, 4, 5)
+    assert op.state.get("k").total_seen == 5
+
+
+def test_sliding_count_window_warm_only():
+    op = SlidingCountWindowOperator(3, lambda k, vs: sum(vs),
+                                    emit_partial=False)
+    emitted = feed(op, [("k", v, float(v)) for v in (1, 2, 3, 4)])
+    assert emitted == [6, 9]
+
+
+def test_sliding_count_none_output_suppressed():
+    op = SlidingCountWindowOperator(
+        2, lambda k, vs: sum(vs) if sum(vs) > 3 else None
+    )
+    emitted = feed(op, [("k", v, 0.0) for v in (1, 2, 3)])
+    assert emitted == [5]
+
+
+def test_sliding_count_initial_state_default():
+    state = CountWindowState((), 0)
+    assert state.values == ()
+
+
+def test_sliding_count_invalid_n():
+    with pytest.raises(ConfigurationError):
+        SlidingCountWindowOperator(0, lambda k, vs: None)
+
+
+# -- sessions ---------------------------------------------------------------
+
+
+def test_session_closes_after_gap():
+    op = SessionWindowOperator(50.0, add)
+    emitted = feed(op, [
+        ("k", 1, 0.0), ("k", 2, 30.0),   # same session
+        ("k", 9, 200.0),                  # gap 170 > 50: closes
+    ])
+    assert len(emitted) == 1
+    result = emitted[0]
+    assert result.window_start == 0.0
+    assert result.window_end == 30.0
+    assert result.count == 2
+    assert result.value == 3
+
+
+def test_session_extends_within_gap():
+    op = SessionWindowOperator(50.0, add)
+    emitted = feed(op, [
+        ("k", 1, 0.0), ("k", 1, 40.0), ("k", 1, 80.0), ("k", 1, 120.0),
+    ])
+    assert emitted == []
+    state = op.state.get("k")
+    assert state.count == 4
+    assert state.last_event == 120.0
+
+
+def test_session_per_key():
+    op = SessionWindowOperator(50.0, add)
+    emitted = feed(op, [
+        ("a", 1, 0.0), ("b", 1, 10.0), ("a", 1, 300.0),
+    ])
+    assert len(emitted) == 1
+    assert emitted[0].key == "a"
+
+
+def test_session_invalid_gap():
+    with pytest.raises(ConfigurationError):
+        SessionWindowOperator(-1.0, add)
+
+
+# -- windows inside a running job -------------------------------------------
+
+
+def test_windows_run_in_job_and_are_queryable(env):
+    from repro.config import JobConfig
+    from repro.dataflow import Job, Pipeline, SinkOperator
+    from repro.dataflow.sources import CallableSource
+    from repro.query import QueryService
+
+    from ..conftest import make_squery_backend
+
+    backend = make_squery_backend(env)
+    pipeline = Pipeline()
+    pipeline.add_source(
+        "events", CallableSource(lambda i, s: (s % 4, 1.0), 2000.0)
+    )
+    pipeline.add_operator(
+        "windows", lambda: TumblingWindowOperator(200.0, add)
+    )
+    pipeline.add_operator("out", SinkOperator)
+    pipeline.connect("events", "windows")
+    pipeline.connect("windows", "out")
+    job = Job(env, pipeline, JobConfig(parallelism=2,
+                                       checkpoint_interval_ms=500),
+              backend)
+    job.start()
+    env.run_until(2_300)
+    service = QueryService(env)
+    live = service.execute(
+        'SELECT partitionKey, count, window_start FROM "windows" '
+        "ORDER BY partitionKey"
+    )
+    assert len(live.result) == 4  # one open window per key
+    assert all(row["count"] > 0 for row in live.result.rows)
+    assert job.sink_received("out") > 0

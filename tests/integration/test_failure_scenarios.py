@@ -1,0 +1,110 @@
+"""Integration tests for failures interacting with everything else:
+queries in flight, checkpoints in flight, repeated failures, and the
+store's replica promotion."""
+
+import pytest
+
+from repro import ClusterConfig, Environment
+from repro.query import DirectObjectInterface, QueryService, StateAuditor
+
+from ..conftest import build_average_job, make_squery_backend
+
+
+def fresh(nodes=3):
+    env = Environment(ClusterConfig(nodes=nodes,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000, keys=30,
+                            checkpoint_interval_ms=500)
+    job.start()
+    return env, backend, job
+
+
+def test_query_submitted_before_failure_completes(env=None):
+    env, backend, job = fresh()
+    env.run_until(1_700)
+    service = QueryService(env)
+    execution = service.submit('SELECT COUNT(*) FROM "snapshot_average"')
+    env.cluster.kill_node(2)
+    env.run_for(2_000)
+    assert execution.done
+    # Either a real result or a clean error — never a hang.
+    assert (execution.result is not None) or (execution.error is not None)
+
+
+def test_queries_after_failure_hit_surviving_entry_nodes():
+    env, backend, job = fresh()
+    env.run_until(1_700)
+    env.cluster.kill_node(0)
+    service = QueryService(env)
+    for _ in range(4):
+        execution = service.execute('SELECT COUNT(*) FROM "average"')
+        assert execution.error is None
+    assert env.cluster.node(0).query_pool.jobs_served == 0
+
+
+def test_failure_during_checkpoint_aborts_cleanly():
+    env, backend, job = fresh()
+    # Stop just after a checkpoint began (trigger fires at 500ms).
+    env.run_until(501.0)
+    assert env.store.in_progress_ssid is not None
+    env.cluster.kill_node(1)
+    assert env.store.in_progress_ssid is None  # aborted
+    env.run_until(4_000)
+    # Checkpointing recovered and committed new snapshots.
+    assert env.store.committed_ssid is not None
+    assert job.coordinator.completed >= 2
+
+
+def test_snapshot_tables_survive_failure():
+    env, backend, job = fresh()
+    env.run_until(1_700)
+    ssid = env.store.committed_ssid
+    table = backend.snapshot_table("average")
+    size_before = table.snapshot_size(ssid)
+    env.cluster.kill_node(2)
+    assert table.snapshot_size(ssid) == size_before
+
+
+def test_direct_and_audit_interfaces_work_after_failure():
+    env, backend, job = fresh()
+    env.run_until(1_700)
+    env.cluster.kill_node(2)
+    env.run_until(3_000)
+    doi = DirectObjectInterface(env)
+    lookup = doi.submit_get("average", [0, 1])
+    auditor = StateAuditor(env)
+    report = auditor.submit_subject_access(0)
+    env.run_for(200)
+    assert lookup.done and lookup.values
+    assert report.done
+    assert "average" in report.tables_holding_data()
+
+
+def test_kill_every_node_but_one():
+    env, backend, job = fresh(nodes=4)
+    env.run_until(1_700)
+    for node_id in (3, 2, 1):
+        env.cluster.kill_node(node_id)
+        env.run_for(1_500)
+    assert env.cluster.surviving_node_ids() == [0]
+    assert job.metrics.recoveries == 3
+    # The single survivor still processes and checkpoints.
+    before = env.store.committed_ssid
+    env.run_for(2_000)
+    assert env.store.committed_ssid > before
+    service = QueryService(env)
+    result = service.execute('SELECT COUNT(*) AS n FROM "average"')
+    assert result.result.rows[0]["n"] == 30
+
+
+def test_failure_detaches_dead_node_from_all_roles():
+    env, backend, job = fresh()
+    env.run_until(1_700)
+    env.cluster.kill_node(1)
+    for instance in job.operator_instances():
+        assert instance.node_id != 1
+    for source in job.source_instances():
+        assert source.node_id != 1
+    assert 1 not in env.cluster.surviving_node_ids()
+    assert env.cluster.partitioner.partitions_owned_by(1) == []

@@ -1,0 +1,141 @@
+"""The four Delivery Hero monitoring queries (§VIII), executed verbatim
+against snapshot state, with results verified against an independent
+recomputation from the operators' actual state."""
+
+import pytest
+
+from repro import ClusterConfig, Environment
+from repro.query import QueryService
+from repro.workloads.qcommerce import (
+    QUERY_1,
+    QUERY_2,
+    QUERY_3,
+    QUERY_4,
+    build_qcommerce_job,
+)
+
+from ..conftest import make_squery_backend
+
+
+@pytest.fixture(scope="module")
+def qcommerce():
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_qcommerce_job(env, backend, orders=240, riders=40,
+                              events_per_s=4000,
+                              checkpoint_interval_ms=500, parallelism=3)
+    job.start()
+    env.run_until(3_250)
+    service = QueryService(env)
+    ssid = env.store.committed_ssid
+    info = _snapshot_state(backend, "orderinfo", ssid)
+    status = _snapshot_state(backend, "orderstate", ssid)
+    return env, service, ssid, info, status
+
+
+def _snapshot_state(backend, vertex, ssid):
+    table = backend.snapshot_table(vertex)
+    merged = {}
+    for instance in range(table.parallelism):
+        merged.update(table.instance_state(ssid, instance))
+    return merged
+
+
+def _expected_counts(info, status, predicate, group_attr, now_ms):
+    counts = {}
+    for order_id, order_status in status.items():
+        order_info = info.get(order_id)
+        if order_info is None:
+            continue
+        if predicate(order_status, now_ms):
+            group = getattr(order_info, group_attr)
+            counts[group] = counts.get(group, 0) + 1
+    return counts
+
+
+def _result_to_counts(result):
+    return {
+        row["deliveryZone" if "deliveryZone" in row else "vendorCategory"]:
+            row["COUNT(*)"]
+        for row in result.rows
+    }
+
+
+def test_query_1_late_orders_per_zone(qcommerce):
+    env, service, ssid, info, status = qcommerce
+    execution = service.execute(QUERY_1, snapshot_id=ssid)
+    expected = _expected_counts(
+        info, status,
+        lambda s, now: (s.orderState == "VENDOR_ACCEPTED"
+                        and s.lateTimestamp < now),
+        "deliveryZone",
+        execution.completed_ms,
+    )
+    assert _result_to_counts(execution.result) == expected
+    assert expected, "workload must produce late orders"
+
+
+def test_query_2_ready_for_pickup_per_category(qcommerce):
+    env, service, ssid, info, status = qcommerce
+    execution = service.execute(QUERY_2, snapshot_id=ssid)
+    expected = _expected_counts(
+        info, status,
+        lambda s, now: s.orderState in ("NOTIFIED", "ACCEPTED"),
+        "vendorCategory",
+        0.0,
+    )
+    assert _result_to_counts(execution.result) == expected
+
+
+def test_query_3_in_preparation_per_zone(qcommerce):
+    env, service, ssid, info, status = qcommerce
+    execution = service.execute(QUERY_3, snapshot_id=ssid)
+    expected = _expected_counts(
+        info, status,
+        lambda s, now: s.orderState == "VENDOR_ACCEPTED",
+        "deliveryZone",
+        0.0,
+    )
+    assert _result_to_counts(execution.result) == expected
+
+
+def test_query_4_in_transit_per_zone(qcommerce):
+    env, service, ssid, info, status = qcommerce
+    execution = service.execute(QUERY_4, snapshot_id=ssid)
+    expected = _expected_counts(
+        info, status,
+        lambda s, now: s.orderState in (
+            "PICKED_UP", "LEFT_PICKUP", "NEAR_CUSTOMER",
+        ),
+        "deliveryZone",
+        0.0,
+    )
+    assert _result_to_counts(execution.result) == expected
+
+
+def test_query_1_subset_of_query_3(qcommerce):
+    """Late VENDOR_ACCEPTED orders are a subset of all VENDOR_ACCEPTED
+    orders, zone by zone."""
+    env, service, ssid, *_ = qcommerce
+    late = _result_to_counts(
+        service.execute(QUERY_1, snapshot_id=ssid).result
+    )
+    preparing = _result_to_counts(
+        service.execute(QUERY_3, snapshot_id=ssid).result
+    )
+    for zone, count in late.items():
+        assert count <= preparing.get(zone, 0)
+
+
+def test_queries_cover_disjoint_states(qcommerce):
+    """Queries 2, 3 and 4 partition distinct order states: no order is
+    counted by more than one of them, so zone totals are bounded by the
+    joined order count."""
+    env, service, ssid, info, status = qcommerce
+    total_joined = sum(1 for oid in status if oid in info)
+    counted = 0
+    for sql in (QUERY_2, QUERY_3, QUERY_4):
+        result = service.execute(sql, snapshot_id=ssid).result
+        counted += sum(row["COUNT(*)"] for row in result.rows)
+    assert counted <= total_joined

@@ -1,0 +1,91 @@
+"""A soak scenario: long run, periodic failures, continuous queries.
+
+Asserts the global invariants that must hold at *every* observation
+point, not just at the end:
+
+* snapshot queries pinned to an id never change their answer;
+* the committed pointer is monotone;
+* per-key live counts never exceed the number of records the sources
+  have handed to the system;
+* after the stream ends, live and snapshot views converge to the exact
+  expected totals despite three failures along the way.
+"""
+
+from repro import ClusterConfig, Environment
+from repro.query import QueryService
+
+from ..conftest import build_average_job, make_squery_backend
+
+KEYS = 24
+PER_INSTANCE = 1200
+PARALLELISM = 4
+
+
+def test_soak_with_periodic_failures_and_queries():
+    env = Environment(ClusterConfig(nodes=4,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=3000, keys=KEYS,
+                            parallelism=PARALLELISM,
+                            limit_per_instance=PER_INSTANCE,
+                            checkpoint_interval_ms=400)
+    job.start()
+    service = QueryService(env)
+
+    observed_committed = []
+    pinned_answers = {}
+    kill_at = {2_000: 3, 4_500: 2, 7_000: 1}
+
+    for step in range(1, 25):
+        horizon = step * 500.0
+        env.run_until(horizon)
+        for when, node in list(kill_at.items()):
+            if horizon >= when:
+                env.cluster.kill_node(node)
+                del kill_at[when]
+        committed = env.store.committed_ssid
+        if committed is None:
+            continue
+        observed_committed.append(committed)
+        # Re-ask every previously pinned snapshot that is still
+        # retained: the answer must be byte-identical.
+        for ssid in list(pinned_answers):
+            if ssid not in env.store.available_ssids():
+                del pinned_answers[ssid]
+                continue
+            result = service.execute(
+                'SELECT SUM(count) AS s FROM "snapshot_average"',
+                snapshot_id=ssid,
+            ).result.rows[0]["s"]
+            assert result == pinned_answers[ssid], (
+                f"snapshot {ssid} changed its answer"
+            )
+        if committed not in pinned_answers:
+            pinned_answers[committed] = service.execute(
+                'SELECT SUM(count) AS s FROM "snapshot_average"',
+                snapshot_id=committed,
+            ).result.rows[0]["s"]
+        # Live counts never exceed what the sources have emitted.
+        live_total = service.execute(
+            'SELECT SUM(count) AS s FROM "average"'
+        ).result.rows[0]["s"]
+        emitted = sum(s.seq for s in job.source_instances())
+        assert live_total <= emitted
+
+    # Committed pointer is monotone.
+    assert observed_committed == sorted(observed_committed)
+    assert job.metrics.recoveries == 3
+
+    # Drain to completion and verify the exact totals.
+    env.run_until(60_000)
+    assert job.all_sources_exhausted()
+    expected_total = PER_INSTANCE * PARALLELISM
+    live_total = service.execute(
+        'SELECT SUM(count) AS s FROM "average"'
+    ).result.rows[0]["s"]
+    assert live_total == expected_total
+    snap_total = service.execute(
+        'SELECT SUM(count) AS s FROM "snapshot_average"'
+    ).result.rows[0]["s"]
+    assert snap_total == expected_total
+    assert env.cluster.surviving_node_ids() == [0]

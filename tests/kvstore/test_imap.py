@@ -1,0 +1,125 @@
+"""Tests for partitioned maps and placements."""
+
+from repro.cluster import Cluster, Partitioner
+from repro.config import ClusterConfig
+from repro.kvstore import HashPlacement, IMap, InstancePlacement
+from repro.simtime import Simulator
+
+
+def make_map(partitions=8, nodes=2):
+    placement = HashPlacement(Partitioner(partitions, nodes))
+    return IMap("m", placement)
+
+
+def test_put_get_delete_roundtrip():
+    imap = make_map()
+    imap.put("k", 1)
+    assert imap.get("k") == 1
+    assert imap.contains("k")
+    assert imap.delete("k") is True
+    assert imap.get("k") is None
+    assert imap.delete("k") is False
+
+
+def test_get_default():
+    assert make_map().get("missing", "d") == "d"
+
+
+def test_len_and_write_count():
+    imap = make_map()
+    for i in range(10):
+        imap.put(i, i)
+    assert len(imap) == 10
+    imap.delete(3)
+    assert len(imap) == 9
+    assert imap.write_count == 11  # 10 puts + 1 delete
+
+
+def test_version_increments_on_every_mutation():
+    imap = make_map()
+    assert imap.version_of("k") == 0
+    imap.put("k", 1)
+    imap.put("k", 2)
+    imap.delete("k")
+    assert imap.version_of("k") == 3
+
+
+def test_entries_cover_all_partitions():
+    imap = make_map()
+    data = {i: i * 2 for i in range(50)}
+    for key, value in data.items():
+        imap.put(key, value)
+    assert dict(imap.entries()) == data
+    assert set(imap.keys()) == set(data)
+
+
+def test_entries_on_node_partition_by_owner():
+    imap = make_map(partitions=8, nodes=2)
+    for i in range(100):
+        imap.put(i, i)
+    node0 = dict(imap.entries_on_node(0))
+    node1 = dict(imap.entries_on_node(1))
+    assert len(node0) + len(node1) == 100
+    assert not set(node0) & set(node1)
+    for key in node0:
+        assert imap.placement.owner_of(key) == 0
+
+
+def test_drop_partitions_loses_their_entries():
+    imap = make_map(partitions=4, nodes=2)
+    for i in range(40):
+        imap.put(i, i)
+    owned = imap.partitions_on_node(0)
+    before = len(imap)
+    lost = imap.drop_partitions(owned)
+    assert lost > 0
+    assert len(imap) == before - lost
+    assert not list(imap.entries_on_node(0))
+
+
+def test_clear_removes_everything():
+    imap = make_map()
+    imap.put("a", 1)
+    imap.clear()
+    assert len(imap) == 0
+
+
+def test_instance_placement_partition_is_instance():
+    placement = InstancePlacement(4, lambda i: i % 3, node_count=3)
+    assert placement.partition_count == 4
+    from repro.cluster.partition import stable_hash
+    for key in range(20):
+        assert placement.partition_of(key) == stable_hash(key) % 4
+
+
+def test_instance_placement_follows_assignment_changes():
+    assignment = {0: 0, 1: 1, 2: 2, 3: 0}
+    placement = InstancePlacement(4, assignment.__getitem__, node_count=3)
+    assert placement.owner_of_partition(1) == 1
+    assignment[1] = 2  # instance rescheduled after a failure
+    assert placement.owner_of_partition(1) == 2
+
+
+def test_instance_placement_backup_is_next_node():
+    placement = InstancePlacement(4, lambda i: i % 3, node_count=3)
+    assert placement.backup_of_partition(0) == 1
+    assert placement.backup_of_partition(2) == 0
+
+
+def test_instance_placement_no_backup_single_node():
+    placement = InstancePlacement(2, lambda i: 0, node_count=1)
+    assert placement.backup_of_partition(0) is None
+
+
+def test_colocation_instance_placement_matches_dataflow_routing():
+    """The co-partitioning invariant: the store places a key on the node
+    running the operator instance that owns the key."""
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(nodes=3,
+                                         processing_workers_per_node=1))
+    parallelism = 6
+    node_of = lambda i: cluster.partitioner.node_of_instance(i, parallelism)
+    placement = InstancePlacement(parallelism, node_of, 3)
+    for key in range(200):
+        instance = cluster.partitioner.instance_of(key, parallelism)
+        assert placement.owner_of(key) == node_of(instance)

@@ -1,0 +1,93 @@
+"""Tests for the key-level lock manager."""
+
+import pytest
+
+from repro.errors import LockError
+from repro.kvstore import LockManager
+
+
+def test_try_acquire_free_key():
+    locks = LockManager()
+    assert locks.try_acquire("k", "o1")
+    assert locks.is_locked("k")
+    assert locks.holder_of("k") == "o1"
+
+
+def test_try_acquire_held_key_fails():
+    locks = LockManager()
+    locks.try_acquire("k", "o1")
+    assert not locks.try_acquire("k", "o2")
+    assert locks.holder_of("k") == "o1"
+
+
+def test_release_frees_key():
+    locks = LockManager()
+    locks.try_acquire("k", "o1")
+    locks.release("k", "o1")
+    assert not locks.is_locked("k")
+
+
+def test_release_unlocked_key_raises():
+    with pytest.raises(LockError):
+        LockManager().release("k", "o1")
+
+
+def test_release_by_non_owner_raises():
+    locks = LockManager()
+    locks.try_acquire("k", "o1")
+    with pytest.raises(LockError):
+        locks.release("k", "o2")
+
+
+def test_waiters_granted_fifo():
+    locks = LockManager()
+    grants = []
+    locks.acquire("k", "a")
+    locks.acquire("k", "b", granted=lambda: grants.append("b"))
+    locks.acquire("k", "c", granted=lambda: grants.append("c"))
+    assert grants == []
+    locks.release("k", "a")
+    assert grants == ["b"]
+    assert locks.holder_of("k") == "b"
+    locks.release("k", "b")
+    assert grants == ["b", "c"]
+    locks.release("k", "c")
+    assert not locks.is_locked("k")
+
+
+def test_acquire_free_key_grants_immediately():
+    locks = LockManager()
+    grants = []
+    assert locks.acquire("k", "a", granted=lambda: grants.append("a"))
+    assert grants == ["a"]
+
+
+def test_contention_counter():
+    locks = LockManager()
+    locks.acquire("k", "a")
+    locks.acquire("k", "b")
+    assert locks.contentions == 1
+    assert locks.acquisitions == 1
+    locks.release("k", "a")
+    assert locks.acquisitions == 2
+
+
+def test_release_all_for_owner():
+    locks = LockManager()
+    owner = object()
+    locks.try_acquire("k1", owner)
+    locks.try_acquire("k2", owner)
+    locks.try_acquire("k3", "other")
+    assert locks.release_all(owner) == 2
+    assert not locks.is_locked("k1")
+    assert locks.is_locked("k3")
+
+
+def test_release_all_hands_over_to_waiters():
+    locks = LockManager()
+    owner = object()
+    grants = []
+    locks.try_acquire("k", owner)
+    locks.acquire("k", "w", granted=lambda: grants.append("w"))
+    locks.release_all(owner)
+    assert grants == ["w"]

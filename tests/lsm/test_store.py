@@ -1,0 +1,162 @@
+"""Tests for the MVCC LSM store."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.lsm import LsmStore, TOMBSTONE
+
+
+def test_put_get_latest():
+    store = LsmStore()
+    store.put("k", 1, "a")
+    store.put("k", 3, "b")
+    assert store.get("k") == "b"
+    assert store.get("k", ssid=2) == "a"
+    assert store.get("k", ssid=0) is None
+
+
+def test_delete_hides_key():
+    store = LsmStore()
+    store.put("k", 1, "a")
+    store.delete("k", 2)
+    assert store.get("k") is None
+    assert store.get("k", ssid=1) == "a"
+
+
+def test_reads_span_memtable_and_runs():
+    store = LsmStore(memtable_limit=2)
+    store.put("a", 1, "a1")
+    store.put("b", 1, "b1")   # triggers flush
+    store.put("a", 2, "a2")   # in memtable
+    assert store.l0_runs == 1
+    assert store.get("a") == "a2"
+    assert store.get("a", ssid=1) == "a1"
+    assert store.get("b") == "b1"
+
+
+def test_flush_threshold_creates_runs():
+    store = LsmStore(memtable_limit=4, l0_compaction_threshold=100)
+    for i in range(20):
+        store.put(i, 1, i)
+    assert store.l0_runs == 5
+    assert store.memtable_size() == 0
+    assert store.stats.flushes == 5
+
+
+def test_compaction_merges_l0_into_l1():
+    store = LsmStore(memtable_limit=2, l0_compaction_threshold=2)
+    for i in range(12):
+        store.put(i % 4, i, f"v{i}")
+    assert store.stats.compactions >= 1
+    assert store.read_amplification_bound <= 3
+    # Everything still readable at its version.
+    for i in range(12):
+        assert store.get(i % 4, ssid=i) == f"v{i}"
+
+
+def test_explicit_compact_bounds_read_amplification():
+    store = LsmStore(memtable_limit=2, l0_compaction_threshold=1000)
+    for i in range(40):
+        store.put(i % 8, i, i)
+    assert store.l0_runs == 20
+    store.compact()
+    assert store.l0_runs == 0
+    assert store.read_amplification_bound == 1
+
+
+def test_gc_drops_versions_below_watermark():
+    store = LsmStore(memtable_limit=1000)
+    for version in range(1, 11):
+        store.put("k", version, f"v{version}")
+    store.flush()
+    before = store.total_entries()
+    store.set_watermark(8)
+    store.compact()
+    assert store.total_entries() < before
+    # Every retained snapshot (>= watermark) reconstructs exactly;
+    # snapshots below the watermark are retired and no longer readable.
+    assert store.get("k", ssid=8) == "v8"
+    assert store.get("k", ssid=9) == "v9"
+    assert store.get("k", ssid=10) == "v10"
+    assert store.stats.entries_dropped == 7
+
+
+def test_gc_removes_dead_keys_entirely():
+    store = LsmStore(memtable_limit=1000)
+    store.put("k", 1, "a")
+    store.delete("k", 2)
+    store.flush()
+    store.set_watermark(5)
+    store.compact()
+    assert store.total_entries() == 0
+    assert store.get("k") is None
+
+
+def test_gc_keeps_tombstone_when_newer_versions_exist():
+    store = LsmStore(memtable_limit=1000)
+    store.put("k", 1, "a")
+    store.delete("k", 2)
+    store.put("k", 9, "reborn")
+    store.flush()
+    store.set_watermark(5)
+    store.compact()
+    assert store.get("k", ssid=9) == "reborn"
+    assert store.get("k", ssid=5) is None
+
+
+def test_scan_at_reconstructs_snapshot():
+    store = LsmStore(memtable_limit=3)
+    store.put("a", 1, "a1")
+    store.put("b", 1, "b1")
+    store.put("a", 2, "a2")
+    store.delete("b", 2)
+    view1 = dict(store.scan_at(1))
+    view2 = dict(store.scan_at(2))
+    assert view1 == {"a": "a1", "b": "b1"}
+    assert view2 == {"a": "a2"}
+
+
+def test_scan_cost_counts_all_versions():
+    store = LsmStore(memtable_limit=1000)
+    for version in range(5):
+        store.put("k", version, version)
+    assert store.scan_cost_at(10) == 5
+    store.flush()
+    assert store.scan_cost_at(10) == 5
+
+
+def test_versions_of_lists_history():
+    store = LsmStore(memtable_limit=2)
+    for version in (1, 2, 3):
+        store.put("k", version, f"v{version}")
+    history = store.versions_of("k")
+    assert history == [(3, "v3"), (2, "v2"), (1, "v1")]
+
+
+def test_bloom_skips_runs_for_absent_keys():
+    store = LsmStore(memtable_limit=10)
+    for i in range(100):
+        store.put(i, 1, i)
+    store.flush()
+    before = store.stats.bloom_negatives
+    for probe in range(1_000_000, 1_000_050):
+        store.get(probe)
+    assert store.stats.bloom_negatives > before
+
+
+def test_write_amplification_tracked():
+    store = LsmStore(memtable_limit=4, l0_compaction_threshold=2)
+    for i in range(32):
+        store.put(i, 1, i)
+    assert store.stats.write_amplification >= 1.0
+
+
+def test_invalid_config():
+    with pytest.raises(StoreError):
+        LsmStore(memtable_limit=0)
+    with pytest.raises(StoreError):
+        LsmStore(l0_compaction_threshold=0)
+
+
+def test_tombstone_sentinel_identity():
+    assert TOMBSTONE is TOMBSTONE

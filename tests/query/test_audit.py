@@ -1,0 +1,106 @@
+"""Tests for the auditing / subject-access API (§III)."""
+
+import pytest
+
+from repro import ClusterConfig, Environment
+from repro.errors import QueryError
+from repro.query import StateAuditor
+from repro.workloads.qcommerce import build_qcommerce_job
+
+from ..conftest import build_average_job, make_squery_backend
+
+
+@pytest.fixture
+def qcommerce_env():
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env, retained_snapshots=3)
+    job = build_qcommerce_job(env, backend, orders=60, riders=12,
+                              events_per_s=4000,
+                              checkpoint_interval_ms=500, parallelism=3)
+    job.start()
+    env.run_until(2_700)
+    return env, backend, job
+
+
+def test_subject_access_covers_all_operators(qcommerce_env):
+    env, backend, job = qcommerce_env
+    auditor = StateAuditor(env)
+    order_id = 7
+    report = auditor.submit_subject_access(order_id)
+    env.run_for(200)
+    assert report.done
+    # The order appears in both order operators...
+    holding = report.tables_holding_data()
+    assert "orderinfo" in holding
+    assert "orderstate" in holding
+    # ...with its live value and historical snapshot versions.
+    info = report.tables["orderinfo"]
+    assert info.live_value is not None
+    assert len(info.versions) >= 2
+    assert set(info.versions) <= set(env.store.available_ssids())
+
+
+def test_subject_access_unknown_key_reports_absence(qcommerce_env):
+    env, *_ = qcommerce_env
+    auditor = StateAuditor(env)
+    report = auditor.submit_subject_access(999_999)
+    env.run_for(200)
+    assert report.done
+    assert report.tables_holding_data() == []
+
+
+def test_subject_access_latency_positive(qcommerce_env):
+    env, *_ = qcommerce_env
+    auditor = StateAuditor(env)
+    report = auditor.submit_subject_access(1)
+    with pytest.raises(QueryError):
+        _ = report.latency_ms
+    env.run_for(200)
+    assert report.latency_ms > 0
+
+
+def test_history_shows_state_evolution(env):
+    backend = make_squery_backend(env, retained_snapshots=4)
+    job = build_average_job(env, backend=backend, rate=2000, keys=10,
+                            checkpoint_interval_ms=400)
+    job.start()
+    env.run_until(3_000)
+    auditor = StateAuditor(env)
+    report = auditor.submit_history("average", 3)
+    env.run_for(200)
+    audit = report.tables["average"]
+    assert len(audit.versions) == 4
+    counts = [audit.versions[s].count
+              for s in sorted(audit.versions)]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+    assert audit.live_value.count >= counts[-1]
+
+
+def test_history_accepts_snapshot_prefixed_name(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_200)
+    auditor = StateAuditor(env)
+    report = auditor.submit_history("snapshot_average", 0)
+    env.run_for(200)
+    assert report.done
+
+
+def test_history_unknown_table_rejected(env):
+    auditor = StateAuditor(env)
+    with pytest.raises(QueryError):
+        auditor.submit_history("nope", 1)
+
+
+def test_on_done_callback(qcommerce_env):
+    env, *_ = qcommerce_env
+    auditor = StateAuditor(env)
+    seen = []
+    auditor.submit_subject_access(1, on_done=seen.append)
+    env.run_for(200)
+    assert len(seen) == 1
+    assert auditor.audits_executed >= 1

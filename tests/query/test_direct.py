@@ -1,0 +1,95 @@
+"""Tests for the direct object interface."""
+
+import pytest
+
+from repro.errors import QueryError, SnapshotNotFoundError
+from repro.query import DirectObjectInterface
+
+from ..conftest import build_average_job, make_squery_backend
+
+
+@pytest.fixture
+def running(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000, keys=20,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(2_250)
+    return job, backend
+
+
+def test_live_get_returns_state_objects(env, running):
+    doi = DirectObjectInterface(env)
+    query = doi.submit_get("average", [0, 1, 2])
+    env.run_for(100)
+    assert query.done
+    assert set(query.values) == {0, 1, 2}
+    assert all(v.count > 0 for v in query.values.values())
+
+
+def test_missing_keys_omitted(env, running):
+    doi = DirectObjectInterface(env)
+    query = doi.submit_get("average", [0, 12345])
+    env.run_for(100)
+    assert set(query.values) == {0}
+
+
+def test_snapshot_get_explicit_id(env, running):
+    doi = DirectObjectInterface(env)
+    ssid = env.store.committed_ssid
+    query = doi.submit_get("snapshot_average", [0, 1], snapshot_id=ssid)
+    env.run_for(100)
+    assert set(query.values) == {0, 1}
+
+
+def test_snapshot_get_latest_sentinel(env, running):
+    doi = DirectObjectInterface(env)
+    query = doi.submit_get("snapshot_average", [0], snapshot_id=-1)
+    env.run_for(100)
+    assert query.error is None
+    assert 0 in query.values
+
+
+def test_snapshot_get_before_commit_errors(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend)
+    job.start()
+    env.run_until(50)
+    doi = DirectObjectInterface(env)
+    query = doi.submit_get("snapshot_average", [0], snapshot_id=-1)
+    env.run_for(100)
+    assert isinstance(query.error, SnapshotNotFoundError)
+
+
+def test_latency_grows_with_key_count(env, running):
+    doi = DirectObjectInterface(env)
+    one = doi.submit_get("average", [0])
+    many = doi.submit_get("average", list(range(20)))
+    env.run_for(200)
+    assert many.latency_ms > one.latency_ms
+
+
+def test_latency_sublinear_in_keys(env, running):
+    """Batching economies of scale: 16 keys cost less than 16x one key
+    (the mechanism behind Fig. 14's power law)."""
+    doi = DirectObjectInterface(env)
+    one = doi.submit_get("average", [0])
+    sixteen = doi.submit_get("average", list(range(16)))
+    env.run_for(200)
+    assert sixteen.latency_ms < 16 * one.latency_ms
+
+
+def test_latency_raises_while_running(env, running):
+    doi = DirectObjectInterface(env)
+    query = doi.submit_get("average", [0])
+    with pytest.raises(QueryError):
+        _ = query.latency_ms
+
+
+def test_on_done_callback(env, running):
+    doi = DirectObjectInterface(env)
+    seen = []
+    doi.submit_get("average", [0], on_done=seen.append)
+    env.run_for(100)
+    assert len(seen) == 1
+    assert seen[0].done

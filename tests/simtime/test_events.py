@@ -1,0 +1,82 @@
+"""Tests for the event queue internals."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simtime.events import Event, EventQueue
+
+
+def test_pop_in_time_order():
+    queue = EventQueue()
+    for time in (3.0, 1.0, 2.0):
+        queue.push(time, lambda: None, ())
+    times = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        times.append(event.time)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_ties_broken_by_insertion_order():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None, ())
+    second = queue.push(1.0, lambda: None, ())
+    del first, second
+    a = queue.pop()
+    b = queue.pop()
+    assert a.seq < b.seq
+
+
+def test_cancelled_events_skipped_by_pop():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None, ())
+    queue.push(2.0, lambda: None, ())
+    handle.cancel()
+    event = queue.pop()
+    assert event.time == 2.0
+
+
+def test_len_excludes_cancelled():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None, ())
+    queue.push(2.0, lambda: None, ())
+    assert len(queue) == 2
+    handle.cancel()
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None, ())
+    queue.push(5.0, lambda: None, ())
+    assert queue.peek_time() == 1.0
+    handle.cancel()
+    assert queue.peek_time() == 5.0
+
+
+def test_peek_time_empty():
+    assert EventQueue().peek_time() is None
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None, ())
+    handle.cancel()
+    assert queue.peek_time() is None
+
+
+def test_nan_time_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().push(float("nan"), lambda: None, ())
+
+
+def test_event_ordering_dataclass():
+    early = Event(1.0, 0, lambda: None)
+    late = Event(2.0, 0, lambda: None)
+    assert early < late
+
+
+def test_handle_time_property():
+    queue = EventQueue()
+    handle = queue.push(7.5, lambda: None, ())
+    assert handle.time == 7.5
+    assert handle.active

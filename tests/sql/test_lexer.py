@@ -1,0 +1,88 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlLexError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_uppercased():
+    assert kinds("select from") == [
+        ("KEYWORD", "SELECT"), ("KEYWORD", "FROM"),
+    ]
+
+
+def test_identifiers_preserve_case():
+    assert kinds("deliveryZone") == [("IDENT", "deliveryZone")]
+
+
+def test_quoted_identifier():
+    assert kinds('"snapshot_orderinfo"') == [
+        ("IDENT", "snapshot_orderinfo"),
+    ]
+
+
+def test_quoted_identifier_with_doubled_quote():
+    assert kinds('"we""ird"') == [("IDENT", 'we"ird')]
+
+
+def test_string_literal():
+    assert kinds("'VENDOR_ACCEPTED'") == [("STRING", "VENDOR_ACCEPTED")]
+
+
+def test_string_with_escaped_quote():
+    assert kinds("'it''s'") == [("STRING", "it's")]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SqlLexError):
+        tokenize("'oops")
+
+
+def test_integer_and_float_literals():
+    assert kinds("42 3.14 .5 1e3 2.5E-2") == [
+        ("NUMBER", 42), ("NUMBER", 3.14), ("NUMBER", 0.5),
+        ("NUMBER", 1000.0), ("NUMBER", 0.025),
+    ]
+
+
+def test_operators_longest_match():
+    assert kinds("a <= b <> c != d") == [
+        ("IDENT", "a"), ("OP", "<="), ("IDENT", "b"), ("OP", "<>"),
+        ("IDENT", "c"), ("OP", "!="), ("IDENT", "d"),
+    ]
+
+
+def test_punctuation_and_arithmetic():
+    assert [k for k, _ in kinds("(a + b) * c.d, e % f / g")] == [
+        "OP", "IDENT", "OP", "IDENT", "OP", "OP", "IDENT", "OP",
+        "IDENT", "OP", "IDENT", "OP", "IDENT", "OP", "IDENT",
+    ]
+
+
+def test_line_comments_skipped():
+    assert kinds("select -- comment here\n 1") == [
+        ("KEYWORD", "SELECT"), ("NUMBER", 1),
+    ]
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(SqlLexError):
+        tokenize("select @ from x")
+
+
+def test_eof_token_present():
+    tokens = tokenize("select")
+    assert tokens[-1] == Token("EOF", None, len("select"))
+
+
+def test_localtimestamp_is_keyword():
+    assert kinds("LOCALTIMESTAMP") == [("KEYWORD", "LOCALTIMESTAMP")]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("SeLeCt") == [("KEYWORD", "SELECT")]

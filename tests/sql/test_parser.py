@@ -1,0 +1,215 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlParseError
+from repro.sql import parse
+from repro.sql.ast import (
+    Between,
+    Binary,
+    Column,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    LocalTimestamp,
+    Star,
+    Unary,
+)
+
+
+def test_select_star():
+    select = parse("SELECT * FROM t")
+    assert select.select_star
+    assert select.table.name == "t"
+
+
+def test_select_columns_with_aliases():
+    select = parse("SELECT a, b AS x, c y FROM t")
+    names = [(item.expr.name, item.alias) for item in select.items]
+    assert names == [("a", None), ("b", "x"), ("c", "y")]
+
+
+def test_table_alias():
+    select = parse("SELECT a FROM orders AS o")
+    assert select.table.name == "orders"
+    assert select.table.binding == "o"
+
+
+def test_quoted_table_name():
+    select = parse('SELECT a FROM "snapshot_orderinfo"')
+    assert select.table.name == "snapshot_orderinfo"
+
+
+def test_where_comparison():
+    select = parse("SELECT a FROM t WHERE a > 3")
+    assert isinstance(select.where, Binary)
+    assert select.where.op == ">"
+
+
+def test_and_or_precedence():
+    select = parse("SELECT a FROM t WHERE a=1 OR b=2 AND c=3")
+    # AND binds tighter: OR(a=1, AND(b=2, c=3))
+    assert select.where.op == "OR"
+    assert select.where.right.op == "AND"
+
+
+def test_not_precedence():
+    select = parse("SELECT a FROM t WHERE NOT a=1 AND b=2")
+    assert select.where.op == "AND"
+    assert isinstance(select.where.left, Unary)
+
+
+def test_arithmetic_precedence():
+    select = parse("SELECT a + b * c FROM t")
+    expr = select.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parentheses_override():
+    select = parse("SELECT (a + b) * c FROM t")
+    assert select.items[0].expr.op == "*"
+
+
+def test_in_list():
+    select = parse("SELECT a FROM t WHERE s IN ('x', 'y')")
+    assert isinstance(select.where, InList)
+    assert len(select.where.items) == 2
+
+
+def test_not_in():
+    select = parse("SELECT a FROM t WHERE s NOT IN (1)")
+    assert select.where.negated
+
+
+def test_between():
+    select = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+    assert isinstance(select.where, Between)
+
+
+def test_like_and_not_like():
+    select = parse("SELECT a FROM t WHERE s LIKE 'z%' AND s NOT LIKE '_q'")
+    left, right = select.where.left, select.where.right
+    assert isinstance(left, Like) and not left.negated
+    assert isinstance(right, Like) and right.negated
+
+
+def test_is_null_and_is_not_null():
+    select = parse("SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL")
+    assert isinstance(select.where.left, IsNull)
+    assert select.where.right.negated
+
+
+def test_join_using():
+    select = parse(
+        'SELECT COUNT(*) FROM "a" JOIN "b" USING(partitionKey)'
+    )
+    assert len(select.joins) == 1
+    assert select.joins[0].using == ("partitionKey",)
+
+
+def test_multiple_joins():
+    select = parse("SELECT x FROM a JOIN b USING(k) JOIN c ON a.k = c.k")
+    assert len(select.joins) == 2
+    assert select.joins[1].on is not None
+
+
+def test_left_join():
+    select = parse("SELECT x FROM a LEFT JOIN b ON a.k = b.k")
+    assert select.joins[0].kind == "LEFT"
+
+
+def test_join_requires_condition():
+    with pytest.raises(SqlParseError):
+        parse("SELECT x FROM a JOIN b")
+
+
+def test_group_by_and_having():
+    select = parse(
+        "SELECT COUNT(*), z FROM t GROUP BY z HAVING COUNT(*) > 2"
+    )
+    assert len(select.group_by) == 1
+    assert isinstance(select.having, Binary)
+
+
+def test_order_by_directions():
+    select = parse("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+    directions = [item.descending for item in select.order_by]
+    assert directions == [True, False, False]
+
+
+def test_limit_offset():
+    select = parse("SELECT a FROM t LIMIT 10 OFFSET 5")
+    assert select.limit == 10
+    assert select.offset == 5
+
+
+def test_limit_requires_integer():
+    with pytest.raises(SqlParseError):
+        parse("SELECT a FROM t LIMIT 2.5")
+
+
+def test_distinct():
+    assert parse("SELECT DISTINCT a FROM t").distinct
+
+
+def test_count_star_and_distinct_arg():
+    select = parse("SELECT COUNT(*), COUNT(DISTINCT a) FROM t")
+    star_call, distinct_call = (item.expr for item in select.items)
+    assert isinstance(star_call.args[0], Star)
+    assert distinct_call.distinct
+
+
+def test_localtimestamp():
+    select = parse("SELECT a FROM t WHERE d < LOCALTIMESTAMP")
+    assert isinstance(select.where.right, LocalTimestamp)
+
+
+def test_case_when():
+    select = parse(
+        "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t"
+    )
+    expr = select.items[0].expr
+    assert len(expr.branches) == 1
+    assert expr.default == Literal("other")
+
+
+def test_qualified_column():
+    select = parse("SELECT o.total FROM orders o")
+    assert select.items[0].expr == Column("total", table="o")
+
+
+def test_negative_literal():
+    select = parse("SELECT a FROM t WHERE a > -5")
+    assert isinstance(select.where.right, Unary)
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SqlParseError):
+        parse("SELECT a FROM t x y WHERE")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(SqlParseError):
+        parse("SELECT a")
+
+
+def test_paper_query_1_parses():
+    from repro.workloads.qcommerce import QUERY_1
+
+    select = parse(QUERY_1)
+    assert select.table.name == "snapshot_orderinfo"
+    assert select.joins[0].table.name == "snapshot_orderstate"
+    assert select.group_by
+    assert select.table_names() == [
+        "snapshot_orderinfo", "snapshot_orderstate",
+    ]
+
+
+def test_all_paper_queries_parse():
+    from repro.workloads.qcommerce import ALL_QUERIES
+
+    for sql in ALL_QUERIES:
+        assert parse(sql).joins

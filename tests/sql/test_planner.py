@@ -1,0 +1,71 @@
+"""Tests for the logical planner's join-strategy selection."""
+
+import pytest
+
+from repro.errors import SqlPlanError
+from repro.sql import parse
+from repro.sql.ast import Column
+from repro.sql.planner import DictCatalog, ListTable, plan_select
+
+
+def catalog():
+    return DictCatalog({
+        "a": ListTable("a", ({"k": 1},)),
+        "b": ListTable("b", ({"k": 1},)),
+    })
+
+
+def plan(sql):
+    return plan_select(parse(sql), catalog())
+
+
+def test_using_join_plans_hash_using():
+    step = plan("SELECT k FROM a JOIN b USING(k)").joins[0]
+    assert step.using == ("k",)
+    assert step.hash_on is None
+
+
+def test_equality_on_plans_hash_join():
+    step = plan("SELECT a.k FROM a JOIN b ON a.k = b.k").joins[0]
+    assert step.hash_on is not None
+    probe, build = step.hash_on
+    assert build == Column("k", table="b")
+    assert probe == Column("k", table="a")
+
+
+def test_equality_on_reversed_sides_normalised():
+    step = plan("SELECT a.k FROM a JOIN b ON b.k = a.k").joins[0]
+    probe, build = step.hash_on
+    assert build.table == "b"
+    assert probe.table == "a"
+
+
+def test_inequality_on_falls_back_to_nested_loop():
+    step = plan("SELECT a.k FROM a JOIN b ON a.k < b.k").joins[0]
+    assert step.hash_on is None
+    assert step.on is not None
+
+
+def test_unqualified_on_falls_back():
+    step = plan("SELECT a.k FROM a JOIN b ON k = k").joins[0]
+    assert step.hash_on is None
+
+
+def test_aggregate_detection():
+    assert plan("SELECT COUNT(*) FROM a").is_aggregate
+    assert plan("SELECT k FROM a GROUP BY k").is_aggregate
+    assert not plan("SELECT k FROM a").is_aggregate
+
+
+def test_aggregate_inside_expression_detected():
+    assert plan("SELECT COUNT(*) + 1 FROM a").is_aggregate
+
+
+def test_unknown_table():
+    with pytest.raises(SqlPlanError):
+        plan_select(parse("SELECT x FROM zzz"), catalog())
+
+
+def test_base_binding_uses_alias():
+    result = plan_select(parse("SELECT x FROM a alias_name"), catalog())
+    assert result.base_binding == "alias_name"

@@ -1,0 +1,55 @@
+"""Tests for the isolation-level model (§VII)."""
+
+from repro.state import IsolationLevel, isolation_of_query
+
+
+def test_strength_ordering():
+    levels = [
+        IsolationLevel.READ_UNCOMMITTED,
+        IsolationLevel.READ_COMMITTED,
+        IsolationLevel.REPEATABLE_READ,
+        IsolationLevel.SNAPSHOT,
+        IsolationLevel.SERIALIZABLE,
+    ]
+    for weaker, stronger in zip(levels, levels[1:]):
+        assert stronger.at_least(weaker)
+        assert not weaker.at_least(stronger)
+
+
+def test_every_level_at_least_itself():
+    for level in IsolationLevel:
+        assert level.at_least(level)
+
+
+def test_snapshot_queries_are_serializable():
+    """§VII-B: no write conflicts are possible (single-threaded operators
+    on disjoint partitions), so snapshot isolation is serialisable."""
+    level = isolation_of_query(targets_snapshot=True,
+                               repeatable_read_locks=False)
+    assert level is IsolationLevel.SERIALIZABLE
+    assert level.at_least(IsolationLevel.SNAPSHOT)
+
+
+def test_live_queries_default_read_uncommitted():
+    level = isolation_of_query(targets_snapshot=False,
+                               repeatable_read_locks=False)
+    assert level is IsolationLevel.READ_UNCOMMITTED
+
+
+def test_live_with_held_locks_is_repeatable_read():
+    level = isolation_of_query(targets_snapshot=False,
+                               repeatable_read_locks=True)
+    assert level is IsolationLevel.REPEATABLE_READ
+
+
+def test_live_without_failures_is_read_committed():
+    level = isolation_of_query(targets_snapshot=False,
+                               repeatable_read_locks=False,
+                               assume_no_failures=True)
+    assert level is IsolationLevel.READ_COMMITTED
+
+
+def test_snapshot_trumps_lock_options():
+    level = isolation_of_query(targets_snapshot=True,
+                               repeatable_read_locks=True)
+    assert level is IsolationLevel.SERIALIZABLE

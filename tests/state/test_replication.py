@@ -1,0 +1,159 @@
+"""Tests for active replication (§VII-B: read-committed live queries).
+
+With a hot standby maintained synchronously from the update stream, a
+node failure promotes the standby instead of rolling back to the last
+checkpoint — so values that live queries already observed never
+disappear.
+"""
+
+import pytest
+
+from repro import ClusterConfig, Environment
+from repro.errors import ConfigurationError, StateError
+from repro.config import SQueryConfig
+from repro.query import QueryService
+from repro.state import IsolationLevel, SQueryBackend
+
+from ..conftest import build_average_job, make_squery_backend
+
+
+def ha_env():
+    return Environment(ClusterConfig(nodes=3,
+                                     processing_workers_per_node=2))
+
+
+def ha_backend(env):
+    return make_squery_backend(env, active_replication=True)
+
+
+def test_config_requires_live_state():
+    with pytest.raises(ConfigurationError):
+        SQueryConfig(live_state=False, active_replication=True).validate()
+
+
+def test_standby_mirrors_primary_state():
+    env = ha_env()
+    backend = ha_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000, keys=20,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_700)
+    for instance in job.instances_of("average"):
+        primary = dict(instance.operator.state.items())
+        standby = backend.standby_state("average", instance.instance)
+        assert standby == primary
+
+
+def test_replication_cost_added_per_update():
+    env = ha_env()
+    plain = make_squery_backend(env)
+    plain.register_vertex("a", 1, lambda i: 0, True)
+    replicated = ha_backend(env)
+    replicated.register_vertex("b", 1, lambda i: 0, True)
+    assert (replicated.live_update_cost("b")
+            > plain.live_update_cost("a"))
+
+
+def test_standby_unavailable_without_replication():
+    env = ha_env()
+    backend = make_squery_backend(env)
+    backend.register_vertex("op", 1, lambda i: 0, True)
+    assert backend.provides_standby is False
+    with pytest.raises(StateError):
+        backend.standby_state("op", 0)
+
+
+def test_failover_does_not_roll_back_live_state():
+    """The Fig. 5 dirty read disappears under active replication: the
+    live count never decreases across a failure."""
+    env = ha_env()
+    backend = ha_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000, keys=20,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_800)
+    service = QueryService(env, ha_mode=True)
+    before = service.execute(
+        'SELECT SUM(count) AS s FROM "average"'
+    ).result.rows[0]["s"]
+    env.cluster.kill_node(2)
+    after = service.execute(
+        'SELECT SUM(count) AS s FROM "average"'
+    ).result.rows[0]["s"]
+    assert after >= before  # no rollback
+    assert job.metrics.recoveries == 1
+
+
+def test_rollback_happens_without_replication():
+    """Control for the test above: with checkpoint rollback the live
+    count does drop after a failure (the Fig. 5 behaviour)."""
+    env = ha_env()
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000, keys=20,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_800)
+    service = QueryService(env)
+    before = service.execute(
+        'SELECT SUM(count) AS s FROM "average"'
+    ).result.rows[0]["s"]
+    env.cluster.kill_node(2)
+    after = service.execute(
+        'SELECT SUM(count) AS s FROM "average"'
+    ).result.rows[0]["s"]
+    assert after < before
+
+
+def test_processing_continues_forward_after_failover():
+    env = ha_env()
+    backend = ha_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000, keys=20,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_800)
+    sum_before = sum(
+        s.count for s in job.operator_state("average").values()
+    )
+    env.cluster.kill_node(2)
+    env.run_until(4_000)
+    sum_after = sum(
+        s.count for s in job.operator_state("average").values()
+    )
+    assert sum_after > sum_before
+    # Checkpointing also resumed.
+    assert env.store.committed_ssid >= 3
+
+
+def test_ha_mode_live_queries_read_committed():
+    env = ha_env()
+    backend = ha_backend(env)
+    job = build_average_job(env, backend=backend,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_200)
+    service = QueryService(env, ha_mode=True)
+    live = service.execute('SELECT COUNT(*) FROM "average"')
+    assert live.isolation is IsolationLevel.READ_COMMITTED
+    snap = service.execute('SELECT COUNT(*) FROM "snapshot_average"')
+    assert snap.isolation is IsolationLevel.SERIALIZABLE
+
+
+def test_displaced_instances_resume_with_standby_state():
+    env = ha_env()
+    backend = ha_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000, keys=30,
+                            checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_600)
+    # Snapshot the standby of the instance on node 2 before the failure.
+    displaced = [i for i in job.instances_of("average")
+                 if i.node_id == 2]
+    expected = {
+        i.instance: backend.standby_state("average", i.instance)
+        for i in displaced
+    }
+    env.cluster.kill_node(2)
+    for instance in displaced:
+        assert instance.node_id != 2
+        assert dict(instance.operator.state.items()) == \
+            expected[instance.instance]

@@ -1,0 +1,68 @@
+"""Tests for row shaping (Tables I and II)."""
+
+from collections import namedtuple
+from dataclasses import dataclass
+
+from repro.state.rows import (
+    live_row,
+    sanitize_table_name,
+    snapshot_row,
+    snapshot_table_name,
+    value_to_columns,
+)
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+
+
+def test_dataclass_fields_become_columns():
+    assert value_to_columns(Point(1, 2)) == {"x": 1, "y": 2}
+
+
+def test_dict_passthrough_copied():
+    source = {"a": 1}
+    columns = value_to_columns(source)
+    assert columns == {"a": 1}
+    columns["a"] = 2
+    assert source["a"] == 1
+
+
+def test_namedtuple_fields():
+    Pair = namedtuple("Pair", ["left", "right"])
+    assert value_to_columns(Pair(1, 2)) == {"left": 1, "right": 2}
+
+
+def test_scalar_becomes_value_column():
+    assert value_to_columns(42) == {"value": 42}
+    assert value_to_columns("text") == {"value": "text"}
+
+
+def test_live_row_table_one_schema():
+    row = live_row(7, Point(1, 2))
+    assert row == {"partitionKey": 7, "key": 7, "x": 1, "y": 2}
+
+
+def test_snapshot_row_table_two_schema():
+    row = snapshot_row(7, 9, Point(1, 2))
+    assert row == {"partitionKey": 7, "key": 7, "ssid": 9, "x": 1, "y": 2}
+
+
+def test_key_fields_override_value_collisions():
+    # A state object with a 'key' field must not mask the partition key.
+    row = live_row(7, {"key": "inner", "other": 1})
+    assert row["key"] == 7
+    assert row["partitionKey"] == 7
+    assert row["other"] == 1
+
+
+def test_sanitize_table_name_matches_paper_convention():
+    # The paper: operator "stateful map" -> table "statefulmap".
+    assert sanitize_table_name("stateful map") == "statefulmap"
+    assert sanitize_table_name("Average") == "average"
+
+
+def test_snapshot_table_name():
+    assert snapshot_table_name("stateful map") == "snapshot_statefulmap"

@@ -1,0 +1,134 @@
+"""Tests for snapshot export and job bootstrapping (savepoints)."""
+
+import pytest
+
+from repro import ClusterConfig, Environment
+from repro.errors import DataflowError, SnapshotNotFoundError, StateError
+from repro.query import QueryService
+from repro.state.savepoints import bootstrap_job, export_snapshot
+
+from ..conftest import build_average_job, make_squery_backend
+
+
+def run_source_job(keys=12, limit=200):
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000, keys=keys,
+                            limit_per_instance=limit,
+                            checkpoint_interval_ms=400)
+    job.start()
+    env.run_until(20_000)
+    assert job.all_sources_exhausted()
+    return env, backend, job
+
+
+def test_export_contains_full_state():
+    env, backend, job = run_source_job()
+    exported = export_snapshot(backend)
+    assert set(exported) == {"average"}
+    state = exported["average"]
+    assert set(state) == set(range(12))
+    assert sum(s.count for s in state.values()) == 600
+
+
+def test_export_specific_ssid_differs_from_latest():
+    env, backend, job = run_source_job()
+    older, newest = env.store.available_ssids()[0], \
+        env.store.available_ssids()[-1]
+    del newest
+    old_export = export_snapshot(backend, ssid=older)
+    latest_export = export_snapshot(backend)
+    old_total = sum(s.count for s in old_export["average"].values())
+    new_total = sum(s.count for s in latest_export["average"].values())
+    assert old_total <= new_total
+
+
+def test_export_without_commit_raises():
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    build_average_job(env, backend=backend)
+    with pytest.raises(StateError):
+        export_snapshot(backend)
+
+
+def test_export_unknown_ssid_raises():
+    env, backend, job = run_source_job()
+    with pytest.raises(SnapshotNotFoundError):
+        export_snapshot(backend, ssid=99_999)
+
+
+def test_bootstrap_new_job_continues_from_export():
+    _, old_backend, _ = run_source_job()
+    exported = export_snapshot(old_backend)
+
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000, keys=12,
+                            limit_per_instance=100,
+                            checkpoint_interval_ms=400)
+    bootstrap_job(job, exported)
+    job.start()
+    env.run_until(20_000)
+    service = QueryService(env)
+    total = service.execute(
+        'SELECT SUM(count) AS s FROM "average"'
+    ).result.rows[0]["s"]
+    # 600 imported + 3 instances x 100 fresh records.
+    assert total == 900
+
+
+def test_bootstrap_supports_rescaling():
+    """The new job can run at a different parallelism."""
+    _, old_backend, _ = run_source_job()
+    exported = export_snapshot(old_backend)
+
+    env = Environment(ClusterConfig(nodes=2,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=1000, keys=12,
+                            parallelism=2, limit_per_instance=0)
+    bootstrap_job(job, exported)
+    merged = job.operator_state("average")
+    assert sum(s.count for s in merged.values()) == 600
+    # Keys landed on the instance the NEW routing owns.
+    from repro.cluster.partition import stable_hash
+
+    for index, instance in enumerate(job.instances_of("average")):
+        for key, _ in instance.operator.state.items():
+            assert stable_hash(key) % 2 == index
+
+
+def test_bootstrap_after_start_rejected():
+    env, backend, job = run_source_job()
+    with pytest.raises(DataflowError):
+        bootstrap_job(job, {"average": {}})
+
+
+def test_bootstrap_unknown_vertex_strictness():
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend)
+    with pytest.raises(DataflowError):
+        bootstrap_job(job, {"ghost": {1: 2}})
+    bootstrap_job(job, {"ghost": {1: 2}}, strict=False)  # ignored
+
+
+def test_bootstrapped_state_checkpointed_by_new_job():
+    _, old_backend, _ = run_source_job()
+    exported = export_snapshot(old_backend)
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=500, keys=12,
+                            checkpoint_interval_ms=400)
+    bootstrap_job(job, exported)
+    job.start()
+    env.run_until(1_000)
+    # The first checkpoint of the new job includes the imported state.
+    table = backend.snapshot_table("average")
+    committed = env.store.committed_ssid
+    assert table.snapshot_size(committed) == 12

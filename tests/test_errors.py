@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError) or \
+                obj is errors.ReproError
+
+
+def test_subsystem_grouping():
+    assert issubclass(errors.SqlParseError, errors.SqlError)
+    assert issubclass(errors.SqlLexError, errors.SqlError)
+    assert issubclass(errors.SqlPlanError, errors.SqlError)
+    assert issubclass(errors.SqlExecutionError, errors.SqlError)
+    assert issubclass(errors.CheckpointError, errors.DataflowError)
+    assert issubclass(errors.GraphError, errors.DataflowError)
+    assert issubclass(errors.RecoveryError, errors.DataflowError)
+    assert issubclass(errors.MapNotFoundError, errors.StoreError)
+    assert issubclass(errors.LockError, errors.StoreError)
+    assert issubclass(errors.NodeDownError, errors.ClusterError)
+    assert issubclass(errors.SnapshotNotFoundError, errors.StateError)
+
+
+def test_node_down_carries_node_id():
+    error = errors.NodeDownError(3)
+    assert error.node_id == 3
+    assert "3" in str(error)
+
+
+def test_map_not_found_carries_name():
+    error = errors.MapNotFoundError("orders")
+    assert error.map_name == "orders"
+    assert "orders" in str(error)
+
+
+def test_snapshot_not_found_carries_id():
+    error = errors.SnapshotNotFoundError(42)
+    assert error.snapshot_id == 42
+    assert "42" in str(error)
+
+
+def test_catch_all_subsystems_with_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.SqlLexError("x")
+    with pytest.raises(errors.ReproError):
+        raise errors.NoCommittedSnapshotError("x")
+
+
+def test_log_error_is_repro_error():
+    from repro.log.log import LogError
+
+    assert issubclass(LogError, errors.ReproError)

@@ -1,0 +1,69 @@
+"""Tests for the utilisation/observability report."""
+
+from repro.observability import collect_report, format_report
+
+from .conftest import build_average_job, make_squery_backend
+
+
+def test_report_covers_all_nodes(env):
+    job = build_average_job(env, rate=2000)
+    job.start()
+    env.run_until(2_000)
+    report = collect_report(env)
+    assert len(report.nodes) == 3
+    assert report.horizon_ms == 2_000
+    assert all(node.alive for node in report.nodes)
+
+
+def test_processing_utilization_reflects_load(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=4000)
+    job.start()
+    env.run_until(2_000)
+    report = collect_report(env)
+    for node in report.nodes:
+        assert 0.0 < node.processing_utilization < 1.0
+        assert node.processing_jobs > 0
+        assert node.store_jobs > 0  # snapshot writes hit the store
+
+
+def test_network_and_lock_counters(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000)
+    job.start()
+    env.run_until(1_500)
+    report = collect_report(env)
+    assert report.network_messages > 0
+    assert report.network_bytes > 0
+    assert report.lock_acquisitions > 0  # live mirroring locks keys
+
+
+def test_dead_node_flagged(env):
+    job = build_average_job(env, rate=1000, checkpoint_interval_ms=500)
+    job.start()
+    env.run_until(1_600)
+    env.cluster.kill_node(1)
+    report = collect_report(env)
+    status = {node.node_id: node.alive for node in report.nodes}
+    assert status == {0: True, 1: False, 2: True}
+
+
+def test_hottest_pool_identifies_processing(env):
+    job = build_average_job(env, rate=5000)
+    job.start()
+    env.run_until(2_000)
+    report = collect_report(env)
+    node_id, kind, utilization = report.hottest_pool()
+    assert kind == "processing"
+    assert utilization > 0
+
+
+def test_format_report_renders(env):
+    job = build_average_job(env, rate=1000)
+    job.start()
+    env.run_until(1_000)
+    text = format_report(collect_report(env))
+    assert "cluster utilisation" in text
+    assert "network:" in text
+    assert "proc util" in text
+    assert text.count("\n") >= 5

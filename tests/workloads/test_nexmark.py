@@ -1,0 +1,110 @@
+"""Tests for the NEXMark workload and query-6 job."""
+
+from repro import ClusterConfig, Environment
+from repro.query import QueryService
+from repro.workloads.nexmark import (
+    AuctionClosedSource,
+    BidSource,
+    PersonSource,
+    build_query6_job,
+    make_q6_operator,
+)
+from repro.workloads.nexmark.model import SellerPrices
+
+from ..conftest import make_squery_backend
+
+
+def test_sources_are_deterministic():
+    source = AuctionClosedSource(1000.0, sellers=100)
+    assert source.generate(0, 5) == source.generate(0, 5)
+    assert source.generate(0, 5) != source.generate(0, 6)
+    assert source.generate(1, 5) != source.generate(0, 5)
+
+
+def test_seller_ids_within_universe():
+    source = AuctionClosedSource(1000.0, sellers=50)
+    for seq in range(500):
+        key, event = source.generate(0, seq)
+        assert 0 <= key < 50
+        assert event.seller_id == key
+        assert event.final_price > 0
+
+
+def test_limit_exhausts_source():
+    source = AuctionClosedSource(1000.0, sellers=10, limit_per_instance=3)
+    assert source.generate(0, 2) is not None
+    assert source.generate(0, 3) is None
+
+
+def test_rate_split_across_instances():
+    source = AuctionClosedSource(1000.0)
+    assert source.rate_per_instance(4) == 250.0
+
+
+def test_bid_and_person_sources_generate():
+    bids = BidSource(100.0, auctions=10)
+    key, bid = bids.generate(0, 1)
+    assert key == bid.auction_id
+    people = PersonSource(100.0, population=10)
+    key, person = people.generate(0, 1)
+    assert key == person.person_id
+    assert person.name.startswith("person-")
+
+
+def test_seller_prices_window():
+    state = SellerPrices()
+    for price in range(1, 15):
+        state = state.with_price(float(price), window=10)
+    assert len(state.prices) == 10
+    assert state.prices == tuple(float(p) for p in range(5, 15))
+    assert state.average == sum(range(5, 15)) / 10
+    assert state.closed_auctions == 14
+
+
+def test_q6_operator_keeps_last_10_average():
+    from repro.dataflow.operators import Emitter
+    from repro.dataflow.records import Record
+    from repro.workloads.nexmark.model import AuctionClosed
+
+    operator = make_q6_operator()
+    out = Emitter()
+    for i in range(12):
+        event = AuctionClosed(auction_id=i, seller_id=1,
+                              final_price=float(i))
+        operator.process(Record(1, event, 0.0), out)
+    state = operator.state.get(1)
+    assert state.prices == tuple(float(i) for i in range(2, 12))
+    outputs = out.drain()
+    assert outputs[-1].value == sum(range(2, 12)) / 10
+
+
+def test_query6_job_end_to_end():
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_query6_job(env, backend, rate_per_s=2000, sellers=50,
+                           checkpoint_interval_ms=500, parallelism=3)
+    job.start()
+    env.run_until(2_300)
+    state = job.operator_state("q6")
+    assert 0 < len(state) <= 50
+    service = QueryService(env)
+    live = service.execute(
+        'SELECT COUNT(*) AS n, AVG(average) AS price FROM "q6"'
+    ).result.rows[0]
+    assert live["n"] == len(state)
+    assert live["price"] > 0
+    snap = service.execute(
+        'SELECT COUNT(*) AS n FROM "snapshot_q6"'
+    ).result.rows[0]
+    assert 0 < snap["n"] <= live["n"]
+
+
+def test_query6_state_bounded_by_sellers():
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    job = build_query6_job(env, rate_per_s=5000, sellers=20,
+                           parallelism=3)
+    job.start()
+    env.run_until(5_000)
+    assert len(job.operator_state("q6")) == 20

@@ -1,0 +1,138 @@
+"""Tests for the Q-commerce workload generators and job."""
+
+from repro import ClusterConfig, Environment
+from repro.workloads.qcommerce import (
+    ORDER_STATES,
+    OrderInfoSource,
+    OrderStatusSource,
+    RiderLocationSource,
+    build_qcommerce_job,
+    order_info_for,
+    order_status_for,
+    rider_location_for,
+)
+
+from ..conftest import make_squery_backend
+
+
+def test_key_ownership_partitioned_per_instance():
+    source = OrderStatusSource(1000.0, universe=100, parallelism=4)
+    owned = {i: set() for i in range(4)}
+    for instance in range(4):
+        for seq in range(100):
+            key, _ = source.generate(instance, seq)
+            owned[instance].add(key)
+    all_keys = set()
+    for instance, keys in owned.items():
+        assert all(key % 4 == instance for key in keys)
+        all_keys |= keys
+    assert all_keys == set(range(100))
+
+
+def test_rounds_advance_state_machine_in_order():
+    source = OrderStatusSource(1000.0, universe=8, parallelism=1)
+    key_states = {}
+    for seq in range(8 * len(ORDER_STATES)):
+        key, status = source.generate(0, seq)
+        key_states.setdefault(key, []).append(status.orderState)
+    for states in key_states.values():
+        # Each order walks the machine in order, starting from its own
+        # phase offset (staggered lifecycles).
+        start = ORDER_STATES.index(states[0])
+        expected = [
+            ORDER_STATES[(start + step) % len(ORDER_STATES)]
+            for step in range(len(states))
+        ]
+        assert states == expected
+    # Phases differ across orders, so the population spreads over the
+    # state machine instead of moving in lockstep.
+    assert len({states[0] for states in key_states.values()}) > 1
+
+
+def test_late_fraction_controls_deadlines():
+    source = OrderStatusSource(1000.0, universe=100, parallelism=1,
+                               late_fraction=0.5)
+    late = sum(
+        1 for seq in range(1000)
+        if source.generate(0, seq)[1].lateTimestamp < 0
+    )
+    assert 400 < late < 600
+    never_late = OrderStatusSource(1000.0, universe=100, parallelism=1,
+                                   late_fraction=0.0)
+    assert all(
+        never_late.generate(0, seq)[1].lateTimestamp > 0
+        for seq in range(100)
+    )
+
+
+def test_more_instances_than_keys_idle_gracefully():
+    source = OrderInfoSource(1000.0, universe=2, parallelism=4)
+    assert source.generate(3, 0) is None
+    assert source.generate(0, 0) is not None
+    assert source.rate_per_instance(4) == 500.0  # split over active two
+
+
+def test_order_info_deterministic_per_order():
+    assert order_info_for(5) == order_info_for(5)
+    info = order_info_for(5)
+    assert info.deliveryZone.startswith("zone-")
+    assert info.vendorCategory
+
+
+def test_order_status_builder():
+    status = order_status_for(1, 3, late=True)
+    assert status.orderState == ORDER_STATES[3]
+    assert status.lateTimestamp < 0
+
+
+def test_rider_location_builder():
+    loc = rider_location_for(2, 7)
+    assert 52.0 <= loc.latitude <= 53.0
+    assert 4.3 <= loc.longitude <= 5.3
+    assert loc.updatedTimestamp == 7.0
+
+
+def test_randomized_mode_remains_deterministic():
+    source = RiderLocationSource(1000.0, universe=50, parallelism=2,
+                                 randomized=True)
+    assert source.generate(0, 9) == source.generate(0, 9)
+    keys = {source.generate(0, seq)[0] for seq in range(200)}
+    assert all(key % 2 == 0 for key in keys)
+
+
+def test_randomized_deltas_overlap():
+    """Randomised key selection revisits keys across rounds (unlike the
+    cyclic walk), which is what builds overlapping incremental deltas."""
+    source = OrderStatusSource(1000.0, universe=100, parallelism=1,
+                               randomized=True)
+    first_round = [source.generate(0, seq)[0] for seq in range(50)]
+    assert len(set(first_round)) < 50  # repeats within a half round
+
+
+def test_qcommerce_job_builds_three_tables():
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    backend = make_squery_backend(env)
+    job = build_qcommerce_job(env, backend, orders=60, riders=10,
+                              events_per_s=2000,
+                              checkpoint_interval_ms=500, parallelism=3)
+    job.start()
+    env.run_until(2_300)
+    for table in ("orderinfo", "orderstate", "riderlocation"):
+        assert env.store.has_live_table(table)
+        assert env.store.has_snapshot_table(f"snapshot_{table}")
+    assert len(job.operator_state("orderinfo")) > 0
+    assert len(job.operator_state("orderstate")) > 0
+    assert len(job.operator_state("riderlocation")) > 0
+
+
+def test_qcommerce_state_objects_match_builders():
+    env = Environment(ClusterConfig(nodes=3,
+                                    processing_workers_per_node=2))
+    job = build_qcommerce_job(env, orders=30, riders=10,
+                              events_per_s=3000, parallelism=3)
+    job.start()
+    env.run_until(3_000)
+    info_state = job.operator_state("orderinfo")
+    for order_id, info in info_state.items():
+        assert info == order_info_for(order_id)
