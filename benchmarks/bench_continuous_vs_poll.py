@@ -1,0 +1,201 @@
+"""Continuous queries vs polling dashboards (the push extension).
+
+The paper's dashboards (§IX) refresh by re-executing their SQL on a
+timer: every repaint scans the live IMaps cluster-wide, and the result
+is already ``poll interval / 2`` stale on average when it lands.  The
+continuous query service replaces the timer with a standing query — one
+shared arrangement absorbs each state update once and pushes batched
+deltas to every dashboard.
+
+This benchmark runs N identical dashboards over the quick-commerce
+workload both ways and reports what the swap buys: the store/query
+utilisation the dashboards *add* over a dashboard-free baseline, and
+result staleness (age of the displayed result at repaint instants).
+Polling cost scales with N and its staleness is floored by the poll
+interval; subscriptions share one arrangement and stay fresh.
+"""
+
+from repro.bench.harness import scaled_cluster
+from repro.bench.report import format_table
+from repro.env import Environment
+from repro.config import SQueryConfig
+from repro.query import QueryService
+from repro.observability import collect_report
+from repro.state import SQueryBackend
+from repro.workloads.qcommerce import build_qcommerce_job
+
+from .conftest import record_result
+
+SQL = ('SELECT orderState, COUNT(*) AS n FROM "orderstate" '
+       'GROUP BY orderState')
+ORDERS = 5_000
+EVENTS_PER_S = 10_000
+POLL_INTERVAL_MS = 100.0
+WARMUP_MS = 500.0
+MEASURE_MS = 2_000.0
+SAMPLE_MS = 20.0
+DASHBOARD_COUNTS = (1, 8)
+
+
+def build():
+    env = Environment(scaled_cluster(3, 2))
+    backend = SQueryBackend(env.cluster, env.store, SQueryConfig())
+    job = build_qcommerce_job(env, backend, orders=ORDERS,
+                              events_per_s=EVENTS_PER_S)
+    service = QueryService(env)
+    job.start()
+    env.run_for(WARMUP_MS)
+    return env, service
+
+
+def sample_staleness(env, freshness, samples):
+    """Record each dashboard's result age every SAMPLE_MS.
+
+    Dashboards that have not painted a first result yet are skipped —
+    polling starts staggered, and age-since-simulation-start would
+    swamp the statistic.
+    """
+    def tick():
+        now = env.sim.now
+        samples.extend(
+            now - at for at in freshness.values() if at is not None
+        )
+        if now < WARMUP_MS + MEASURE_MS:
+            env.sim.schedule(SAMPLE_MS, tick)
+
+    env.sim.schedule(SAMPLE_MS, tick)
+
+
+def utilisation(env) -> tuple[float, float]:
+    report = collect_report(env)
+    return (max(n.store_utilization for n in report.nodes),
+            max(n.query_utilization for n in report.nodes))
+
+
+def run_baseline() -> tuple[float, float]:
+    """The workload alone: mirror writes, checkpoints, no dashboards."""
+    env, _service = build()
+    env.run_for(MEASURE_MS)
+    return utilisation(env)
+
+
+def run_polling(n_dashboards: int) -> dict:
+    env, service = build()
+    # freshness[d] = virtual instant the data shown by dashboard d was
+    # read; a poll's result is as-of its start, not its completion.
+    freshness = {d: None for d in range(n_dashboards)}
+    scans = {"count": 0}
+
+    def poll(dashboard: int) -> None:
+        started = env.sim.now
+
+        def done(execution) -> None:
+            if execution.error is None:
+                freshness[dashboard] = started
+            scans["count"] += 1
+            if env.sim.now < WARMUP_MS + MEASURE_MS:
+                remaining = POLL_INTERVAL_MS - (env.sim.now - started)
+                env.sim.schedule(max(remaining, 0.0), poll, dashboard)
+
+        service.submit(SQL, on_done=done)
+
+    for dashboard in range(n_dashboards):
+        # Staggered like real dashboards, not a thundering herd.
+        env.sim.schedule(
+            dashboard * POLL_INTERVAL_MS / n_dashboards, poll, dashboard
+        )
+    samples: list[float] = []
+    sample_staleness(env, freshness, samples)
+    env.run_for(MEASURE_MS)
+    store, query = utilisation(env)
+    return summarize(store, query, samples, refreshes=scans["count"])
+
+
+def run_subscriptions(n_dashboards: int) -> dict:
+    env, service = build()
+    freshness = {d: None for d in range(n_dashboards)}
+    batches = {"count": 0}
+
+    def make_on_batch(dashboard: int):
+        def on_batch(subscription, batch) -> None:
+            # A delta batch carries the standing result as maintained
+            # when the batch was cut.
+            freshness[dashboard] = batch.sent_ms
+            batches["count"] += 1
+        return on_batch
+
+    for dashboard in range(n_dashboards):
+        service.subscribe(SQL, on_batch=make_on_batch(dashboard))
+    samples: list[float] = []
+    sample_staleness(env, freshness, samples)
+    env.run_for(MEASURE_MS)
+    store, query = utilisation(env)
+    return summarize(store, query, samples, refreshes=batches["count"])
+
+
+def summarize(store_util, query_util, samples, refreshes) -> dict:
+    ordered = sorted(samples)
+    return {
+        "store_util": store_util,
+        "query_util": query_util,
+        "staleness_mean": sum(ordered) / len(ordered),
+        "staleness_p99": ordered[int(len(ordered) * 0.99)],
+        "refreshes": refreshes,
+    }
+
+
+def run_comparison():
+    base_store, base_query = run_baseline()
+    results = {}
+    rows = []
+    for n in DASHBOARD_COUNTS:
+        for mode, runner in (("poll", run_polling),
+                             ("subscribe", run_subscriptions)):
+            stats = runner(n)
+            # Report the cost the dashboards ADD over the baseline.
+            stats["added_store"] = stats["store_util"] - base_store
+            stats["added_query"] = stats["query_util"] - base_query
+            results[(mode, n)] = stats
+            rows.append([
+                f"{mode} x{n}",
+                f"{stats['added_store']:+.2%}",
+                f"{stats['added_query']:+.2%}",
+                f"{stats['staleness_mean']:.1f}",
+                f"{stats['staleness_p99']:.1f}",
+                stats["refreshes"],
+            ])
+    table = format_table(
+        ["mode", "store util added", "query util added",
+         "stale mean ms", "stale p99 ms", "refreshes"],
+        rows,
+        title=(f"Continuous vs polling dashboards — qcommerce order state "
+               f"({ORDERS} orders @ {EVENTS_PER_S} ev/s), poll every "
+               f"{POLL_INTERVAL_MS:.0f} ms"),
+    )
+    return table, results
+
+
+def test_continuous_vs_poll(benchmark):
+    table, results = benchmark.pedantic(run_comparison, rounds=1,
+                                        iterations=1)
+    record_result("continuous_vs_poll", table)
+
+    for n in DASHBOARD_COUNTS:
+        poll, push = results[("poll", n)], results[("subscribe", n)]
+        # Push repaints are fresher than any poll can be: a poll's
+        # result averages interval/2 old the moment it returns.
+        assert push["staleness_mean"] < poll["staleness_mean"] / 2
+        assert push["staleness_p99"] < POLL_INTERVAL_MS
+        assert poll["staleness_mean"] > POLL_INTERVAL_MS / 4
+
+    # Polling pays a cluster scan per dashboard per interval: its added
+    # store cost scales with N.
+    assert results[("poll", 8)]["added_store"] > \
+        results[("poll", 1)]["added_store"] * 3
+    # The shared arrangement absorbs each update once no matter how
+    # many dashboards subscribe: added store cost is ~flat in N and
+    # cheaper than eight polling dashboards.
+    assert results[("subscribe", 8)]["added_store"] < \
+        results[("subscribe", 1)]["added_store"] * 1.5 + 0.005
+    assert results[("subscribe", 8)]["added_store"] < \
+        results[("poll", 8)]["added_store"]

@@ -18,6 +18,12 @@ from .config import (
     NetworkConfig,
     SQueryConfig,
 )
+from .continuous import (
+    ChangeEvent,
+    ContinuousQueryService,
+    DeltaBatch,
+    Subscription,
+)
 from .dataflow import (
     FilterOperator,
     FlatMapOperator,
@@ -38,8 +44,11 @@ from .state import IsolationLevel, SQueryBackend
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChangeEvent",
     "ClusterConfig",
+    "ContinuousQueryService",
     "CostModel",
+    "DeltaBatch",
     "DirectObjectInterface",
     "Environment",
     "FilterOperator",
@@ -59,6 +68,7 @@ __all__ = [
     "SQueryBackend",
     "SQueryConfig",
     "StateAuditor",
+    "Subscription",
     "VANILLA",
     "__version__",
     "collect_report",

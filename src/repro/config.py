@@ -158,6 +158,18 @@ class CostModel:
     #: the power-law throughput curve of Fig. 14.
     direct_batch_exponent: float = 0.76
 
+    # --- continuous queries -------------------------------------------------
+    #: Maintaining one shared arrangement entry per captured state
+    #: update (applied once however many subscriptions read it).
+    arrangement_update_ms: float = 0.004
+    #: Fixed cost of assembling and shipping one push batch.
+    push_batch_fixed_ms: float = 0.05
+    #: Per-result-row cost inside a push batch.
+    push_delta_row_ms: float = 0.0002
+    #: Subscriber-side cost of consuming one batch (the ack delay that
+    #: drives the flow-control window).
+    subscriber_consume_ms: float = 0.02
+
     # --- TSpoon baseline ---------------------------------------------------
     #: TSpoon treats every query as a read-only transaction flowing
     #: through the operator chain: a fixed transactional overhead is paid

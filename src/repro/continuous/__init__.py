@@ -1,0 +1,61 @@
+"""Continuous queries: standing SQL subscriptions over live state.
+
+The pull interface (``QueryService.execute``) answers one question once;
+this package keeps the answer current.  Change capture at the live-state
+mutation chokepoint feeds shared per-table arrangements; standing
+queries are maintained per-delta where the plan allows (filter/project,
+grouped COUNT/SUM/AVG/MIN/MAX with add/retract accounting) and by
+re-scan otherwise; result deltas are batched and pushed to simulated
+subscribers with flow control and rollback-consistent recovery
+notifications.
+"""
+
+from .arrangements import Arrangement
+from .changelog import (
+    COMMIT,
+    DELETE,
+    PUT,
+    ROLLBACK,
+    UPDATE,
+    ChangeEvent,
+    ChangeLog,
+    ChangeRecorder,
+)
+from .delivery import (
+    BATCH_DELTA,
+    BATCH_ROLLBACK,
+    BATCH_SNAPSHOT,
+    DeltaBatch,
+    Subscription,
+)
+from .service import ContinuousQueryService
+from .standing import (
+    PATH_FILTER_PROJECT,
+    PATH_GROUPED_AGGREGATE,
+    PATH_RESCAN,
+    StandingQuery,
+    classify,
+)
+
+__all__ = [
+    "Arrangement",
+    "BATCH_DELTA",
+    "BATCH_ROLLBACK",
+    "BATCH_SNAPSHOT",
+    "COMMIT",
+    "ChangeEvent",
+    "ChangeLog",
+    "ChangeRecorder",
+    "ContinuousQueryService",
+    "DELETE",
+    "DeltaBatch",
+    "PATH_FILTER_PROJECT",
+    "PATH_GROUPED_AGGREGATE",
+    "PATH_RESCAN",
+    "PUT",
+    "ROLLBACK",
+    "StandingQuery",
+    "Subscription",
+    "UPDATE",
+    "classify",
+]

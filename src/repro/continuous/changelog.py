@@ -1,0 +1,181 @@
+"""Change capture: typed events from the state mutation chokepoints.
+
+Every operator state mutation already funnels through one place — the
+live-state mirror (:meth:`repro.state.live.LiveStateTable.apply_update`,
+plus :meth:`replace_partition` during rollback recovery) — and every
+checkpoint commit funnels through the store's committed-snapshot
+pointer.  A :class:`ChangeRecorder` attached to those chokepoints turns
+raw mutations into typed :class:`ChangeEvent` records, keeps a bounded
+per-node change log (ring semantics: the oldest events are dropped
+first), and fans events out to listeners — the shared arrangements of
+the continuous-query subsystem.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+#: Event kinds emitted by the chokepoints.
+PUT = "put"          # key did not exist before
+UPDATE = "update"    # key existed, value replaced
+DELETE = "delete"    # key removed
+ROLLBACK = "rollback"  # partition replaced during rollback recovery
+COMMIT = "commit"    # checkpoint committed (snapshot pointer flipped)
+
+#: Default per-node change-log capacity (events).
+DEFAULT_LOG_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One typed state change, as observed at the mutation chokepoint."""
+
+    op: str                      # PUT | UPDATE | DELETE | ROLLBACK | COMMIT
+    table: str                   # live table name ('' for COMMIT)
+    key: Hashable | None         # None for ROLLBACK / COMMIT
+    old_value: object | None
+    new_value: object | None     # for ROLLBACK: the restored partition dict
+    node_id: int                 # node owning the mutated partition
+    partition: int               # instance partition (-1 for COMMIT)
+    time_ms: float               # virtual time of the mutation
+    ssid: int | None = None      # snapshot id (COMMIT / ROLLBACK)
+
+
+class ChangeLog:
+    """A bounded per-node event log.
+
+    Appends beyond ``capacity`` evict the oldest event and bump the
+    ``dropped`` counter, so a stalled reader can never grow the log
+    without bound — it just loses history (and can tell that it did).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("change log capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[ChangeEvent] = deque()
+        self.appended = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def append(self, event: ChangeEvent) -> None:
+        if len(self._events) >= self.capacity:
+            self._events.popleft()
+            self.dropped += 1
+        self._events.append(event)
+        self.appended += 1
+
+    def events(self) -> list[ChangeEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def events_for_table(self, table: str) -> list[ChangeEvent]:
+        return [event for event in self._events if event.table == table]
+
+
+class ChangeRecorder:
+    """The chokepoint instrumentation shared by all captured tables.
+
+    One recorder per environment: live tables call ``record_mutation`` /
+    ``record_rollback``, the store's commit path calls ``record_commit``.
+    Events land in the owning node's bounded :class:`ChangeLog` and are
+    dispatched synchronously to per-table and global listeners.
+    """
+
+    def __init__(self, clock: Callable[[], float], node_count: int,
+                 capacity_per_node: int = DEFAULT_LOG_CAPACITY) -> None:
+        self._clock = clock
+        self._capacity = capacity_per_node
+        self.logs: dict[int, ChangeLog] = {
+            node: ChangeLog(capacity_per_node) for node in range(node_count)
+        }
+        self._table_listeners: dict[str, list[Callable]] = {}
+        self._global_listeners: list[Callable] = []
+        self.last_commit_ssid: int | None = None
+
+    # -- listener registry -------------------------------------------------
+
+    def add_listener(self, table: str,
+                     listener: Callable[[ChangeEvent], None]) -> None:
+        self._table_listeners.setdefault(table, []).append(listener)
+
+    def remove_listener(self, table: str, listener: Callable) -> None:
+        listeners = self._table_listeners.get(table)
+        if listeners is None:
+            return
+        if listener in listeners:
+            listeners.remove(listener)
+        if not listeners:
+            del self._table_listeners[table]
+
+    def add_global_listener(self,
+                            listener: Callable[[ChangeEvent], None]) -> None:
+        self._global_listeners.append(listener)
+
+    def has_listeners(self, table: str) -> bool:
+        return bool(self._table_listeners.get(table))
+
+    # -- counters ----------------------------------------------------------
+
+    @property
+    def changes_captured(self) -> int:
+        return sum(log.appended for log in self.logs.values())
+
+    @property
+    def changes_dropped(self) -> int:
+        return sum(log.dropped for log in self.logs.values())
+
+    # -- chokepoint entry points -------------------------------------------
+
+    def record_mutation(self, table: str, partition: int, node_id: int,
+                        key: Hashable, old_value: object | None,
+                        new_value: object | None) -> None:
+        """One live-state mutation (``new_value is None`` = delete)."""
+        if new_value is None and old_value is None:
+            return  # delete of an absent key: nothing changed
+        if new_value is None:
+            op = DELETE
+        elif old_value is None:
+            op = PUT
+        else:
+            op = UPDATE
+        self._emit(ChangeEvent(
+            op=op, table=table, key=key, old_value=old_value,
+            new_value=new_value, node_id=node_id, partition=partition,
+            time_ms=self._clock(),
+        ))
+
+    def record_rollback(self, table: str, partition: int, node_id: int,
+                        state: dict, ssid: int | None = None) -> None:
+        """One partition bulk-replaced during rollback recovery."""
+        self._emit(ChangeEvent(
+            op=ROLLBACK, table=table, key=None, old_value=None,
+            new_value=dict(state), node_id=node_id, partition=partition,
+            time_ms=self._clock(), ssid=ssid,
+        ))
+
+    def record_commit(self, ssid: int, node_id: int = 0) -> None:
+        """A checkpoint committed (the snapshot pointer flipped)."""
+        self.last_commit_ssid = ssid
+        self._emit(ChangeEvent(
+            op=COMMIT, table="", key=None, old_value=None, new_value=None,
+            node_id=node_id, partition=-1, time_ms=self._clock(),
+            ssid=ssid,
+        ))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _emit(self, event: ChangeEvent) -> None:
+        log = self.logs.get(event.node_id)
+        if log is None:
+            log = ChangeLog(self._capacity)
+            self.logs[event.node_id] = log
+        log.append(event)
+        for listener in self._table_listeners.get(event.table, ()):
+            listener(event)
+        for listener in self._global_listeners:
+            listener(event)

@@ -1,0 +1,118 @@
+"""Push delivery: batches, subscriptions, and the client-side view.
+
+Result deltas flow to simulated subscriber clients as
+:class:`DeltaBatch` messages over the cluster network model.  Each
+:class:`Subscription` tracks the number of batches in flight
+(``outstanding``): a subscriber acknowledges a batch only after paying
+its consume cost, and once ``outstanding`` reaches the subscription's
+window the service stops shipping deltas and *coalesces* — pending
+deltas are discarded and replaced by one full-snapshot batch sent when
+the subscriber catches up.  A slow consumer therefore degrades to
+periodic snapshots instead of growing an unbounded queue (the
+continuous-query analogue of Hazelcast's bounded listener queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Batch kinds.
+BATCH_DELTA = "delta"        # incremental entries (upsert/delete)
+BATCH_SNAPSHOT = "snapshot"  # full current result (coalesced / rescan)
+BATCH_ROLLBACK = "rollback"  # full post-recovery result (Fig. 5c replay)
+
+
+@dataclass
+class DeltaBatch:
+    """One push message from the service to a subscriber."""
+
+    subscription_id: int
+    seq: int
+    kind: str                      # BATCH_DELTA | BATCH_SNAPSHOT | BATCH_ROLLBACK
+    entries: list[dict]            # delta: {action,key,row}; else {key,row}
+    sent_ms: float
+    ssid: int | None = None        # rollback: the restored snapshot id
+    delivered_ms: float | None = None
+    consumed_ms: float | None = None
+
+
+@dataclass
+class Subscription:
+    """Handle for one standing subscription, including the simulated
+    subscriber client's state (``view``) and flow-control window."""
+
+    id: int
+    sql: str
+    standing: object               # StandingQuery
+    entry_node: int                # node that batches and ships deltas
+    subscriber_node: int           # node the client is attached to
+    max_outstanding: int = 4
+    batch_interval_ms: float = 5.0
+    consume_ms: float | None = None  # override: slow/fast subscriber
+    on_batch: Callable[["Subscription", DeltaBatch], None] | None = None
+
+    active: bool = True
+    #: Deltas accumulated since the last flush (server side).
+    pending: list[dict] = field(default_factory=list)
+    #: Batches shipped but not yet acknowledged.
+    outstanding: int = 0
+    #: Set when coalescing dropped deltas: next send is a snapshot.
+    needs_snapshot: bool = False
+    #: Set by rollback recovery: next send is a rollback replay (bypasses
+    #: the flow-control window so every live subscriber hears about it).
+    needs_rollback_ssid: int | None = None
+    flush_scheduled: bool = False
+    rescan_in_flight: bool = False
+    #: Re-evaluate on checkpoint commit (snapshot tables referenced).
+    refresh_on_commit: bool = False
+
+    #: The client's materialised result, maintained from batches.
+    view: dict = field(default_factory=dict)
+
+    # counters
+    seq: int = 0
+    batches_received: int = 0
+    deltas_received: int = 0
+    snapshots_received: int = 0
+    rollbacks_received: int = 0
+    batches_coalesced: int = 0
+    deltas_dropped: int = 0
+    last_batch_ms: float | None = None
+    last_rollback_ssid: int | None = None
+
+    @property
+    def path(self) -> str:
+        return self.standing.path
+
+    def explain(self) -> str:
+        return self.standing.explain()
+
+    def rows(self) -> list[dict]:
+        """The client-side view as plain rows."""
+        return [dict(row) for row in self.view.values()]
+
+    # -- client-side batch application (called at consume time) ----------
+
+    def apply_batch(self, batch: DeltaBatch) -> None:
+        self.batches_received += 1
+        self.last_batch_ms = batch.consumed_ms
+        if batch.kind == BATCH_DELTA:
+            self.deltas_received += len(batch.entries)
+            for entry in batch.entries:
+                if entry["action"] == "delete":
+                    self.view.pop(entry["key"], None)
+                else:
+                    self.view[entry["key"]] = entry["row"]
+        else:
+            # Snapshot and rollback batches replace the view wholesale.
+            self.view = {
+                entry["key"]: entry["row"] for entry in batch.entries
+            }
+            if batch.kind == BATCH_SNAPSHOT:
+                self.snapshots_received += 1
+            else:
+                self.rollbacks_received += 1
+                self.last_rollback_ssid = batch.ssid
+        if self.on_batch is not None:
+            self.on_batch(self, batch)

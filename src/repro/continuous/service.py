@@ -1,0 +1,410 @@
+"""The continuous-query service: subscriptions end to end.
+
+Glues the subsystem together:
+
+* owns the :class:`~repro.continuous.changelog.ChangeRecorder` and
+  attaches it to every live table a subscription touches;
+* owns one shared :class:`~repro.continuous.arrangements.Arrangement`
+  per table — N subscriptions, one maintained index, one cost charge
+  per state update;
+* classifies each subscription into a maintenance path (see
+  :mod:`~repro.continuous.standing`), seeds it, and keeps it current;
+* batches result deltas and pushes them to simulated subscribers over
+  the network model, with flow control (bounded in-flight window,
+  coalescing to snapshots under backpressure) and cancellation;
+* replays a consistent rollback notification to every live subscriber
+  after node-failure recovery (the push analogue of Fig. 5c).
+
+Usage goes through :meth:`repro.query.service.QueryService.subscribe`,
+which lazily creates one ``ContinuousQueryService`` per environment at
+``env.continuous``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import QueryError
+from ..sql import parse
+from .arrangements import Arrangement
+from .changelog import ChangeRecorder
+from .delivery import (
+    BATCH_DELTA,
+    BATCH_ROLLBACK,
+    BATCH_SNAPSHOT,
+    DeltaBatch,
+    Subscription,
+)
+from .standing import INCREMENTAL_PATHS, PATH_RESCAN, StandingQuery, classify
+
+
+class ContinuousQueryService:
+    """Standing SQL subscriptions over one environment's state store."""
+
+    def __init__(self, env, query_service=None) -> None:
+        self.env = env
+        self.sim = env.sim
+        self.cluster = env.cluster
+        self.store = env.store
+        self.costs = env.costs
+        self._query_service = query_service
+        self.recorder = ChangeRecorder(
+            clock=lambda: env.sim.now,
+            node_count=len(env.cluster.nodes),
+        )
+        self.store.add_commit_listener(self._on_commit)
+        env.cluster.on_node_failure(self._on_node_failure)
+        #: table name -> shared arrangement (one per table, ever).
+        self.arrangements: dict[str, Arrangement] = {}
+        self.subscriptions: dict[int, Subscription] = {}
+        self._next_id = 1
+        self._entry_rotation = 0
+        #: subscription id -> (table, reader, rollback_cb) for detaching.
+        self._readers: dict[int, list[tuple[str, Callable, Callable | None]]] = {}
+        # service-level counters (surfaced by observability)
+        self.deltas_pushed = 0
+        self.batches_sent = 0
+        self.batches_coalesced = 0
+        self.rescans_run = 0
+        self.rollback_notifications = 0
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def active_subscriptions(self) -> int:
+        return len(self.subscriptions)
+
+    def explain_subscription(self, sql: str) -> str:
+        """Which maintenance path would ``subscribe(sql)`` choose, and why."""
+        statement = parse(sql)
+        self._validate_tables(statement)
+        path, reason = classify(statement, self.store)
+        return f"path: {path}\nreason: {reason}"
+
+    def subscribe(self, sql: str,
+                  on_batch: Callable[[Subscription, DeltaBatch], None] | None = None,
+                  subscriber_node: int | None = None,
+                  max_outstanding: int = 4,
+                  batch_interval_ms: float = 5.0,
+                  consume_ms: float | None = None) -> Subscription:
+        """Register a standing query; returns its subscription handle.
+
+        The subscriber immediately receives one snapshot batch seeding
+        its view, then deltas (or coalesced snapshots under
+        backpressure) as state changes.
+        """
+        statement = parse(sql)
+        self._validate_tables(statement)
+        standing = StandingQuery(sql, statement, self.store,
+                                 now=lambda: self.sim.now)
+        entry_node = self._next_entry_node()
+        if subscriber_node is None:
+            subscriber_node = entry_node
+        subscription = Subscription(
+            id=self._next_id, sql=sql, standing=standing,
+            entry_node=entry_node, subscriber_node=subscriber_node,
+            max_outstanding=max_outstanding,
+            batch_interval_ms=batch_interval_ms,
+            consume_ms=consume_ms, on_batch=on_batch,
+        )
+        self._next_id += 1
+        self.subscriptions[subscription.id] = subscription
+        self._readers[subscription.id] = []
+        subscription.refresh_on_commit = any(
+            self.store.has_snapshot_table(name)
+            for name in statement.table_names()
+        )
+        for name in statement.table_names():
+            if self.store.has_live_table(name):
+                self._attach(subscription, name)
+        if standing.path in INCREMENTAL_PATHS:
+            arrangement = self.arrangements[standing.table_name]
+            standing.seed(arrangement.rows)
+            subscription.needs_snapshot = True
+        else:
+            standing.dirty = True
+        self._schedule_flush(subscription, delay=0.0)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Cancel: detach from arrangements, stop all deliveries."""
+        subscription.active = False
+        self.subscriptions.pop(subscription.id, None)
+        for table, reader, rollback_cb in self._readers.pop(
+            subscription.id, ()
+        ):
+            arrangement = self.arrangements.get(table)
+            if arrangement is not None:
+                arrangement.remove_reader(reader, rollback_cb)
+
+    def on_rollback_recovery(self, committed_ssid: int | None) -> None:
+        """Called by recovery after every instance's state is restored:
+        replay one consistent rollback notification per live subscriber.
+
+        Pending (pre-failure, now rolled-back) deltas are discarded; each
+        subscriber gets a single ``rollback`` batch carrying the full
+        post-recovery result, bypassing the flow-control window so no
+        live subscriber misses it (Fig. 5c for push clients).
+        """
+        for subscription in list(self.subscriptions.values()):
+            standing = subscription.standing
+            subscription.pending.clear()
+            subscription.needs_snapshot = False
+            subscription.needs_rollback_ssid = (
+                committed_ssid if committed_ssid is not None else -1
+            )
+            if standing.path in INCREMENTAL_PATHS:
+                arrangement = self.arrangements[standing.table_name]
+                standing.rebuild(arrangement.rows)
+            else:
+                standing.dirty = True
+            self._schedule_flush(subscription, delay=0.0)
+
+    # -- wiring ------------------------------------------------------------
+
+    def _validate_tables(self, statement) -> None:
+        for name in statement.table_names():
+            if not (self.store.has_live_table(name)
+                    or self.store.has_snapshot_table(name)):
+                raise QueryError(f"unknown state table {name!r}")
+
+    def _next_entry_node(self) -> int:
+        alive = self.cluster.surviving_node_ids()
+        node = alive[self._entry_rotation % len(alive)]
+        self._entry_rotation += 1
+        return node
+
+    def _arrangement_for(self, table_name: str) -> Arrangement:
+        arrangement = self.arrangements.get(table_name)
+        if arrangement is None:
+            table = self.store.get_live_table(table_name)
+            table.attach_change_capture(self.recorder)
+            arrangement = Arrangement(self.env, table)
+            self.recorder.add_listener(table_name, arrangement.on_event)
+            self.arrangements[table_name] = arrangement
+        return arrangement
+
+    def _attach(self, subscription: Subscription, table_name: str) -> None:
+        arrangement = self._arrangement_for(table_name)
+        standing = subscription.standing
+        if standing.path in INCREMENTAL_PATHS and \
+                table_name == standing.table_name:
+
+            def reader(key, old_row, new_row,
+                       subscription=subscription) -> None:
+                entries = subscription.standing.on_delta(
+                    key, old_row, new_row
+                )
+                if not entries or not subscription.active:
+                    return
+                if subscription.needs_snapshot:
+                    # Already coalesced: the snapshot will carry these.
+                    subscription.deltas_dropped += len(entries)
+                    return
+                subscription.pending.extend(entries)
+                self._schedule_flush(subscription)
+        else:
+            # Rescan-path reader: any change just marks the result stale.
+            def reader(key, old_row, new_row,
+                       subscription=subscription) -> None:
+                subscription.standing.dirty = True
+                subscription.standing.deltas_applied += 1
+                if subscription.active:
+                    self._schedule_flush(subscription)
+
+        def on_rollback(event, subscription=subscription) -> None:
+            # Partition bulk-replaced mid-recovery: suppress ordinary
+            # delivery until on_rollback_recovery() replays consistently.
+            subscription.standing.on_rollback()
+            subscription.pending.clear()
+
+        arrangement.add_reader(reader, on_rollback)
+        self._readers[subscription.id].append(
+            (table_name, reader, on_rollback)
+        )
+
+    def _on_node_failure(self, node_id: int) -> None:
+        """Migrate push endpoints off the dead node.
+
+        A subscription whose entry (batching) node died is re-homed to a
+        survivor; a subscriber *client* attached to the dead node is
+        assumed to reconnect through a survivor too.
+        """
+        survivors = self.cluster.surviving_node_ids()
+        if not survivors:
+            return
+        for subscription in self.subscriptions.values():
+            if subscription.entry_node == node_id:
+                subscription.entry_node = self._next_entry_node()
+            if subscription.subscriber_node == node_id:
+                subscription.subscriber_node = subscription.entry_node
+
+    def _on_commit(self, ssid: int) -> None:
+        self.recorder.record_commit(ssid)
+        for subscription in self.subscriptions.values():
+            if subscription.refresh_on_commit:
+                subscription.standing.dirty = True
+                self._schedule_flush(subscription)
+
+    # -- flush / delivery --------------------------------------------------
+
+    def _schedule_flush(self, subscription: Subscription,
+                        delay: float | None = None) -> None:
+        if subscription.flush_scheduled or not subscription.active:
+            return
+        subscription.flush_scheduled = True
+        if delay is None:
+            delay = subscription.batch_interval_ms
+        self.sim.schedule(delay, self._flush, subscription)
+
+    def _flush(self, subscription: Subscription) -> None:
+        subscription.flush_scheduled = False
+        if not subscription.active:
+            return
+        standing = subscription.standing
+
+        if subscription.needs_rollback_ssid is not None:
+            if standing.path == PATH_RESCAN:
+                self._start_rescan(subscription)
+            else:
+                ssid = subscription.needs_rollback_ssid
+                subscription.needs_rollback_ssid = None
+                self.rollback_notifications += 1
+                self._send(subscription, BATCH_ROLLBACK,
+                           self._snapshot_entries(standing), ssid=ssid)
+            return
+
+        if standing.path == PATH_RESCAN:
+            if standing.dirty and not subscription.rescan_in_flight:
+                self._start_rescan(subscription)
+            return
+
+        if standing.needs_rebuild:
+            arrangement = self.arrangements[standing.table_name]
+            standing.rebuild(arrangement.rows)
+            subscription.pending.clear()
+            subscription.needs_snapshot = True
+
+        if subscription.needs_snapshot:
+            if subscription.outstanding >= subscription.max_outstanding:
+                return  # still backpressured; retried on ack
+            subscription.needs_snapshot = False
+            subscription.pending.clear()
+            self._send(subscription, BATCH_SNAPSHOT,
+                       self._snapshot_entries(standing))
+            return
+
+        if not subscription.pending:
+            return
+        if subscription.outstanding >= subscription.max_outstanding:
+            # Backpressure: drop the deltas, promise a snapshot instead.
+            subscription.deltas_dropped += len(subscription.pending)
+            subscription.pending.clear()
+            subscription.needs_snapshot = True
+            subscription.batches_coalesced += 1
+            self.batches_coalesced += 1
+            return
+        entries = subscription.pending
+        subscription.pending = []
+        self._send(subscription, BATCH_DELTA, entries)
+
+    @staticmethod
+    def _snapshot_entries(standing: StandingQuery) -> list[dict]:
+        return [
+            {"key": key, "row": dict(row)}
+            for key, row in standing.published.items()
+        ]
+
+    def _send(self, subscription: Subscription, kind: str,
+              entries: list[dict], ssid: int | None = None) -> None:
+        subscription.seq += 1
+        batch = DeltaBatch(
+            subscription_id=subscription.id, seq=subscription.seq,
+            kind=kind, entries=entries, sent_ms=self.sim.now, ssid=ssid,
+        )
+        subscription.outstanding += 1
+        self.batches_sent += 1
+        if kind == BATCH_DELTA:
+            self.deltas_pushed += len(entries)
+        cost = (self.costs.push_batch_fixed_ms
+                + len(entries) * self.costs.push_delta_row_ms)
+        pool = self.cluster.node(subscription.entry_node).query_pool
+        pool.submit(("push", subscription.id, batch.seq), cost,
+                    self._ship, subscription, batch)
+
+    def _ship(self, subscription: Subscription, batch: DeltaBatch) -> None:
+        nbytes = max(1, len(batch.entries)) * self.costs.row_bytes
+        self.cluster.network.send(
+            subscription.entry_node, subscription.subscriber_node,
+            self._deliver, subscription, batch,
+            nbytes=nbytes, channel=("push", subscription.id),
+        )
+
+    def _deliver(self, subscription: Subscription,
+                 batch: DeltaBatch) -> None:
+        batch.delivered_ms = self.sim.now
+        consume = (subscription.consume_ms
+                   if subscription.consume_ms is not None
+                   else self.costs.subscriber_consume_ms)
+        self.sim.schedule(consume, self._consumed, subscription, batch)
+
+    def _consumed(self, subscription: Subscription,
+                  batch: DeltaBatch) -> None:
+        batch.consumed_ms = self.sim.now
+        subscription.outstanding -= 1
+        if not subscription.active:
+            return
+        subscription.apply_batch(batch)
+        if (subscription.pending or subscription.needs_snapshot
+                or subscription.needs_rollback_ssid is not None
+                or subscription.standing.dirty):
+            self._schedule_flush(subscription)
+
+    # -- rescan path ---------------------------------------------------------
+
+    def _ensure_query_service(self):
+        if self._query_service is None:
+            from ..query.service import QueryService
+            self._query_service = QueryService(self.env)
+        return self._query_service
+
+    def _start_rescan(self, subscription: Subscription) -> None:
+        if subscription.rescan_in_flight:
+            return
+        subscription.rescan_in_flight = True
+        subscription.standing.dirty = False
+        subscription.standing.rescans += 1
+        self.rescans_run += 1
+        service = self._ensure_query_service()
+        service.submit(
+            subscription.sql,
+            on_done=lambda execution: self._rescan_done(
+                subscription, execution
+            ),
+        )
+
+    def _rescan_done(self, subscription: Subscription, execution) -> None:
+        subscription.rescan_in_flight = False
+        if not subscription.active:
+            return
+        standing = subscription.standing
+        if execution.error is not None:
+            # e.g. no committed snapshot yet — retry on the next change
+            # or commit rather than failing the subscription.
+            standing.dirty = True
+            return
+        standing.set_published_rows(execution.result.rows)
+        if subscription.needs_rollback_ssid is not None:
+            ssid = subscription.needs_rollback_ssid
+            subscription.needs_rollback_ssid = None
+            self.rollback_notifications += 1
+            self._send(subscription, BATCH_ROLLBACK,
+                       self._snapshot_entries(standing), ssid=ssid)
+        else:
+            if subscription.outstanding >= subscription.max_outstanding:
+                subscription.needs_snapshot = True
+                return
+            self._send(subscription, BATCH_SNAPSHOT,
+                       self._snapshot_entries(standing))
+        if standing.dirty:
+            self._schedule_flush(subscription)

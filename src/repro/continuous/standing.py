@@ -1,0 +1,558 @@
+"""Standing queries: per-delta (incremental) result maintenance.
+
+A :class:`StandingQuery` is the maintained result of one subscription.
+At registration it is *classified* into one of three maintenance paths:
+
+* ``incremental-filter-project`` — single live table, no aggregation:
+  each changed key maps to at most one result row, maintained in place;
+* ``incremental-grouped-aggregate`` — GROUP BY over one live table with
+  COUNT/SUM/AVG/MIN/MAX: per-group accumulators support add *and*
+  retract, so one state update touches only its group(s);
+* ``full-rescan`` — everything else (joins, UNION, DISTINCT, ORDER BY /
+  LIMIT, time-dependent predicates, snapshot tables): the result is
+  re-evaluated from scratch on each flush, exactly like a polled query.
+
+``explain()`` reports which path was chosen and why, mirroring the SQL
+layer's EXPLAIN.  Incremental paths reuse the executor's own binding,
+evaluation, naming, and hashing helpers so a standing result is always
+bit-identical to what a fresh batch execution would return.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterator
+
+from ..sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    Between,
+    Binary,
+    CaseWhen,
+    Column,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    LocalTimestamp,
+    Select,
+    Star,
+    Unary,
+    Union,
+    contains_aggregate,
+)
+from ..sql.executor import (
+    EvalContext,
+    bind_row,
+    eval_expr,
+    eval_having,
+    eval_predicate,
+    hashable_key,
+    output_column_name,
+)
+
+PATH_FILTER_PROJECT = "incremental-filter-project"
+PATH_GROUPED_AGGREGATE = "incremental-grouped-aggregate"
+PATH_RESCAN = "full-rescan"
+
+INCREMENTAL_PATHS = (PATH_FILTER_PROJECT, PATH_GROUPED_AGGREGATE)
+
+
+# -- expression analysis -----------------------------------------------------
+
+
+def _children(expr: Expr) -> Iterator[Expr]:
+    if isinstance(expr, Unary):
+        yield expr.operand
+    elif isinstance(expr, Binary):
+        yield expr.left
+        yield expr.right
+    elif isinstance(expr, FuncCall):
+        yield from expr.args
+    elif isinstance(expr, InList):
+        yield expr.operand
+        yield from expr.items
+    elif isinstance(expr, Between):
+        yield expr.operand
+        yield expr.low
+        yield expr.high
+    elif isinstance(expr, (Like,)):
+        yield expr.operand
+        yield expr.pattern
+    elif isinstance(expr, IsNull):
+        yield expr.operand
+    elif isinstance(expr, CaseWhen):
+        for condition, result in expr.branches:
+            yield condition
+            yield result
+        if expr.default is not None:
+            yield expr.default
+
+
+def _walk(expr: Expr) -> Iterator[Expr]:
+    yield expr
+    for child in _children(expr):
+        yield from _walk(child)
+
+
+def _contains_localtimestamp(expr: Expr) -> bool:
+    return any(isinstance(node, LocalTimestamp) for node in _walk(expr))
+
+
+def _collect_unique_aggregates(select: Select) -> list[FuncCall]:
+    """Structurally distinct aggregate calls, executor order."""
+    from ..sql.ast import collect_aggregates
+
+    calls: list[FuncCall] = []
+    for item in select.items:
+        collect_aggregates(item.expr, calls)
+    if select.having is not None:
+        collect_aggregates(select.having, calls)
+    unique: list[FuncCall] = []
+    seen: set[FuncCall] = set()
+    for call in calls:
+        if call not in seen:
+            seen.add(call)
+            unique.append(call)
+    return unique
+
+
+def _bare_columns_outside_aggregates(expr: Expr) -> list[Column]:
+    """Columns referenced outside any aggregate call's arguments."""
+    if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
+        return []
+    if isinstance(expr, Column):
+        return [expr]
+    out: list[Column] = []
+    for child in _children(expr):
+        out.extend(_bare_columns_outside_aggregates(child))
+    return out
+
+
+# -- classification ----------------------------------------------------------
+
+
+def classify(statement: Select | Union, store) -> tuple[str, str]:
+    """Decide the maintenance path for ``statement``.
+
+    Returns ``(path, reason)``; the reason is surfaced verbatim by
+    ``explain_subscription()``.
+    """
+    if isinstance(statement, Union):
+        return PATH_RESCAN, "UNION result cannot be maintained per-delta"
+    if statement.joins:
+        return PATH_RESCAN, "joins require re-evaluating matched pairs"
+    table = statement.table.name
+    if not store.has_live_table(table):
+        return (PATH_RESCAN,
+                f"table {table!r} is snapshot state: refreshed per commit")
+    if statement.where is not None and \
+            _contains_localtimestamp(statement.where):
+        return (PATH_RESCAN,
+                "WHERE depends on LOCALTIMESTAMP: rows pass/fail over "
+                "time without state changes")
+    if statement.distinct:
+        return PATH_RESCAN, "DISTINCT needs the full result to deduplicate"
+    if statement.order_by or statement.limit is not None or statement.offset:
+        return (PATH_RESCAN,
+                "ORDER BY / LIMIT / OFFSET rank the full result")
+    is_aggregate = bool(statement.group_by) or any(
+        contains_aggregate(item.expr) for item in statement.items
+    )
+    if not is_aggregate:
+        return (PATH_FILTER_PROJECT,
+                "single live table, row-local filter and projection")
+    # Aggregate path: every aggregate must support retraction and every
+    # bare output column must be a grouping key.
+    for call in _collect_unique_aggregates(statement):
+        if call.distinct:
+            return (PATH_RESCAN,
+                    f"{call.name}(DISTINCT ...) cannot retract removed "
+                    "values")
+        for arg in call.args:
+            if _contains_localtimestamp(arg):
+                return (PATH_RESCAN,
+                        "aggregate argument depends on LOCALTIMESTAMP")
+    group_exprs = list(statement.group_by)
+    checked: list[Expr] = [item.expr for item in statement.items]
+    if statement.having is not None:
+        checked.append(statement.having)
+    for expr in checked:
+        for column in _bare_columns_outside_aggregates(expr):
+            if column not in group_exprs:
+                return (PATH_RESCAN,
+                        f"column {column.display()!r} is not a grouping "
+                        "key: its value is ambiguous per group")
+    return (PATH_GROUPED_AGGREGATE,
+            "GROUP BY over one live table with retractable "
+            "COUNT/SUM/AVG/MIN/MAX accumulators")
+
+
+# -- retractable aggregate accumulators --------------------------------------
+
+
+class _RetractableAggregate:
+    """Add/retract accounting for one aggregate over one group."""
+
+    def add(self, value: object) -> None:
+        raise NotImplementedError
+
+    def retract(self, value: object) -> None:
+        raise NotImplementedError
+
+    def result(self) -> object:
+        raise NotImplementedError
+
+
+class _CountAcc(_RetractableAggregate):
+    def __init__(self, count_star: bool) -> None:
+        self._star = count_star
+        self._n = 0
+
+    def add(self, value: object) -> None:
+        if self._star or value is not None:
+            self._n += 1
+
+    def retract(self, value: object) -> None:
+        if self._star or value is not None:
+            self._n -= 1
+
+    def result(self) -> object:
+        return self._n
+
+
+class _SumAcc(_RetractableAggregate):
+    def __init__(self) -> None:
+        self._total: float | int = 0
+        self._n = 0
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self._total += value
+            self._n += 1
+
+    def retract(self, value: object) -> None:
+        if value is not None:
+            self._total -= value
+            self._n -= 1
+
+    def result(self) -> object:
+        return self._total if self._n else None
+
+
+class _AvgAcc(_RetractableAggregate):
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._n = 0
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self._total += value
+            self._n += 1
+
+    def retract(self, value: object) -> None:
+        if value is not None:
+            self._total -= value
+            self._n -= 1
+
+    def result(self) -> object:
+        return self._total / self._n if self._n else None
+
+
+class _MinMaxAcc(_RetractableAggregate):
+    """MIN/MAX keep a value multiset: retracting the current extreme
+    falls back to the next one instead of forcing a rescan."""
+
+    def __init__(self, is_min: bool) -> None:
+        self._is_min = is_min
+        self._counts: dict[object, int] = {}
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        key = hashable_key(value)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def retract(self, value: object) -> None:
+        if value is None:
+            return
+        key = hashable_key(value)
+        remaining = self._counts.get(key, 0) - 1
+        if remaining <= 0:
+            self._counts.pop(key, None)
+        else:
+            self._counts[key] = remaining
+
+    def result(self) -> object:
+        if not self._counts:
+            return None
+        return min(self._counts) if self._is_min else max(self._counts)
+
+
+def _make_retractable(call: FuncCall) -> _RetractableAggregate:
+    if call.name == "COUNT":
+        star = bool(call.args) and isinstance(call.args[0], Star)
+        return _CountAcc(star or not call.args)
+    if call.name == "SUM":
+        return _SumAcc()
+    if call.name == "AVG":
+        return _AvgAcc()
+    if call.name == "MIN":
+        return _MinMaxAcc(is_min=True)
+    return _MinMaxAcc(is_min=False)
+
+
+class _Group:
+    """One GROUP BY group: contributions plus running accumulators."""
+
+    __slots__ = ("representative", "accs", "contributions")
+
+    def __init__(self, representative: dict,
+                 accs: list[_RetractableAggregate]) -> None:
+        #: Any member's bound row — group-key expressions evaluate to
+        #: the same values on every member, so staleness is harmless.
+        self.representative = representative
+        self.accs = accs
+        #: row key -> the aggregate argument values that were added,
+        #: kept so retraction removes exactly what addition added.
+        self.contributions: dict[Hashable, list[object]] = {}
+
+
+# -- the standing query ------------------------------------------------------
+
+
+class StandingQuery:
+    """The maintained result of one subscription."""
+
+    def __init__(self, sql: str, statement: Select | Union, store,
+                 now: Callable[[], float]) -> None:
+        self.sql = sql
+        self.statement = statement
+        self._now = now
+        self.path, self.reason = classify(statement, store)
+        self.table_name = statement.table_names()[0]
+        #: out_key -> currently published result row.
+        self.published: dict[object, dict] = {}
+        self.deltas_applied = 0
+        self.rescans = 0
+        self.rows_emitted = 0
+        self.dirty = False          # rescan path: needs re-evaluation
+        self.needs_rebuild = False  # set after a rollback event
+        if self.path in INCREMENTAL_PATHS:
+            select: Select = statement
+            self._binding = select.table.binding
+            self._unique_aggs = _collect_unique_aggregates(select)
+            self._columns = [
+                output_column_name(item, position)
+                for position, item in enumerate(select.items)
+            ]
+            self._groups: dict[tuple, _Group] = {}
+
+    # -- seeding / rebuild -------------------------------------------------
+
+    def seed(self, rows: dict[Hashable, dict]) -> None:
+        """Build the initial result from the arrangement's current rows."""
+        if self.path not in INCREMENTAL_PATHS:
+            self.dirty = True
+            return
+        self.published.clear()
+        self._groups.clear()
+        for key, row in rows.items():
+            self._apply(key, None, row)
+        if self.path == PATH_GROUPED_AGGREGATE and \
+                not self.statement.group_by:
+            # A global aggregate publishes a row even over empty input.
+            self._refresh_group((), self._context())
+        self.needs_rebuild = False
+
+    def rebuild(self, rows: dict[Hashable, dict]) -> None:
+        """Full reset from restored state (rollback recovery)."""
+        self.seed(rows)
+
+    # -- delta application -------------------------------------------------
+
+    def on_delta(self, key: Hashable, old_row: dict | None,
+                 new_row: dict | None) -> list[dict]:
+        """Apply one captured change; returns result-row delta entries
+        (``{"action": "upsert"|"delete", "key": ..., "row": ...}``)."""
+        self.deltas_applied += 1
+        if self.path not in INCREMENTAL_PATHS:
+            self.dirty = True
+            return []
+        return self._apply(key, old_row, new_row)
+
+    def on_rollback(self) -> None:
+        """A partition was bulk-replaced: the maintained state is stale."""
+        self.needs_rebuild = True
+        if self.path not in INCREMENTAL_PATHS:
+            self.dirty = True
+
+    def _context(self) -> EvalContext:
+        return EvalContext(now_ms=self._now())
+
+    def _apply(self, key: Hashable, old_row: dict | None,
+               new_row: dict | None) -> list[dict]:
+        context = self._context()
+        if self.path == PATH_FILTER_PROJECT:
+            return self._apply_filter_project(key, new_row, context)
+        return self._apply_aggregate(key, old_row, new_row, context)
+
+    # -- filter/project path -----------------------------------------------
+
+    def _apply_filter_project(self, key: Hashable, new_row: dict | None,
+                              context: EvalContext) -> list[dict]:
+        select: Select = self.statement
+        out_key = hashable_key(key)
+        if new_row is not None:
+            bound = bind_row(new_row, self._binding)
+            passes = select.where is None or eval_predicate(
+                select.where, bound, context
+            )
+        else:
+            passes = False
+        if not passes:
+            if out_key in self.published:
+                del self.published[out_key]
+                return [{"action": "delete", "key": out_key, "row": None}]
+            return []
+        if select.select_star:
+            projected = dict(new_row)
+        else:
+            projected = {
+                name: eval_expr(item.expr, bound, context)
+                for name, item in zip(self._columns, select.items)
+            }
+        previous = self.published.get(out_key)
+        if previous == projected:
+            return []
+        self.published[out_key] = projected
+        self.rows_emitted += 1
+        return [{"action": "upsert", "key": out_key, "row": projected}]
+
+    # -- grouped aggregate path ---------------------------------------------
+
+    def _group_key(self, bound: dict, context: EvalContext) -> tuple:
+        return tuple(
+            hashable_key(eval_expr(expr, bound, context))
+            for expr in self.statement.group_by
+        )
+
+    def _apply_aggregate(self, key: Hashable, old_row: dict | None,
+                         new_row: dict | None,
+                         context: EvalContext) -> list[dict]:
+        select: Select = self.statement
+        row_key = hashable_key(key)
+        affected: list[tuple] = []
+
+        if old_row is not None:
+            bound_old = bind_row(old_row, self._binding)
+            if select.where is None or eval_predicate(
+                select.where, bound_old, context
+            ):
+                group_key = self._group_key(bound_old, context)
+                group = self._groups.get(group_key)
+                if group is not None and row_key in group.contributions:
+                    values = group.contributions.pop(row_key)
+                    for acc, value in zip(group.accs, values):
+                        acc.retract(value)
+                    affected.append(group_key)
+
+        if new_row is not None:
+            bound_new = bind_row(new_row, self._binding)
+            if select.where is None or eval_predicate(
+                select.where, bound_new, context
+            ):
+                group_key = self._group_key(bound_new, context)
+                group = self._groups.get(group_key)
+                if group is None:
+                    group = _Group(bound_new, [
+                        _make_retractable(call)
+                        for call in self._unique_aggs
+                    ])
+                    self._groups[group_key] = group
+                values = [
+                    eval_expr(call.args[0], bound_new, context)
+                    if call.args and not isinstance(call.args[0], Star)
+                    else 1
+                    for call in self._unique_aggs
+                ]
+                group.contributions[row_key] = values
+                for acc, value in zip(group.accs, values):
+                    acc.add(value)
+                if group_key not in affected:
+                    affected.append(group_key)
+
+        entries: list[dict] = []
+        for group_key in affected:
+            entries.extend(self._refresh_group(group_key, context))
+        return entries
+
+    def _refresh_group(self, group_key: tuple,
+                       context: EvalContext) -> list[dict]:
+        select: Select = self.statement
+        group = self._groups.get(group_key)
+        if group is not None and not group.contributions:
+            del self._groups[group_key]
+            group = None
+        if group is None:
+            if select.group_by:
+                if group_key in self.published:
+                    del self.published[group_key]
+                    return [{"action": "delete", "key": group_key,
+                             "row": None}]
+                return []
+            # Global aggregate over empty input: one row (COUNT = 0).
+            representative: dict = {}
+            agg_values = {
+                call: _make_retractable(call).result()
+                for call in self._unique_aggs
+            }
+        else:
+            representative = group.representative
+            agg_values = {
+                call: acc.result()
+                for call, acc in zip(self._unique_aggs, group.accs)
+            }
+        if select.having is not None and not eval_having(
+            select.having, representative, context, agg_values
+        ):
+            if group_key in self.published:
+                del self.published[group_key]
+                return [{"action": "delete", "key": group_key, "row": None}]
+            return []
+        row = {
+            name: eval_expr(item.expr, representative, context, agg_values)
+            for name, item in zip(self._columns, select.items)
+        }
+        if self.published.get(group_key) == row:
+            return []
+        self.published[group_key] = row
+        self.rows_emitted += 1
+        return [{"action": "upsert", "key": group_key, "row": row}]
+
+    # -- rescan path support -------------------------------------------------
+
+    def set_published_rows(self, rows: list[dict]) -> None:
+        """Replace the published result wholesale (rescan refresh)."""
+        self.published = {
+            ("row", index): dict(row) for index, row in enumerate(rows)
+        }
+        self.rows_emitted += len(rows)
+        self.dirty = False
+        self.needs_rebuild = False
+
+    # -- introspection -------------------------------------------------------
+
+    def current_rows(self) -> list[dict]:
+        """The maintained result as plain rows."""
+        return [dict(row) for row in self.published.values()]
+
+    def explain(self) -> str:
+        lines = [
+            f"standing query over {self.table_name!r}",
+            f"  path: {self.path}",
+            f"  reason: {self.reason}",
+        ]
+        if self.path == PATH_GROUPED_AGGREGATE:
+            aggs = ", ".join(call.name for call in self._unique_aggs)
+            lines.append(f"  maintained aggregates: {aggs}")
+        return "\n".join(lines)

@@ -58,6 +58,9 @@ def recover_job(job: "Job", dead_node: int) -> None:
         if operator.stateful:
             if committed is None:
                 operator.restore_state({})
+                reset = getattr(job.backend, "reset_instance_state", None)
+                if reset is not None:
+                    reset(instance.vertex_name, instance.instance)
             else:
                 state = job.backend.restore_instance_state(
                     instance.vertex_name, instance.instance, committed
@@ -76,6 +79,13 @@ def recover_job(job: "Job", dead_node: int) -> None:
             )
         source.reset_for_recovery(new_node, offset)
         job._exhausted_sources.discard(source.gid)
+
+    # Every instance's live state is now rolled back; push subscribers
+    # must hear about it exactly once, as one consistent notification
+    # (the Fig. 5c replay for continuous queries).
+    continuous = getattr(job.env, "continuous", None)
+    if continuous is not None:
+        continuous.on_rollback_recovery(committed)
 
     delay = (
         RECOVERY_FIXED_MS

@@ -20,6 +20,8 @@ class Environment:
         self.sim = Simulator(seed)
         self.cluster = Cluster(self.sim, cluster_config, costs)
         self.store = StateStore(self.cluster)
+        #: Lazily-created ContinuousQueryService (first ``subscribe``).
+        self.continuous = None
 
     @property
     def costs(self) -> CostModel:

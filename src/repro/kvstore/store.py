@@ -30,6 +30,7 @@ class StateStore:
         self._committed_ssid: int | None = None
         self._in_progress_ssid: int | None = None
         self._available_ssids: list[int] = []
+        self._commit_listeners: list = []
         cluster.on_node_failure(self._handle_node_failure)
 
     @property
@@ -141,6 +142,11 @@ class StateStore:
             )
         self._in_progress_ssid = ssid
 
+    def add_commit_listener(self, listener) -> None:
+        """``listener(ssid)`` fires whenever a snapshot commits (the
+        committed pointer flips) — continuous queries refresh on it."""
+        self._commit_listeners.append(listener)
+
     def commit_snapshot(self, ssid: int) -> None:
         """Atomically publish ``ssid`` as the latest committed snapshot."""
         if self._in_progress_ssid != ssid:
@@ -148,6 +154,8 @@ class StateStore:
         self._in_progress_ssid = None
         self._committed_ssid = ssid
         self._available_ssids.append(ssid)
+        for listener in self._commit_listeners:
+            listener(ssid)
 
     def abort_snapshot(self, ssid: int) -> None:
         if self._in_progress_ssid != ssid:

@@ -40,6 +40,13 @@ class ClusterReport:
     network_bytes: int = 0
     lock_acquisitions: int = 0
     lock_contentions: int = 0
+    # continuous queries (zero when the subsystem is unused)
+    active_subscriptions: int = 0
+    changes_captured: int = 0
+    deltas_pushed: int = 0
+    push_batches_sent: int = 0
+    push_batches_coalesced: int = 0
+    subscription_rescans: int = 0
 
     def hottest_pool(self) -> tuple[int, str, float]:
         """(node, pool kind, utilisation) of the busiest worker pool."""
@@ -50,6 +57,8 @@ class ClusterReport:
                         node.processing_utilization)
             if node.query_utilization > best[2]:
                 best = (node.node_id, "query", node.query_utilization)
+            if node.store_utilization > best[2]:
+                best = (node.node_id, "store", node.store_utilization)
         return best
 
 
@@ -76,6 +85,14 @@ def collect_report(env: Environment) -> ClusterReport:
     report.network_bytes = env.cluster.network.bytes_sent
     report.lock_acquisitions = env.store.locks.acquisitions
     report.lock_contentions = env.store.locks.contentions
+    continuous = getattr(env, "continuous", None)
+    if continuous is not None:
+        report.active_subscriptions = continuous.active_subscriptions
+        report.changes_captured = continuous.recorder.changes_captured
+        report.deltas_pushed = continuous.deltas_pushed
+        report.push_batches_sent = continuous.batches_sent
+        report.push_batches_coalesced = continuous.batches_coalesced
+        report.subscription_rescans = continuous.rescans_run
     return report
 
 
@@ -106,4 +123,13 @@ def format_report(report: ClusterReport) -> str:
         f"{report.lock_acquisitions:,} acquisitions, "
         f"{report.lock_contentions:,} contended"
     )
+    if report.active_subscriptions or report.push_batches_sent:
+        footer += (
+            f"\ncontinuous: {report.active_subscriptions:,} "
+            f"subscriptions, {report.changes_captured:,} changes "
+            f"captured, {report.deltas_pushed:,} deltas pushed in "
+            f"{report.push_batches_sent:,} batches "
+            f"({report.push_batches_coalesced:,} coalesced), "
+            f"{report.subscription_rescans:,} rescans"
+        )
     return f"{table}\n{footer}"

@@ -152,6 +152,29 @@ class QueryService:
         )
         return execution
 
+    def subscribe(self, sql: str, **kwargs):
+        """Register ``sql`` as a standing query pushed to a subscriber.
+
+        Delegates to the environment's continuous-query service (created
+        on first use); see
+        :meth:`repro.continuous.ContinuousQueryService.subscribe` for
+        the flow-control keyword arguments.  Returns a
+        :class:`~repro.continuous.Subscription`.
+        """
+        return self._continuous().subscribe(sql, **kwargs)
+
+    def explain_subscription(self, sql: str) -> str:
+        """Which maintenance path ``subscribe(sql)`` would choose."""
+        return self._continuous().explain_subscription(sql)
+
+    def _continuous(self):
+        if self.env.continuous is None:
+            from ..continuous.service import ContinuousQueryService
+            self.env.continuous = ContinuousQueryService(
+                self.env, query_service=self
+            )
+        return self.env.continuous
+
     def execute(self, sql: str,
                 snapshot_id: int | None = None) -> QueryExecution:
         """Submit and drive the simulation until the query completes.

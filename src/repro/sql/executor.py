@@ -661,6 +661,46 @@ def _like_match(text: str, pattern: str) -> bool:
     return re.fullmatch("".join(regex_parts), text) is not None
 
 
+# -- stable entry points for incremental consumers ---------------------------
+#
+# The continuous-query subsystem maintains results per-delta and needs
+# the exact row-binding, evaluation, naming, and hashing semantics of
+# this executor — exposed here so it never re-implements (and drifts
+# from) batch execution.
+
+
+def bind_row(raw: dict, binding: str) -> dict:
+    """Public form of the scan-time row binding."""
+    return _bind_row(raw, binding)
+
+
+def eval_expr(expr: Expr, row: dict, context: EvalContext,
+              agg_values: dict | None = None) -> object:
+    """Evaluate one expression exactly as the executor would."""
+    return _eval(expr, row, context, agg_values)
+
+
+def eval_predicate(expr: Expr, row: dict, context: EvalContext) -> bool:
+    """WHERE semantics: only TRUE passes (NULL does not)."""
+    return _truthy(_eval(expr, row, context, None))
+
+
+def eval_having(expr: Expr, row: dict, context: EvalContext,
+                agg_values: dict) -> bool:
+    """HAVING semantics over a group's aggregate values."""
+    return _truthy(_eval(expr, row, context, agg_values))
+
+
+def hashable_key(value: object) -> object:
+    """The group/distinct key conversion used by aggregation."""
+    return _hashable(value)
+
+
+def output_column_name(item: SelectItem, position: int) -> str:
+    """The output column name the executor would derive."""
+    return _output_name(item, position)
+
+
 def render_expr(expr: Expr) -> str:
     """Readable rendering used for derived output column names."""
     if isinstance(expr, Literal):

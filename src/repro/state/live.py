@@ -21,6 +21,13 @@ class LiveStateTable:
 
     def __init__(self, imap: IMap) -> None:
         self._imap = imap
+        #: Continuous-query change capture (None = capture disabled; the
+        #: mutation fast path then stays exactly as before).
+        self._capture = None
+
+    def attach_change_capture(self, recorder) -> None:
+        """Route every mutation through ``recorder`` as typed events."""
+        self._capture = recorder
 
     @property
     def name(self) -> str:
@@ -68,10 +75,25 @@ class LiveStateTable:
 
     def apply_update(self, key: Hashable, value: object | None) -> None:
         """Mirror one operator state mutation (None = delete)."""
+        capture = self._capture
+        if capture is None:
+            if value is None:
+                self._imap.delete(key)
+            else:
+                self._imap.put(key, value)
+            return
+        old = self._imap.get(key, _MISSING)
+        old_value = None if old is _MISSING else old
         if value is None:
             self._imap.delete(key)
         else:
             self._imap.put(key, value)
+        placement = self._imap.placement
+        partition = placement.partition_of(key)
+        capture.record_mutation(
+            self.name, partition, placement.owner_of_partition(partition),
+            key, old_value, value,
+        )
 
     def replace_partition(self, partition: int,
                           state: dict[Hashable, object]) -> None:
@@ -87,3 +109,9 @@ class LiveStateTable:
             self._imap.delete(key)
         for key, value in state.items():
             self._imap.put(key, value)
+        if self._capture is not None:
+            self._capture.record_rollback(
+                self.name, partition,
+                self._imap.placement.owner_of_partition(partition),
+                state,
+            )

@@ -197,6 +197,15 @@ class SQueryBackend(VanillaBackend):
             live.replace_partition(instance, state)
         return state
 
+    def reset_instance_state(self, vertex_name: str, instance: int) -> None:
+        """Restart-from-scratch (no committed snapshot): the live view
+        must be emptied too, or post-recovery live queries and push
+        subscribers would observe pre-failure state that no longer
+        exists in any operator."""
+        live = self.live_tables.get(vertex_name)
+        if live is not None:
+            live.replace_partition(instance, {})
+
     def drop_snapshot(self, ssid: int) -> None:
         super().drop_snapshot(ssid)
         for table in self.snapshot_tables.values():

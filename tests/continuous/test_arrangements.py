@@ -1,0 +1,114 @@
+"""Shared arrangements: N subscriptions, one maintained index.
+
+Acceptance: N=8 subscriptions on one table charge the shared
+arrangement **once per state update**, asserted via cost-model counters.
+"""
+
+from repro.query import QueryService
+
+from ..conftest import build_average_job, make_squery_backend
+
+
+def test_eight_subscriptions_share_one_arrangement(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000)
+    service = QueryService(env)
+    job.start()
+    env.run_for(100)
+
+    subs = [
+        service.subscribe(
+            f'SELECT COUNT(*) AS n, SUM(total) AS t{i} FROM "average"'
+        )
+        for i in range(8)
+    ]
+    env.run_for(1_000)
+
+    continuous = env.continuous
+    assert continuous.active_subscriptions == 8
+    # One arrangement for the table, all eight reading it.
+    assert list(continuous.arrangements) == ["average"]
+    arrangement = continuous.arrangements["average"]
+    assert arrangement.reader_count == 8
+
+    # THE invariant: maintenance was charged once per captured update,
+    # not once per subscription per update.  (Count only this table's
+    # events: the recorder also logs checkpoint COMMIT markers.)
+    mutations = sum(
+        len(log.events_for_table("average"))
+        for log in continuous.recorder.logs.values()
+    )
+    assert mutations > 100
+    assert arrangement.cost_charges == mutations
+    assert arrangement.updates_applied == mutations
+    expected_ms = mutations * env.costs.arrangement_update_ms
+    assert abs(arrangement.charged_ms - expected_ms) < 1e-6
+
+    # And every subscription still observed the stream independently.
+    for sub in subs:
+        assert sub.standing.deltas_applied == mutations
+        assert sub.batches_received > 0
+        assert sub.standing.rescans == 0
+
+
+def test_arrangement_charge_is_constant_in_subscriber_count():
+    """Store-side push cost must not scale with N: compare the charged
+    maintenance milliseconds for 1 vs 8 subscribers over identical
+    deterministic runs."""
+    from repro import ClusterConfig, Environment
+
+    def run(n_subs):
+        env = Environment(
+            ClusterConfig(nodes=3, processing_workers_per_node=2)
+        )
+        backend = make_squery_backend(env)
+        job = build_average_job(env, backend=backend, rate=2000)
+        service = QueryService(env)
+        job.start()
+        env.run_for(100)
+        for i in range(n_subs):
+            service.subscribe(
+                'SELECT COUNT(*) AS n, SUM(total) AS t FROM "average"'
+            )
+        env.run_for(800)
+        arrangement = env.continuous.arrangements["average"]
+        return arrangement.cost_charges, arrangement.charged_ms
+
+    charges_1, ms_1 = run(1)
+    charges_8, ms_8 = run(8)
+    assert charges_1 > 0
+    assert charges_8 == charges_1
+    assert ms_8 == ms_1
+
+
+def test_arrangement_mirrors_live_table(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=1000)
+    service = QueryService(env)
+    job.start()
+    env.run_for(100)
+    service.subscribe('SELECT COUNT(*) AS n FROM "average"')
+    env.run_for(500)
+    arrangement = env.continuous.arrangements["average"]
+    table = env.store.get_live_table("average")
+    assert set(arrangement.rows) == set(table.imap.keys())
+
+
+def test_unsubscribe_detaches_reader(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=1000)
+    service = QueryService(env)
+    job.start()
+    env.run_for(100)
+    first = service.subscribe('SELECT COUNT(*) AS n FROM "average"')
+    second = service.subscribe('SELECT SUM(total) AS t FROM "average"')
+    arrangement = env.continuous.arrangements["average"]
+    assert arrangement.reader_count == 2
+    env.continuous.unsubscribe(first)
+    assert arrangement.reader_count == 1
+    env.run_for(200)
+    # The cancelled subscription stops receiving; the live one doesn't.
+    stopped_at = first.batches_received
+    env.run_for(300)
+    assert first.batches_received == stopped_at
+    assert second.batches_received > 0

@@ -1,0 +1,112 @@
+"""Unit tests for change capture: typed events and bounded logs."""
+
+import pytest
+
+from repro.continuous.changelog import (
+    COMMIT,
+    DELETE,
+    PUT,
+    ROLLBACK,
+    UPDATE,
+    ChangeLog,
+    ChangeRecorder,
+)
+
+
+def make_recorder(capacity=16):
+    clock = {"now": 0.0}
+    recorder = ChangeRecorder(
+        clock=lambda: clock["now"], node_count=2,
+        capacity_per_node=capacity,
+    )
+    return recorder, clock
+
+
+def test_mutation_op_classification():
+    recorder, _ = make_recorder()
+    recorder.record_mutation("t", 0, 0, "k", None, 1)      # absent -> PUT
+    recorder.record_mutation("t", 0, 0, "k", 1, 2)         # present -> UPDATE
+    recorder.record_mutation("t", 0, 0, "k", 2, None)      # delete
+    ops = [e.op for e in recorder.logs[0].events()]
+    assert ops == [PUT, UPDATE, DELETE]
+
+
+def test_delete_of_absent_key_is_silent():
+    recorder, _ = make_recorder()
+    recorder.record_mutation("t", 0, 0, "k", None, None)
+    assert recorder.changes_captured == 0
+
+
+def test_events_carry_values_and_time():
+    recorder, clock = make_recorder()
+    clock["now"] = 42.5
+    recorder.record_mutation("orders", 3, 1, "o1", {"s": "old"},
+                             {"s": "new"})
+    (event,) = recorder.logs[1].events()
+    assert event.table == "orders"
+    assert event.key == "o1"
+    assert event.old_value == {"s": "old"}
+    assert event.new_value == {"s": "new"}
+    assert event.partition == 3
+    assert event.node_id == 1
+    assert event.time_ms == 42.5
+
+
+def test_log_is_bounded_and_counts_drops():
+    log = ChangeLog(capacity=3)
+    recorder, _ = make_recorder(capacity=3)
+    for i in range(10):
+        recorder.record_mutation("t", 0, 0, f"k{i}", None, i)
+    node_log = recorder.logs[0]
+    assert len(node_log) == 3
+    assert node_log.appended == 10
+    assert node_log.dropped == 7
+    # Ring semantics: the newest events survive.
+    assert [e.key for e in node_log.events()] == ["k7", "k8", "k9"]
+    assert len(log) == 0  # unrelated log untouched
+
+
+def test_log_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        ChangeLog(capacity=0)
+
+
+def test_per_node_logs_are_independent():
+    recorder, _ = make_recorder()
+    recorder.record_mutation("t", 0, 0, "a", None, 1)
+    recorder.record_mutation("t", 1, 1, "b", None, 1)
+    assert [e.key for e in recorder.logs[0].events()] == ["a"]
+    assert [e.key for e in recorder.logs[1].events()] == ["b"]
+    assert recorder.changes_captured == 2
+
+
+def test_table_listeners_and_filtering():
+    recorder, _ = make_recorder()
+    seen = []
+    recorder.add_listener("orders", seen.append)
+    recorder.record_mutation("orders", 0, 0, "o", None, 1)
+    recorder.record_mutation("riders", 0, 0, "r", None, 1)
+    assert [e.key for e in seen] == ["o"]
+    assert [e.key for e in recorder.logs[0].events_for_table("riders")] \
+        == ["r"]
+    recorder.remove_listener("orders", seen.append)
+    recorder.record_mutation("orders", 0, 0, "o2", None, 1)
+    assert len(seen) == 1
+    assert not recorder.has_listeners("orders")
+
+
+def test_rollback_and_commit_events():
+    recorder, clock = make_recorder()
+    global_events = []
+    recorder.add_global_listener(global_events.append)
+    clock["now"] = 10.0
+    recorder.record_rollback("orders", 2, 0, {"k": "restored"}, ssid=7)
+    recorder.record_commit(9)
+    rollback, commit = global_events
+    assert rollback.op == ROLLBACK
+    assert rollback.partition == 2
+    assert rollback.new_value == {"k": "restored"}
+    assert rollback.ssid == 7
+    assert commit.op == COMMIT
+    assert commit.ssid == 9
+    assert recorder.last_commit_ssid == 9

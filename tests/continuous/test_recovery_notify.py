@@ -1,0 +1,134 @@
+"""Rollback recovery must notify live subscribers consistently.
+
+Acceptance: node failure + rollback recovery delivers a consistent
+rollback notification (one per failure, carrying the rolled-back result
+at the committed snapshot) to live subscribers — Fig. 5c for push
+clients.
+"""
+
+from repro.continuous.delivery import BATCH_ROLLBACK
+from repro.query import QueryService
+
+from ..conftest import build_average_job, make_squery_backend
+
+SQL = 'SELECT COUNT(*) AS n, SUM(count) AS events FROM "average"'
+
+
+def start(env, rate=2000, checkpoint_interval_ms=500):
+    backend = make_squery_backend(env)
+    job = build_average_job(
+        env, backend=backend, rate=rate,
+        checkpoint_interval_ms=checkpoint_interval_ms,
+    )
+    service = QueryService(env)
+    job.start()
+    return job, service
+
+
+def test_rollback_notification_reaches_live_subscribers(env):
+    job, service = start(env)
+    env.run_for(1_200)  # at least one checkpoint committed
+    committed_before = env.store.committed_ssid
+    assert committed_before is not None
+
+    batches = []
+    subs = [
+        service.subscribe(
+            SQL, on_batch=lambda _s, batch, log=batches: log.append(batch)
+        )
+        for _ in range(3)
+    ]
+    env.run_for(300)
+
+    env.cluster.kill_node(1)
+    env.run_for(400)
+
+    assert job.metrics.recoveries == 1
+    for sub in subs:
+        # Exactly one rollback notification per live subscriber.
+        assert sub.rollbacks_received == 1
+        assert sub.last_rollback_ssid == env.store.committed_ssid
+    rollbacks = [b for b in batches if b.kind == BATCH_ROLLBACK]
+    assert len(rollbacks) == 3
+
+
+def test_rollback_batch_carries_rolled_back_state(env):
+    job, service = start(env)
+    env.run_for(1_200)
+    sub = service.subscribe(SQL)
+    env.run_for(300)
+    pre_failure_events = sub.rows()[0]["events"]
+
+    observed = {}
+
+    def capture(subscription, batch):
+        if batch.kind == BATCH_ROLLBACK:
+            # apply_batch ran just before on_batch: the client view at
+            # notification time must be exactly the batch's contents.
+            observed["view"] = subscription.rows()
+            observed["entries"] = [
+                dict(entry["row"]) for entry in batch.entries
+            ]
+
+    sub.on_batch = capture
+    env.cluster.kill_node(2)
+    env.run_for(400)
+
+    assert sub.rollbacks_received == 1
+    assert observed["view"] == observed["entries"]
+    # The notified result is the state at the committed snapshot: the
+    # uncommitted progress the subscriber had already seen is rolled
+    # back, so the notified event count must not exceed it.
+    (row,) = observed["entries"]
+    assert row["n"] == 40
+    assert row["events"] <= pre_failure_events
+
+
+def test_subscription_keeps_flowing_after_recovery(env):
+    job, service = start(env)
+    env.run_for(1_200)
+    sub = service.subscribe(SQL)
+    env.run_for(300)
+    env.cluster.kill_node(1)
+    env.run_for(400)
+    after_recovery = sub.rows()[0]["events"]
+    env.run_for(1_000)  # replay catches up and new deltas flow
+    assert sub.deltas_received > 0
+    assert sub.rows()[0]["events"] > after_recovery
+    assert sub.standing.rescans == 0  # still the incremental path
+
+
+def test_rollback_without_commit_notifies_empty_state(env):
+    job, service = start(env, checkpoint_interval_ms=5_000)
+    env.run_for(300)  # no checkpoint committed yet
+    assert env.store.committed_ssid is None
+    observed = {}
+
+    def capture(subscription, batch):
+        if batch.kind == BATCH_ROLLBACK:
+            observed["view"] = subscription.rows()
+
+    sub = service.subscribe(SQL, on_batch=capture)
+    env.run_for(100)
+    assert sub.rows()[0]["n"] > 0
+    env.cluster.kill_node(1)
+    env.run_for(200)
+    assert sub.rollbacks_received == 1
+    # Restart from scratch: the consistent notified state is empty
+    # (the executor still emits the COUNT=0 row for a global aggregate).
+    assert observed["view"] == [{"n": 0, "events": None}]
+
+
+def test_pending_prefailure_deltas_are_discarded(env):
+    job, service = start(env)
+    env.run_for(1_200)
+    # A completely stalled subscriber accumulates in-flight state.
+    sub = service.subscribe(SQL, max_outstanding=1, consume_ms=200.0)
+    env.run_for(300)
+    dropped_before = sub.deltas_dropped
+    env.cluster.kill_node(2)
+    env.run_for(300)
+    # Whatever was pending before the failure was discarded — the
+    # rollback replay reached the subscriber despite the full window.
+    assert sub.rollbacks_received == 1
+    assert sub.deltas_dropped >= dropped_before

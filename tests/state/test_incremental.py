@@ -156,6 +156,49 @@ def test_prune_below_threshold_is_noop():
     assert table.compactions == 0
 
 
+def test_prune_boundary_exact_length_is_noop():
+    """A chain of *exactly* prune_chain_length deltas must not fold:
+    the bound is strict-greater, so folding starts at bound + 1."""
+    bound = 4
+    table = make_table(prune=bound)
+    for ssid in range(1, bound + 1):
+        table.write_instance(ssid, 0, {"a": ssid})
+    assert table.chain_length(0) == bound
+    assert not table.maybe_prune(bound)
+    assert table.compactions == 0
+    assert table.chain_length(0) == bound  # chain untouched
+
+    # One more delta crosses the bound: now the fold happens.
+    table.write_instance(bound + 1, 0, {"a": bound + 1})
+    assert table.chain_length(0) == bound + 1
+    assert table.maybe_prune(bound + 1)
+    assert table.compactions == 1
+    assert table.chain_length(0) == 0  # folded into a base
+    state, scanned = table.materialize_instance(bound + 1, 0)
+    assert state == {"a": bound + 1}
+    assert scanned == 1  # base read only, no chain walk
+
+
+def test_tombstone_then_reinsert_survives_fold():
+    """Folding a chain that contains delete-then-reinsert history must
+    keep the reinserted value (and only it) in the new base."""
+    table = make_table(prune=2)
+    table.write_instance(1, 0, {"a": 1, "b": 1})
+    table.write_instance(2, 0, {}, deleted={"a"})
+    table.write_instance(3, 0, {"a": 30})
+    assert table.maybe_prune(3)
+    state, scanned = table.materialize_instance(3, 0)
+    assert state == {"a": 30, "b": 1}
+    assert scanned == 2  # the folded base holds exactly the live keys
+    # The fold must not resurrect tombstoned history: a key deleted and
+    # NOT reinserted stays gone after compaction too.
+    table.write_instance(4, 0, {}, deleted={"b"})
+    table.write_instance(5, 0, {"c": 5})
+    table.write_instance(6, 0, {"c": 6})
+    assert table.maybe_prune(6)
+    assert table.materialize_instance(6, 0)[0] == {"a": 30, "c": 6}
+
+
 def test_drop_snapshot_is_deferred():
     table = make_table()
     table.write_instance(1, 0, {"a": 1})

@@ -1,8 +1,19 @@
 """Tests for the utilisation/observability report."""
 
-from repro.observability import collect_report, format_report
+from repro.observability import ClusterReport, NodeReport, collect_report, \
+    format_report
+from repro.query import QueryService
 
 from .conftest import build_average_job, make_squery_backend
+
+
+def _node(node_id, processing=0.0, query=0.0, store=0.0):
+    return NodeReport(
+        node_id=node_id, alive=True,
+        processing_utilization=processing, processing_jobs=0,
+        query_utilization=query, query_jobs=0,
+        store_utilization=store, store_jobs=0,
+    )
 
 
 def test_report_covers_all_nodes(env):
@@ -58,6 +69,24 @@ def test_hottest_pool_identifies_processing(env):
     assert utilization > 0
 
 
+def test_hottest_pool_considers_store_servers():
+    # A store-bound node must win over busier-looking-but-cooler pools;
+    # hottest_pool used to ignore store_utilization entirely.
+    report = ClusterReport(horizon_ms=1_000, nodes=[
+        _node(0, processing=0.30, query=0.10, store=0.20),
+        _node(1, processing=0.25, query=0.15, store=0.85),
+        _node(2, processing=0.40, query=0.05, store=0.10),
+    ])
+    assert report.hottest_pool() == (1, "store", 0.85)
+
+
+def test_hottest_pool_store_loses_when_cooler():
+    report = ClusterReport(horizon_ms=1_000, nodes=[
+        _node(0, processing=0.60, query=0.10, store=0.20),
+    ])
+    assert report.hottest_pool() == (0, "processing", 0.60)
+
+
 def test_format_report_renders(env):
     job = build_average_job(env, rate=1000)
     job.start()
@@ -66,4 +95,26 @@ def test_format_report_renders(env):
     assert "cluster utilisation" in text
     assert "network:" in text
     assert "proc util" in text
+    assert "continuous:" not in text  # subsystem unused: no noise
     assert text.count("\n") >= 5
+
+
+def test_report_counts_continuous_queries(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000)
+    service = QueryService(env)
+    job.start()
+    env.run_for(100)
+    subscription = service.subscribe(
+        'SELECT COUNT(*) AS n, SUM(count) AS events FROM "average"'
+    )
+    env.run_for(1_000)
+    report = collect_report(env)
+    assert report.active_subscriptions == 1
+    assert report.changes_captured > 0
+    assert report.push_batches_sent > 0
+    assert report.deltas_pushed > 0
+    text = format_report(report)
+    assert "continuous: 1 subscriptions" in text
+    env.continuous.unsubscribe(subscription)
+    assert collect_report(env).active_subscriptions == 0
