@@ -10,12 +10,20 @@ build a pipeline, attach the S-QUERY backend, run the job, and query
 live and snapshot state with SQL.
 """
 
+from .chaos import (
+    ChaosEvent,
+    ChaosHarness,
+    assert_invariants,
+    check_invariants,
+    snapshot_fingerprint,
+)
 from .config import (
     VANILLA,
     ClusterConfig,
     CostModel,
     JobConfig,
     NetworkConfig,
+    QueryRetryPolicy,
     SQueryConfig,
 )
 from .continuous import (
@@ -36,7 +44,12 @@ from .dataflow import (
     SinkOperator,
 )
 from .env import Environment
-from .errors import ReproError
+from .errors import (
+    InvariantViolationError,
+    QueryAbortedError,
+    QueryTimeoutError,
+    ReproError,
+)
 from .observability import collect_report, format_report
 from .query import DirectObjectInterface, QueryService, StateAuditor
 from .state import IsolationLevel, SQueryBackend
@@ -45,6 +58,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ChangeEvent",
+    "ChaosEvent",
+    "ChaosHarness",
     "ClusterConfig",
     "ContinuousQueryService",
     "CostModel",
@@ -53,6 +68,7 @@ __all__ = [
     "Environment",
     "FilterOperator",
     "FlatMapOperator",
+    "InvariantViolationError",
     "IsolationLevel",
     "Job",
     "JobConfig",
@@ -61,7 +77,10 @@ __all__ = [
     "NetworkConfig",
     "Operator",
     "Pipeline",
+    "QueryAbortedError",
+    "QueryRetryPolicy",
     "QueryService",
+    "QueryTimeoutError",
     "Record",
     "ReproError",
     "SinkOperator",
@@ -71,6 +90,9 @@ __all__ = [
     "Subscription",
     "VANILLA",
     "__version__",
+    "assert_invariants",
+    "check_invariants",
     "collect_report",
     "format_report",
+    "snapshot_fingerprint",
 ]

@@ -1,0 +1,24 @@
+"""Fault-injection harness for the S-QUERY simulation.
+
+Chaos testing for a discrete-event simulator: schedule node kills and
+restarts at virtual times — scripted or seeded-random — run workload
+against the failing cluster, then check system-wide invariants (no hung
+queries, no leaked locks, snapshot results bit-identical across a
+failure).  Because the simulation is deterministic, every chaos run is
+exactly reproducible from its seed.
+"""
+
+from .harness import ChaosEvent, ChaosHarness
+from .invariants import (
+    assert_invariants,
+    check_invariants,
+    snapshot_fingerprint,
+)
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosHarness",
+    "assert_invariants",
+    "check_invariants",
+    "snapshot_fingerprint",
+]

@@ -1,0 +1,175 @@
+"""Scheduling of node kills and restarts at virtual times.
+
+The harness never crashes the cluster outright: a kill that would take
+down the last alive node — or a node that already died — is *skipped*
+and recorded, so random plans stay safe by construction and scripted
+plans degrade gracefully when an earlier event changed the topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..env import Environment
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: kill or restart ``node_id`` at ``at_ms``."""
+
+    at_ms: float
+    action: str  # "kill" | "restart"
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "restart"):
+            raise ValueError(f"unknown chaos action {self.action!r}")
+        if self.at_ms < 0:
+            raise ValueError("chaos events need a non-negative time")
+
+
+@dataclass
+class ExecutedEvent:
+    """Audit-log entry: what the harness actually did at fire time."""
+
+    event: ChaosEvent
+    executed: bool
+    reason: str = ""
+
+
+class ChaosHarness:
+    """Injects node failures and recoveries into one environment.
+
+    Scripted usage::
+
+        chaos = ChaosHarness(env)
+        chaos.schedule_kill(120.0, node_id=1)
+        chaos.schedule_restart(400.0, node_id=1)
+        env.run_until(1_000.0)
+        chaos.assert_all_fired()
+
+    Seeded-random usage::
+
+        chaos = ChaosHarness(env, seed=29)
+        chaos.plan_random(horizon_ms=2_000.0, kills=3,
+                          restart_after_ms=300.0)
+        env.run_until(3_000.0)
+
+    The same seed always produces the same fault schedule, and the
+    simulation underneath is deterministic, so a failing chaos run can
+    be replayed exactly from ``(seed, workload)``.
+    """
+
+    def __init__(self, env: Environment, seed: int | None = None) -> None:
+        self.env = env
+        self.cluster = env.cluster
+        self.rng = random.Random(seed)
+        self.events: list[ChaosEvent] = []
+        self.log: list[ExecutedEvent] = []
+        self.kills_executed = 0
+        self.restarts_executed = 0
+        self.events_skipped = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule_kill(self, at_ms: float, node_id: int) -> ChaosEvent:
+        return self._schedule(ChaosEvent(at_ms, "kill", node_id))
+
+    def schedule_restart(self, at_ms: float, node_id: int) -> ChaosEvent:
+        return self._schedule(ChaosEvent(at_ms, "restart", node_id))
+
+    def _schedule(self, event: ChaosEvent) -> ChaosEvent:
+        if event.at_ms < self.env.sim.now:
+            raise ValueError(
+                f"chaos event at {event.at_ms} ms is in the past "
+                f"(now={self.env.sim.now} ms)"
+            )
+        self.events.append(event)
+        self.env.sim.schedule_at(event.at_ms, self._fire, event)
+        return event
+
+    def plan_random(self, horizon_ms: float, kills: int,
+                    restart_after_ms: float | None = None,
+                    start_ms: float | None = None) -> list[ChaosEvent]:
+        """Schedule ``kills`` random node kills inside the horizon.
+
+        Kill times are drawn uniformly from ``[start_ms, horizon_ms)``
+        (``start_ms`` defaults to the current virtual time) and targets
+        uniformly from all configured nodes.  When ``restart_after_ms``
+        is given, every kill is paired with a restart of the same node
+        that much later.  Guards at fire time — not plan time — decide
+        whether an event is safe, so overlapping random events cannot
+        take the cluster below one alive node.
+        """
+        if kills < 0:
+            raise ValueError("kills must be non-negative")
+        lo = self.env.sim.now if start_ms is None else start_ms
+        if horizon_ms <= lo:
+            raise ValueError("horizon_ms must lie beyond the start time")
+        planned = []
+        node_count = len(self.cluster.nodes)
+        for _ in range(kills):
+            at = self.rng.uniform(lo, horizon_ms)
+            node_id = self.rng.randrange(node_count)
+            planned.append(self.schedule_kill(at, node_id))
+            if restart_after_ms is not None:
+                planned.append(
+                    self.schedule_restart(at + restart_after_ms, node_id)
+                )
+        return planned
+
+    # -- execution -------------------------------------------------------
+
+    def _fire(self, event: ChaosEvent) -> None:
+        node = self.cluster.node(event.node_id)
+        if event.action == "kill":
+            if not node.alive:
+                self._skip(event, "node already dead")
+                return
+            if len(self.cluster.alive_nodes()) <= 1:
+                self._skip(event, "would kill the last alive node")
+                return
+            self.cluster.fail_node(event.node_id)
+            self.kills_executed += 1
+        else:
+            if node.alive:
+                self._skip(event, "node already alive")
+                return
+            self.cluster.restart_node(event.node_id)
+            self.restarts_executed += 1
+        self.log.append(ExecutedEvent(event, executed=True))
+
+    def _skip(self, event: ChaosEvent, reason: str) -> None:
+        self.events_skipped += 1
+        self.log.append(ExecutedEvent(event, executed=False, reason=reason))
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def events_executed(self) -> int:
+        return self.kills_executed + self.restarts_executed
+
+    def assert_all_fired(self) -> None:
+        """Check that every scheduled event was reached by the clock."""
+        fired = len(self.log)
+        if fired != len(self.events):
+            raise AssertionError(
+                f"only {fired} of {len(self.events)} chaos events fired; "
+                "run the simulation further"
+            )
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos: {self.kills_executed} kills, "
+            f"{self.restarts_executed} restarts, "
+            f"{self.events_skipped} skipped"
+        ]
+        for entry in self.log:
+            status = "ok" if entry.executed else f"skipped ({entry.reason})"
+            lines.append(
+                f"  t={entry.event.at_ms:10.2f} ms  "
+                f"{entry.event.action:<7} node {entry.event.node_id}  "
+                f"{status}"
+            )
+        return "\n".join(lines)

@@ -68,6 +68,7 @@ class Cluster:
             for node_id in range(self.config.nodes)
         ]
         self._failure_listeners: list = []
+        self._recovery_listeners: list = []
 
     def node(self, node_id: int) -> Node:
         try:
@@ -82,12 +83,18 @@ class Cluster:
         """Register ``listener(node_id)`` called when a node dies."""
         self._failure_listeners.append(listener)
 
-    def kill_node(self, node_id: int) -> None:
+    def on_node_recovery(self, listener) -> None:
+        """Register ``listener(node_id)`` called when a node rejoins."""
+        self._recovery_listeners.append(listener)
+
+    def fail_node(self, node_id: int) -> None:
         """Fail a node: promote its backups, notify listeners.
 
-        Partitions owned by the node move to their first surviving
-        backup (as IMDG promotes replicas); registered listeners (the job
-        coordinator, the store) then perform their own recovery.
+        Member failure is a first-class event: partitions owned by the
+        node move to a surviving backup (as IMDG promotes replicas),
+        then every registered failure listener — the store, the job
+        coordinator, query services, the continuous-query service —
+        performs its own recovery.
         """
         node = self.node(node_id)
         if not node.alive:
@@ -95,8 +102,27 @@ class Cluster:
         if len(self.alive_nodes()) <= 1:
             raise ClusterError("cannot kill the last alive node")
         node.alive = False
-        self.partitioner.reassign_node(node_id)
+        self.partitioner.reassign_node(node_id, self.surviving_node_ids())
         for listener in self._failure_listeners:
+            listener(node_id)
+
+    def kill_node(self, node_id: int) -> None:
+        """Alias of :meth:`fail_node` (the original name)."""
+        self.fail_node(node_id)
+
+    def restart_node(self, node_id: int) -> None:
+        """Bring a failed node back as an empty member.
+
+        The rejoined node owns no partitions (its old ones stay with
+        the promoted replicas) but immediately contributes query and
+        processing capacity, and becomes a reassignment target for
+        future failures.  Recovery listeners are notified.
+        """
+        node = self.node(node_id)
+        if node.alive:
+            raise ClusterError(f"node {node_id} is already alive")
+        node.alive = True
+        for listener in self._recovery_listeners:
             listener(node_id)
 
     def surviving_node_ids(self) -> list[int]:

@@ -32,6 +32,37 @@ class NetworkModel:
     def bytes_sent(self) -> int:
         return self._bytes
 
+    @property
+    def open_channels(self) -> int:
+        """FIFO channels currently tracked (ordering floors held)."""
+        return len(self._last_delivery)
+
+    def close_channel(self, channel: Any) -> bool:
+        """Forget ``channel``'s ordering floor.
+
+        Callers close their channels when the conversation ends (e.g. a
+        query completes), so the floor table does not grow with the
+        total number of queries ever run and a later channel that
+        happens to reuse the same identity does not inherit a stale
+        floor.  Returns whether the channel was known.
+        """
+        return self._last_delivery.pop(channel, None) is not None
+
+    def _evict_quiescent_channels(self) -> None:
+        """Drop channels whose floor is in the past (backstop bound).
+
+        A floor at or before the current virtual time can never delay a
+        future send (arrivals are computed as now + delay), so these
+        entries carry no ordering information anymore.
+        """
+        now = self._sim.now
+        stale = [
+            channel for channel, floor in self._last_delivery.items()
+            if floor <= now
+        ]
+        for channel in stale:
+            del self._last_delivery[channel]
+
     def delay(self, src_node: int, dst_node: int, nbytes: int = 0) -> float:
         """One-way delay for a message of ``nbytes``."""
         if src_node == dst_node:
@@ -60,6 +91,11 @@ class NetworkModel:
         self._bytes += nbytes
         arrival = self._sim.now + self.delay(src_node, dst_node, nbytes)
         if channel is not None:
+            if (
+                channel not in self._last_delivery
+                and len(self._last_delivery) >= self._config.max_channels
+            ):
+                self._evict_quiescent_channels()
             floor = self._last_delivery.get(channel, 0.0)
             if arrival <= floor:
                 arrival = floor + 1e-9

@@ -64,18 +64,36 @@ class Partitioner:
     def partitions_owned_by(self, node: int) -> list[int]:
         return [p for p, owner in enumerate(self._owner) if owner == node]
 
-    def reassign_node(self, dead_node: int) -> dict[int, int]:
+    def reassign_node(self, dead_node: int,
+                      alive: list[int] | None = None) -> dict[int, int]:
         """Move partitions owned by ``dead_node`` to their first backup.
 
-        Returns the mapping of reassigned partition → new owner.  Mirrors
-        IMDG's promotion of backup replicas after a member failure.
+        ``alive`` restricts promotion targets to nodes that are still
+        members — without it, repeated failures could promote a backup
+        that itself died earlier (the ring is computed from node ids,
+        not liveness), silently orphaning the partition.  When backups
+        are configured but every ring backup is dead, the partition
+        falls to the first alive node (its data, if any, is lost —
+        matching the drop semantics of asynchronously replicated
+        state); with no backups configured at all the reassignment is
+        impossible and raises.  Returns the mapping of reassigned
+        partition → new owner.  Mirrors IMDG's promotion of backup
+        replicas after a member failure.
         """
+        is_alive = (
+            (lambda n: n != dead_node) if alive is None
+            else set(alive).__contains__
+        )
         moved: dict[int, int] = {}
         for partition in range(self.partition_count):
             if self._owner[partition] != dead_node:
                 continue
             backups = self.backups_of_partition(partition)
-            candidates = [n for n in backups if n != dead_node]
+            candidates = [n for n in backups if is_alive(n)]
+            if not candidates and self.backup_count > 0:
+                candidates = sorted(
+                    n for n in range(self.node_count) if is_alive(n)
+                )
             if not candidates:
                 raise ConfigurationError(
                     f"partition {partition} has no surviving replica"

@@ -35,6 +35,10 @@ class NetworkConfig:
     remote_base_ms: float = 0.25
     bytes_per_ms: float = 1.25e6
     jitter_ms: float = 0.05
+    #: Upper bound on tracked FIFO channels.  When exceeded, channels
+    #: whose last delivery lies in the past are evicted (their ordering
+    #: floor can no longer constrain a future send).
+    max_channels: int = 4096
 
     def validate(self) -> None:
         if self.local_delay_ms < 0 or self.remote_base_ms < 0:
@@ -43,6 +47,8 @@ class NetworkConfig:
             raise ConfigurationError("bandwidth must be positive")
         if self.jitter_ms < 0:
             raise ConfigurationError("jitter must be non-negative")
+        if self.max_channels < 1:
+            raise ConfigurationError("max_channels must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -193,6 +199,32 @@ class CostModel:
             raise ConfigurationError(
                 "direct_batch_exponent must be in (0, 1]"
             )
+
+
+@dataclass(frozen=True)
+class QueryRetryPolicy:
+    """Failure handling for in-flight SQL queries (§IV interplay).
+
+    When a node carrying one of a query's scan shards (or a point
+    lookup's owner) dies, the query service re-dispatches the lost work
+    onto survivors after ``retry_backoff_ms``, up to ``max_retries``
+    failure events per query.  Queries whose entry node dies, or that
+    exhaust the budget, abort with :class:`~repro.errors.QueryAbortedError`;
+    ``query_timeout_ms`` is the watchdog backstop guaranteeing that no
+    handle ever hangs, whatever the failure interleaving.
+    """
+
+    max_retries: int = 2
+    retry_backoff_ms: float = 5.0
+    query_timeout_ms: float = 30_000.0
+
+    def validate(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.retry_backoff_ms < 0:
+            raise ConfigurationError("retry_backoff_ms must be >= 0")
+        if self.query_timeout_ms <= 0:
+            raise ConfigurationError("query_timeout_ms must be positive")
 
 
 @dataclass(frozen=True)

@@ -86,6 +86,11 @@ def recover_job(job: "Job", dead_node: int) -> None:
     continuous = getattr(job.env, "continuous", None)
     if continuous is not None:
         continuous.on_rollback_recovery(committed)
+    # In-flight ad-hoc live queries spanned the rollback: their fuzzy
+    # read-uncommitted view now mixes pre- and post-recovery epochs, so
+    # the query services flag them (Fig. 5's dirty-read caveat).
+    for service in getattr(job.env, "query_services", ()):
+        service.on_rollback_recovery(committed)
 
     delay = (
         RECOVERY_FIXED_MS

@@ -22,6 +22,10 @@ class Environment:
         self.store = StateStore(self.cluster)
         #: Lazily-created ContinuousQueryService (first ``subscribe``).
         self.continuous = None
+        #: Every QueryService running against this environment registers
+        #: itself here, so rollback recovery can flag in-flight live
+        #: queries and observability can sum retry/abort counters.
+        self.query_services: list = []
 
     @property
     def costs(self) -> CostModel:

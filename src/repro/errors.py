@@ -111,3 +111,19 @@ class IsolationError(StateError):
 
 class QueryError(ReproError):
     """The query service rejected or failed a query."""
+
+
+class QueryAbortedError(QueryError):
+    """The failure-aware query path gave up on an in-flight query:
+    the entry node died, the retry budget was exhausted, or the
+    watchdog timeout fired."""
+
+
+class QueryTimeoutError(QueryAbortedError):
+    """A query exceeded ``QueryRetryPolicy.query_timeout_ms`` of
+    virtual time (the backstop against hung queries)."""
+
+
+class InvariantViolationError(ReproError):
+    """A fault-injection scenario left the system in a state that
+    violates one of the chaos harness's invariants."""

@@ -37,6 +37,19 @@ class LockManager:
         """Number of acquires that had to wait."""
         return self._contentions
 
+    @property
+    def held_count(self) -> int:
+        """Number of keys currently locked (0 after a clean drain)."""
+        return len(self._holders)
+
+    @property
+    def waiting_count(self) -> int:
+        """Number of acquire requests still queued behind a holder."""
+        return sum(len(queue) for queue in self._waiters.values())
+
+    def held_keys(self) -> list[Hashable]:
+        return list(self._holders)
+
     def is_locked(self, key: Hashable) -> bool:
         return key in self._holders
 

@@ -40,6 +40,12 @@ class ClusterReport:
     network_bytes: int = 0
     lock_acquisitions: int = 0
     lock_contentions: int = 0
+    locks_held: int = 0
+    open_channels: int = 0
+    # query fault tolerance (zero when no failures were injected)
+    query_retries: int = 0
+    query_aborts: int = 0
+    query_timeouts: int = 0
     # continuous queries (zero when the subsystem is unused)
     active_subscriptions: int = 0
     changes_captured: int = 0
@@ -85,6 +91,12 @@ def collect_report(env: Environment) -> ClusterReport:
     report.network_bytes = env.cluster.network.bytes_sent
     report.lock_acquisitions = env.store.locks.acquisitions
     report.lock_contentions = env.store.locks.contentions
+    report.locks_held = env.store.locks.held_count
+    report.open_channels = env.cluster.network.open_channels
+    for service in getattr(env, "query_services", ()):
+        report.query_retries += service.query_retries
+        report.query_aborts += service.query_aborts
+        report.query_timeouts += service.query_timeouts
     continuous = getattr(env, "continuous", None)
     if continuous is not None:
         report.active_subscriptions = continuous.active_subscriptions
@@ -123,6 +135,12 @@ def format_report(report: ClusterReport) -> str:
         f"{report.lock_acquisitions:,} acquisitions, "
         f"{report.lock_contentions:,} contended"
     )
+    if report.query_retries or report.query_aborts:
+        footer += (
+            f"\nquery fault tolerance: {report.query_retries:,} "
+            f"retries, {report.query_aborts:,} aborts "
+            f"({report.query_timeouts:,} by timeout)"
+        )
     if report.active_subscriptions or report.push_batches_sent:
         footer += (
             f"\ncontinuous: {report.active_subscriptions:,} "

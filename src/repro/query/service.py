@@ -16,15 +16,31 @@ A query runs as a small simulated workflow:
 Live rows are materialised per node at that node's scan completion time
 (a fuzzy, read-uncommitted view); snapshot rows are immutable per id, so
 they are consistent regardless of timing (§VII).
+
+The whole workflow is **failure-aware** (§IV interplay): the service
+registers a cluster failure listener and tracks which nodes every
+in-flight execution depends on.  Work pending on a node that dies is
+lost — scan chunks and result shipments carry per-table attempt tokens
+that a failure invalidates — and either re-dispatched onto survivors
+after ``QueryRetryPolicy.retry_backoff_ms`` (live tables re-scan the
+reassigned partitions, snapshot tables re-read from the promoted
+replicas) or aborted with :class:`~repro.errors.QueryAbortedError` when
+the entry node itself died or the retry budget ran out.  A watchdog
+timeout (``query_timeout_ms``) backstops every query, so a handle never
+hangs regardless of the failure interleaving.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable
 
+from ..config import QueryRetryPolicy
 from ..errors import (
     NoCommittedSnapshotError,
+    QueryAbortedError,
     QueryError,
+    QueryTimeoutError,
     SnapshotNotFoundError,
 )
 from ..sql import EvalContext, parse
@@ -46,9 +62,14 @@ NO_POINT_KEY = _NoPointKey()
 class QueryExecution:
     """Handle for one in-flight or completed query."""
 
+    _qids = itertools.count(1)
+
     def __init__(self, sql: str, submitted_ms: float,
                  isolation: IsolationLevel) -> None:
         self.sql = sql
+        #: Service-unique id — unlike ``id(self)``, never recycled, so
+        #: network channels and pool keys can't collide across queries.
+        self.qid = next(QueryExecution._qids)
         self.submitted_ms = submitted_ms
         self.isolation = isolation
         self.snapshot_id: int | None = None
@@ -57,9 +78,22 @@ class QueryExecution:
         self.error: Exception | None = None
         self.rows_shipped = 0
         self.entries_scanned = 0
+        #: Entries billed to store scan servers (== entries_scanned for
+        #: scan queries; point lookups bill a fixed seek instead).
+        self.entries_billed = 0
         self.materialize = True
         self.all_versions = False
         self.snapshot_versions: list[int] | None = None
+        #: Node coordinating this query (plan, merge, result delivery).
+        self.entry_node: int | None = None
+        #: True when a live (non-snapshot) query was in flight across a
+        #: rollback recovery: its fuzzy view may span an epoch boundary,
+        #: not just pre-failure fuzziness (the Fig. 5 dirty-read case).
+        self.observed_rollback = False
+        #: Failure events this query survived via rescheduling.
+        self.retries = 0
+        #: FIFO network channels opened for this query; closed on finish.
+        self.channels: set = set()
         #: Key of a point-lookup pushdown (``NO_POINT_KEY`` if none).
         self.point_key: object = NO_POINT_KEY
         self.on_done: Callable[["QueryExecution"], None] | None = None
@@ -83,15 +117,34 @@ class QueryExecution:
             self.on_done(self)
 
 
+class _InFlight:
+    """Service-side bookkeeping for one running query."""
+
+    __slots__ = ("execution", "select", "table_kinds", "snapshot_id",
+                 "state")
+
+    def __init__(self, execution: QueryExecution, select: Select,
+                 table_kinds: list[tuple[str, str]]) -> None:
+        self.execution = execution
+        self.select = select
+        self.table_kinds = table_kinds
+        #: Resolved snapshot target (int, list for all-versions, None).
+        self.snapshot_id: int | list[int] | None = None
+        #: Scan-phase state; ``None`` until scans are dispatched.
+        self.state: dict | None = None
+
+
 class QueryService:
     """Executes SQL against the state store of one environment."""
 
     def __init__(self, env, repeatable_read: bool = False,
-                 ha_mode: bool = False) -> None:
+                 ha_mode: bool = False,
+                 retry_policy: QueryRetryPolicy | None = None) -> None:
         """``repeatable_read`` holds key locks for whole live queries;
         ``ha_mode`` declares that the job runs with active replication
         (§VII-B), upgrading live queries to read committed — state they
-        observe is never rolled back."""
+        observe is never rolled back.  ``retry_policy`` governs how
+        in-flight queries react to node failures."""
         self.env = env
         self.sim = env.sim
         self.cluster = env.cluster
@@ -99,8 +152,22 @@ class QueryService:
         self.costs = env.costs
         self.repeatable_read = repeatable_read
         self.ha_mode = ha_mode
+        self.retry_policy = retry_policy or QueryRetryPolicy()
+        self.retry_policy.validate()
         self._entry_rotation = 0
         self.queries_executed = 0
+        #: Shards rescheduled onto survivors after a node death.
+        self.query_retries = 0
+        #: Queries failed fast (entry-node death, retry exhaustion,
+        #: timeout) instead of completing.
+        self.query_aborts = 0
+        #: Subset of aborts caused by the watchdog timeout.
+        self.query_timeouts = 0
+        self._inflight: dict[int, _InFlight] = {}
+        self.cluster.on_node_failure(self._on_node_failure)
+        services = getattr(env, "query_services", None)
+        if services is not None:
+            services.append(self)
 
     # -- public API ------------------------------------------------------
 
@@ -143,12 +210,15 @@ class QueryService:
             # key (Fig. 4's ``WHERE key = 1`` pattern) fetches only that
             # key from its owner node instead of scanning everything.
             execution.point_key = _extract_key_filter(select.where)
-        entry_node = self._next_entry_node()
-        pool = self.cluster.node(entry_node).query_pool
+        execution.entry_node = self._next_entry_node()
+        record = _InFlight(execution, select, table_kinds)
+        self._inflight[execution.qid] = record
+        self.sim.schedule(self.retry_policy.query_timeout_ms,
+                          self._watchdog, execution)
+        pool = self.cluster.node(execution.entry_node).query_pool
         pool.submit(
-            ("query", id(execution)), self.costs.sql_fixed_ms,
-            self._after_plan, execution, select, table_kinds,
-            snapshot_id, entry_node,
+            ("query", execution.qid), self.costs.sql_fixed_ms,
+            self._after_plan, record, snapshot_id,
         )
         return execution
 
@@ -194,6 +264,21 @@ class QueryService:
             raise execution.error
         return execution
 
+    @property
+    def inflight_queries(self) -> int:
+        return len(self._inflight)
+
+    def on_rollback_recovery(self, committed_ssid: int | None) -> None:
+        """Called by rollback recovery (§IV): flag every in-flight live
+        query, whose fuzzy view now spans an epoch boundary."""
+        del committed_ssid  # the flag, not the target, is what matters
+        for record in self._inflight.values():
+            execution = record.execution
+            if execution.done:
+                continue
+            if not execution.isolation.at_least(IsolationLevel.SNAPSHOT):
+                execution.observed_rollback = True
+
     # -- internals ------------------------------------------------------
 
     def _classify_tables(self, select: Select) -> list[tuple[str, str]]:
@@ -209,124 +294,246 @@ class QueryService:
 
     def _next_entry_node(self) -> int:
         alive = self.cluster.surviving_node_ids()
+        if not alive:
+            raise QueryError("no surviving nodes")
         node = alive[self._entry_rotation % len(alive)]
         self._entry_rotation += 1
         return node
 
-    def _after_plan(self, execution: QueryExecution, select: Select,
-                    table_kinds: list[tuple[str, str]],
-                    snapshot_id: int | None, entry_node: int) -> None:
-        needs_snapshot = any(kind == "snapshot" for _, kind in table_kinds)
+    # -- completion (the single exit path) --------------------------------
+
+    def _finish_execution(self, execution: QueryExecution,
+                          result: QueryResult | None,
+                          error: Exception | None) -> None:
+        """Complete ``execution`` exactly once: release its locks, close
+        its network channels, and drop the in-flight record — on every
+        path, success or failure."""
+        if execution.done:
+            return
+        self._release_locks(execution)
+        network = self.cluster.network
+        for channel in execution.channels:
+            network.close_channel(channel)
+        execution.channels.clear()
+        self._inflight.pop(execution.qid, None)
+        if error is None:
+            self.queries_executed += 1
+        execution._finish(self.sim.now, result, error)
+
+    def _abort(self, execution: QueryExecution,
+               error: QueryAbortedError) -> None:
+        self.query_aborts += 1
+        self._finish_execution(execution, None, error)
+
+    def _watchdog(self, execution: QueryExecution) -> None:
+        if execution.done:
+            return
+        self.query_timeouts += 1
+        self._abort(execution, QueryTimeoutError(
+            f"query exceeded {self.retry_policy.query_timeout_ms} ms "
+            f"(submitted at {execution.submitted_ms} ms)"
+        ))
+
+    # -- failure handling ---------------------------------------------------
+
+    def _on_node_failure(self, node_id: int) -> None:
+        """Cluster failure listener: every in-flight execution that
+        depends on the dead node either reschedules or fails fast."""
+        for record in list(self._inflight.values()):
+            execution = record.execution
+            if execution.done:
+                self._inflight.pop(execution.qid, None)
+                continue
+            if execution.entry_node == node_id:
+                self._abort(execution, QueryAbortedError(
+                    f"entry node {node_id} died while the query was in "
+                    "flight"
+                ))
+                continue
+            if record.state is None:
+                continue  # plan/ssid phase: runs on the entry node only
+            affected = [
+                table for table, nodes in record.state["nodes"].items()
+                if node_id in nodes
+            ]
+            if not affected:
+                continue
+            if execution.retries >= self.retry_policy.max_retries:
+                self._abort(execution, QueryAbortedError(
+                    f"node {node_id} died and the retry budget "
+                    f"({self.retry_policy.max_retries}) is exhausted"
+                ))
+                continue
+            execution.retries += 1
+            self.query_retries += 1
+            for table in affected:
+                self._requeue_table(record, table)
+
+    def _requeue_table(self, record: _InFlight, table: str) -> None:
+        """Void a table's in-flight shards and schedule a re-dispatch.
+
+        The attempt token invalidates the lost attempt's scan chunks and
+        result shipments; collected rows for the table are discarded so
+        the re-scan (over the reassigned partitions / promoted replicas)
+        is the single source of that table's rows.
+        """
+        state = record.state
+        state["attempt"][table] += 1
+        lost = state["nodes"][table]
+        state["nodes"][table] = set()
+        # Lost shards leave the pending count; one re-dispatch token
+        # takes their place so the merge can't trigger early.
+        state["pending"] -= len(lost) - 1
+        state["rows"][table].clear()
+        self.sim.schedule(
+            self.retry_policy.retry_backoff_ms,
+            self._redispatch_table, record, table, state["attempt"][table],
+        )
+
+    def _redispatch_table(self, record: _InFlight, table: str,
+                          attempt: int) -> None:
+        execution = record.execution
+        state = record.state
+        if execution.done or state["attempt"][table] != attempt:
+            return  # aborted meanwhile, or a later failure superseded us
+        alive = self.cluster.surviving_node_ids()
+        if not alive:
+            self._abort(execution, QueryAbortedError("no surviving nodes"))
+            return
+        if state["point"]:
+            # consumes the re-dispatch token as the single new shard
+            self._point_attempt(record, attempt)
+            return
+        state["pending"] += len(alive) - 1
+        state["nodes"][table] = set(alive)
+        kind = state["kinds"][table]
+        for node_id in alive:
+            self._scan_shard(record, table, kind, node_id, attempt)
+
+    # -- plan / snapshot-id resolution ----------------------------------
+
+    def _after_plan(self, record: _InFlight,
+                    snapshot_id: int | None) -> None:
+        execution = record.execution
+        if execution.done:
+            return
+        needs_snapshot = any(
+            kind == "snapshot" for _, kind in record.table_kinds
+        )
         if not needs_snapshot:
-            self._start_scans(execution, select, table_kinds, None,
-                              entry_node)
+            self._start_scans(record, None)
             return
         if execution.all_versions:
             versions = self.store.available_ssids()
             if not versions:
-                execution._finish(
-                    self.sim.now, None,
+                self._finish_execution(
+                    execution, None,
                     NoCommittedSnapshotError("no committed snapshot yet"),
                 )
                 return
-            self._start_scans(execution, select, table_kinds, versions,
-                              entry_node)
+            self._start_scans(record, versions)
             return
         if snapshot_id is not None:
-            self._validate_and_scan(execution, select, table_kinds,
-                                    snapshot_id, entry_node)
+            self._validate_and_scan(record, snapshot_id)
             return
         # Atomic read of the committed-snapshot pointer.
-        server = self.cluster.node(entry_node).store_server(0)
+        server = self.cluster.node(execution.entry_node).store_server(0)
         server.submit(
-            self.costs.snapshot_id_read_ms,
-            self._after_ssid_read, execution, select, table_kinds,
-            entry_node,
+            self.costs.snapshot_id_read_ms, self._after_ssid_read, record
         )
 
-    def _after_ssid_read(self, execution: QueryExecution, select: Select,
-                         table_kinds: list[tuple[str, str]],
-                         entry_node: int) -> None:
+    def _after_ssid_read(self, record: _InFlight) -> None:
+        execution = record.execution
+        if execution.done:
+            return
         committed = self.store.committed_ssid
         if committed is None:
-            execution._finish(
-                self.sim.now, None,
+            self._finish_execution(
+                execution, None,
                 NoCommittedSnapshotError("no committed snapshot yet"),
             )
             return
-        self._start_scans(execution, select, table_kinds, committed,
-                          entry_node)
+        self._start_scans(record, committed)
 
-    def _validate_and_scan(self, execution: QueryExecution, select: Select,
-                           table_kinds: list[tuple[str, str]],
-                           snapshot_id: int, entry_node: int) -> None:
+    def _validate_and_scan(self, record: _InFlight,
+                           snapshot_id: int) -> None:
         if snapshot_id not in self.store.available_ssids():
-            execution._finish(
-                self.sim.now, None, SnapshotNotFoundError(snapshot_id)
+            self._finish_execution(
+                record.execution, None, SnapshotNotFoundError(snapshot_id)
             )
             return
-        self._start_scans(execution, select, table_kinds, snapshot_id,
-                          entry_node)
+        self._start_scans(record, snapshot_id)
 
     # -- scan phase ---------------------------------------------------------
 
-    def _start_scans(self, execution: QueryExecution, select: Select,
-                     table_kinds: list[tuple[str, str]],
-                     snapshot_id: int | list[int] | None,
-                     entry_node: int) -> None:
+    def _start_scans(self, record: _InFlight,
+                     snapshot_id: int | list[int] | None) -> None:
+        execution = record.execution
+        record.snapshot_id = snapshot_id
         if isinstance(snapshot_id, list):
             execution.snapshot_versions = list(snapshot_id)
         else:
             execution.snapshot_id = snapshot_id
         nodes = self.cluster.surviving_node_ids()
+        state = {
+            "pending": 0,
+            "rows": {name: [] for name, _ in record.table_kinds},
+            "scanned": 0,
+            #: table -> current attempt; bumped to invalidate lost work.
+            "attempt": {name: 0 for name, _ in record.table_kinds},
+            #: table -> nodes with an in-flight shard or result.
+            "nodes": {name: set() for name, _ in record.table_kinds},
+            "kinds": dict(record.table_kinds),
+            #: table -> store-partition stripe base for chunk spreading.
+            "stripe": {},
+            "point": False,
+        }
+        record.state = state
         if (
             execution.point_key is not NO_POINT_KEY
             and not isinstance(snapshot_id, list)
         ):
-            self._point_lookup(execution, select, table_kinds[0],
-                               snapshot_id, entry_node, nodes)
+            state["point"] = True
+            state["pending"] = 1
+            self._point_attempt(record, attempt=0)
             return
-        shards: list[tuple[str, str, int]] = []
         seen: set[str] = set()
-        for table_name, kind in table_kinds:
+        shards: list[tuple[str, str, int]] = []
+        for stripe, (table_name, kind) in enumerate(record.table_kinds):
             if table_name in seen:  # self-join scans once per node anyway
                 continue
             seen.add(table_name)
+            state["stripe"][table_name] = stripe * max(1, len(nodes))
             for node_id in nodes:
                 shards.append((table_name, kind, node_id))
-        state = {
-            "pending": len(shards),
-            "rows": {name: [] for name, _ in table_kinds},
-            "scanned": 0,
-        }
+                state["nodes"][table_name].add(node_id)
+        state["pending"] = len(shards)
         if not shards:
-            self._merge(execution, select, state, entry_node)
+            self._merge(record)
             return
-        for table_index, (table_name, kind, node_id) in enumerate(shards):
-            self._scan_shard(
-                execution, select, state, table_name, kind, node_id,
-                entry_node, table_index, snapshot_id,
-            )
+        for table_name, kind, node_id in shards:
+            self._scan_shard(record, table_name, kind, node_id, attempt=0)
 
-    def _point_lookup(self, execution: QueryExecution, select: Select,
-                      table_kind: tuple[str, str],
-                      snapshot_id: int | None, entry_node: int,
-                      nodes: list[int]) -> None:
+    def _point_attempt(self, record: _InFlight, attempt: int) -> None:
         """Fetch a single key from its owner node (pushdown path)."""
-        table_name, kind = table_kind
+        execution = record.execution
+        state = record.state
+        table_name, kind = record.table_kinds[0]
         key = execution.point_key
         table = (self.store.get_live_table(table_name) if kind == "live"
                  else self.store.get_snapshot_table(table_name))
         owner = table.owner_node_of(key)
+        nodes = self.cluster.surviving_node_ids()
         if owner not in nodes:
             owner = nodes[0]  # placement mid-recovery: any survivor
-        state = {"pending": 1, "rows": {table_name: []}, "scanned": 0}
+        state["nodes"][table_name] = {owner}
         server = self.cluster.node(owner).store_server(0)
         # Index seek + entry read: a handful of store operations.
         duration = 4 * self.costs.store_entry_ms
+        snapshot_id = record.snapshot_id
 
         def finish() -> None:
-            if execution.done:
+            if execution.done or state["attempt"][table_name] != attempt:
                 return
             try:
                 if kind == "live":
@@ -334,50 +541,44 @@ class QueryService:
                 else:
                     rows = table.point_rows(key, snapshot_id)
             except SnapshotNotFoundError as exc:
-                execution._finish(self.sim.now, None, exc)
+                self._finish_execution(execution, None, exc)
                 return
-            if self.repeatable_read and kind == "live":
-                self._lock_rows(execution, table_name, rows)
             state["scanned"] += 1
-            self.cluster.network.send(
-                owner, entry_node,
-                self._shard_arrived, execution, select, state,
-                table_name, rows, entry_node,
-                nbytes=len(rows) * self.costs.row_bytes,
-                channel=("query-result", id(execution), table_name,
-                         owner),
-            )
+            self._ship_when_locked(record, table_name, kind, owner, rows,
+                                   attempt)
 
         server.submit(duration, finish)
 
-    def _scan_shard(self, execution: QueryExecution, select: Select,
-                    state: dict, table_name: str, kind: str, node_id: int,
-                    entry_node: int, table_index: int,
-                    snapshot_id: int | None) -> None:
+    def _scan_shard(self, record: _InFlight, table_name: str, kind: str,
+                    node_id: int, attempt: int) -> None:
+        execution = record.execution
+        state = record.state
         try:
             entries = self._entries_on_node(table_name, kind, node_id,
-                                            snapshot_id)
+                                            record.snapshot_id)
         except SnapshotNotFoundError as exc:
-            execution._finish(self.sim.now, None, exc)
+            self._finish_execution(execution, None, exc)
             return
         chunk = self.costs.scan_chunk_entries
         chunks = max(1, -(-entries // chunk))
         node = self.cluster.node(node_id)
+        stripe = state["stripe"].get(table_name, 0) + node_id
 
         def run_chunk(remaining: int) -> None:
-            if execution.done:
-                return
+            if execution.done or state["attempt"][table_name] != attempt:
+                return  # query finished, or this shard's node died
             if remaining == 0:
-                self._shard_scanned(
-                    execution, select, state, table_name, kind, node_id,
-                    entry_node, entries, snapshot_id,
-                )
+                self._shard_scanned(record, table_name, kind, node_id,
+                                    entries, attempt)
                 return
-            entries_in_chunk = min(chunk, entries) if entries else 0
+            # The final chunk is partial: bill only the entries left.
+            done_entries = (chunks - remaining) * chunk
+            entries_in_chunk = max(0, min(chunk, entries - done_entries))
+            execution.entries_billed += entries_in_chunk
             duration = entries_in_chunk * self.costs.scan_entry_ms
             # Successive chunks visit successive store partitions, so a
             # scan spreads over (and contends on) all partition threads.
-            server = node.store_server(table_index + remaining)
+            server = node.store_server(stripe + remaining)
             server.submit(duration, run_chunk, remaining - 1)
 
         run_chunk(chunks)
@@ -393,11 +594,12 @@ class QueryService:
             return table.entries_all_versions_on_node(node_id, snapshot_id)
         return table.entries_on_node(node_id, snapshot_id)
 
-    def _shard_scanned(self, execution: QueryExecution, select: Select,
-                       state: dict, table_name: str, kind: str,
-                       node_id: int, entry_node: int, entries: int,
-                       snapshot_id: int | None) -> None:
+    def _shard_scanned(self, record: _InFlight, table_name: str, kind: str,
+                       node_id: int, entries: int, attempt: int) -> None:
         """Materialise this shard's rows *now* and ship them."""
+        execution = record.execution
+        state = record.state
+        snapshot_id = record.snapshot_id
         if not execution.materialize:
             rows: list[dict] | int = self._row_count(
                 table_name, kind, node_id, snapshot_id
@@ -405,8 +607,6 @@ class QueryService:
         elif kind == "live":
             table = self.store.get_live_table(table_name)
             rows = list(table.rows_on_node(node_id))
-            if self.repeatable_read:
-                self._lock_rows(execution, table_name, rows)
         elif isinstance(snapshot_id, list):
             table = self.store.get_snapshot_table(table_name)
             rows = list(
@@ -416,14 +616,39 @@ class QueryService:
             table = self.store.get_snapshot_table(table_name)
             rows = list(table.rows_on_node(node_id, snapshot_id))
         state["scanned"] += entries
+        self._ship_when_locked(record, table_name, kind, node_id, rows,
+                               attempt)
+
+    def _ship_when_locked(self, record: _InFlight, table_name: str,
+                          kind: str, node_id: int,
+                          rows: list[dict] | int, attempt: int) -> None:
+        """Ship a shard's rows, acquiring repeatable-read locks first."""
+
+        def ship() -> None:
+            self._ship(record, table_name, node_id, rows, attempt)
+
+        if (
+            self.repeatable_read
+            and kind == "live"
+            and not isinstance(rows, int)
+        ):
+            self._lock_rows(record.execution, table_name, rows, ship)
+        else:
+            ship()
+
+    def _ship(self, record: _InFlight, table_name: str, node_id: int,
+              rows: list[dict] | int, attempt: int) -> None:
+        execution = record.execution
         row_count = rows if isinstance(rows, int) else len(rows)
-        nbytes = row_count * self.costs.row_bytes
+        channel = ("query-result", execution.qid, table_name, node_id,
+                   attempt)
+        execution.channels.add(channel)
         self.cluster.network.send(
-            node_id, entry_node,
-            self._shard_arrived, execution, select, state, table_name,
-            rows, entry_node,
-            nbytes=nbytes,
-            channel=("query-result", id(execution), table_name, node_id),
+            node_id, execution.entry_node,
+            self._shard_arrived, record, table_name, node_id, rows,
+            attempt,
+            nbytes=row_count * self.costs.row_bytes,
+            channel=channel,
         )
 
     def _row_count(self, table_name: str, kind: str, node_id: int,
@@ -440,62 +665,100 @@ class QueryService:
         return table.row_count_on_node(node_id, snapshot_id)
 
     def _lock_rows(self, execution: QueryExecution, table_name: str,
-                   rows: list[dict]) -> None:
-        """Repeatable read: hold every read key's lock until the end."""
-        locks = self.store.locks
-        for row in rows:
-            locks.try_acquire((table_name, row["partitionKey"]), execution)
+                   rows: list[dict], then: Callable[[], None]) -> None:
+        """Repeatable read: hold every read key's lock until the end.
 
-    def _shard_arrived(self, execution: QueryExecution, select: Select,
-                       state: dict, table_name: str,
-                       rows: list[dict] | int, entry_node: int) -> None:
-        if execution.done:
-            return
+        Contended keys *block* — the request queues FIFO behind the
+        holder and ``then`` runs once every key is granted — instead of
+        being silently skipped, which would leave the "repeatable" read
+        unprotected exactly when it matters.  A grant that arrives after
+        the query already finished (abort, timeout) releases itself
+        immediately, so nothing leaks.
+        """
+        locks = self.store.locks
+        pending = {"n": 1}  # sentinel guards against sync completion
+
+        def granted_one() -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                then()
+
+        requested: set = set()
+        for row in rows:
+            key = (table_name, row["partitionKey"])
+            if key in requested or locks.holder_of(key) is execution:
+                continue  # already held from an earlier attempt/shard
+            requested.add(key)
+            pending["n"] += 1
+            locks.acquire(key, execution,
+                          granted=_lock_grant(locks, key, execution,
+                                              granted_one))
+        granted_one()  # release the sentinel
+
+    def _shard_arrived(self, record: _InFlight, table_name: str,
+                       node_id: int, rows: list[dict] | int,
+                       attempt: int) -> None:
+        execution = record.execution
+        state = record.state
+        if execution.done or state["attempt"][table_name] != attempt:
+            return  # stale shipment from a node that died mid-query
         if isinstance(rows, int):
             execution.rows_shipped += rows
         else:
             state["rows"][table_name].extend(rows)
             execution.rows_shipped += len(rows)
+        state["nodes"][table_name].discard(node_id)
         state["pending"] -= 1
         if state["pending"] == 0:
-            self._merge(execution, select, state, entry_node)
+            self._merge(record)
 
     # -- merge phase ---------------------------------------------------------
 
-    def _merge(self, execution: QueryExecution, select: Select,
-               state: dict, entry_node: int) -> None:
-        execution.entries_scanned = state["scanned"]
+    def _merge(self, record: _InFlight) -> None:
+        execution = record.execution
+        execution.entries_scanned = record.state["scanned"]
         duration = execution.rows_shipped * self.costs.merge_row_ms
-        pool = self.cluster.node(entry_node).query_pool
+        pool = self.cluster.node(execution.entry_node).query_pool
         pool.submit(
-            ("query", id(execution)), duration,
-            self._finish, execution, select, state,
+            ("query", execution.qid), duration, self._finish, record
         )
 
-    def _finish(self, execution: QueryExecution, select: Select,
-                state: dict) -> None:
+    def _finish(self, record: _InFlight) -> None:
+        execution = record.execution
+        if execution.done:
+            return  # aborted while the merge sat in the entry pool
         if not execution.materialize:
-            self.queries_executed += 1
-            execution._finish(self.sim.now, None, None)
+            self._finish_execution(execution, None, None)
             return
         catalog = DictCatalog()
-        for name, rows in state["rows"].items():
+        for name, rows in record.state["rows"].items():
             catalog.add(ListTable(name, tuple(rows)))
         try:
             result = execute_select(
-                select, catalog, EvalContext(now_ms=self.sim.now)
+                record.select, catalog, EvalContext(now_ms=self.sim.now)
             )
         except Exception as exc:  # surface SQL errors on the handle
-            self._release_locks(execution)
-            execution._finish(self.sim.now, None, exc)
+            self._finish_execution(execution, None, exc)
             return
-        self._release_locks(execution)
-        self.queries_executed += 1
-        execution._finish(self.sim.now, result, None)
+        self._finish_execution(execution, result, None)
 
     def _release_locks(self, execution: QueryExecution) -> None:
         if self.repeatable_read:
             self.store.locks.release_all(execution)
+
+
+def _lock_grant(locks, key, execution: QueryExecution,
+                granted_one: Callable[[], None]) -> Callable[[], None]:
+    """Grant callback for one key: late grants to finished queries give
+    the lock straight back instead of leaking it."""
+
+    def granted() -> None:
+        if execution.done:
+            locks.release(key, execution)
+            return
+        granted_one()
+
+    return granted
 
 
 def _extract_key_filter(where: Expr | None) -> object:

@@ -1,0 +1,154 @@
+"""Tests for the fault-injection harness and its invariant checks."""
+
+import pytest
+
+from repro import Environment
+from repro.chaos import (
+    ChaosEvent,
+    ChaosHarness,
+    assert_invariants,
+    check_invariants,
+    snapshot_fingerprint,
+)
+from repro.config import ClusterConfig
+from repro.errors import InvariantViolationError
+from repro.sql.executor import QueryResult
+
+
+@pytest.fixture
+def env4():
+    return Environment(ClusterConfig(nodes=4))
+
+
+def test_scripted_kill_and_restart_fire_in_order(env4):
+    chaos = ChaosHarness(env4)
+    chaos.schedule_kill(10.0, node_id=2)
+    chaos.schedule_restart(50.0, node_id=2)
+    env4.run_until(5.0)
+    assert env4.cluster.node(2).alive
+    env4.run_until(20.0)
+    assert not env4.cluster.node(2).alive
+    env4.run_until(60.0)
+    assert env4.cluster.node(2).alive
+    assert chaos.kills_executed == 1
+    assert chaos.restarts_executed == 1
+    chaos.assert_all_fired()
+
+
+def test_kill_of_dead_node_is_skipped(env4):
+    chaos = ChaosHarness(env4)
+    chaos.schedule_kill(10.0, node_id=1)
+    chaos.schedule_kill(20.0, node_id=1)  # already dead by then
+    env4.run_until(30.0)
+    assert chaos.kills_executed == 1
+    assert chaos.events_skipped == 1
+    assert "already dead" in chaos.log[-1].reason
+
+
+def test_never_kills_the_last_alive_node():
+    env = Environment(ClusterConfig(nodes=2))
+    chaos = ChaosHarness(env)
+    chaos.schedule_kill(10.0, node_id=0)
+    chaos.schedule_kill(20.0, node_id=1)  # would leave zero nodes
+    env.run_until(30.0)
+    assert chaos.kills_executed == 1
+    assert chaos.events_skipped == 1
+    assert env.cluster.node(1).alive
+
+
+def test_restart_of_alive_node_is_skipped(env4):
+    chaos = ChaosHarness(env4)
+    chaos.schedule_restart(10.0, node_id=0)
+    env4.run_until(20.0)
+    assert chaos.restarts_executed == 0
+    assert chaos.events_skipped == 1
+
+
+def test_same_seed_same_plan():
+    plans = []
+    for _ in range(2):
+        env = Environment(ClusterConfig(nodes=4))
+        chaos = ChaosHarness(env, seed=42)
+        plans.append(chaos.plan_random(1_000.0, kills=3,
+                                       restart_after_ms=100.0))
+    assert plans[0] == plans[1]
+    assert len(plans[0]) == 6  # three kills, each paired with a restart
+
+
+def test_different_seeds_differ():
+    def plan(seed):
+        env = Environment(ClusterConfig(nodes=4))
+        return ChaosHarness(env, seed=seed).plan_random(1_000.0, kills=3)
+
+    assert plan(1) != plan(2)
+
+
+def test_event_validation(env4):
+    with pytest.raises(ValueError):
+        ChaosEvent(10.0, "explode", 0)
+    with pytest.raises(ValueError):
+        ChaosEvent(-1.0, "kill", 0)
+    env4.run_until(100.0)
+    chaos = ChaosHarness(env4)
+    with pytest.raises(ValueError):
+        chaos.schedule_kill(50.0, node_id=0)  # in the past
+
+
+def test_assert_all_fired_detects_unreached_events(env4):
+    chaos = ChaosHarness(env4)
+    chaos.schedule_kill(1_000.0, node_id=1)
+    env4.run_until(10.0)
+    with pytest.raises(AssertionError):
+        chaos.assert_all_fired()
+
+
+def test_describe_lists_every_event(env4):
+    chaos = ChaosHarness(env4)
+    chaos.schedule_kill(10.0, node_id=1)
+    chaos.schedule_restart(20.0, node_id=1)
+    env4.run_until(30.0)
+    text = chaos.describe()
+    assert "kill" in text and "restart" in text
+    assert "1 kills, 1 restarts, 0 skipped" in text
+
+
+def test_invariants_clean_on_fresh_env(env4):
+    assert check_invariants(env4) == []
+    assert_invariants(env4)  # does not raise
+
+
+def test_invariants_flag_leaked_lock(env4):
+    env4.store.locks.try_acquire(("t", 1), "leaker")
+    violations = check_invariants(env4)
+    assert any("leaked" in v for v in violations)
+    with pytest.raises(InvariantViolationError):
+        assert_invariants(env4)
+
+
+def test_invariants_flag_hung_execution(env4):
+    from repro.query import QueryService
+
+    from ..conftest import build_average_job, make_squery_backend
+
+    backend = make_squery_backend(env4)
+    job = build_average_job(env4, backend=backend, rate=2000, keys=10)
+    job.start()
+    env4.run_until(1_500)
+    service = QueryService(env4)
+    execution = service.submit('SELECT COUNT(*) FROM "average"')
+    # Deliberately do not advance the clock: the query is still open.
+    violations = check_invariants(env4, [execution])
+    assert any("hung" in v for v in violations)
+    assert any("in-flight" in v for v in violations)
+    env4.run_for(1_000)
+    assert check_invariants(env4, [execution]) == []
+
+
+def test_snapshot_fingerprint_is_order_independent():
+    rows = [{"key": 1, "count": 2}, {"key": 2, "count": 5}]
+    a = QueryResult(columns=["key", "count"], rows=rows)
+    b = QueryResult(columns=["key", "count"], rows=list(reversed(rows)))
+    assert snapshot_fingerprint(a) == snapshot_fingerprint(b)
+    c = QueryResult(columns=["key", "count"],
+                    rows=[{"key": 1, "count": 2}, {"key": 2, "count": 6}])
+    assert snapshot_fingerprint(a) != snapshot_fingerprint(c)

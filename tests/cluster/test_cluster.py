@@ -80,6 +80,52 @@ def test_check_alive_raises_on_dead_node():
         cluster.node(0).check_alive()
 
 
+def test_restart_node_rejoins_empty():
+    cluster = make_cluster()
+    cluster.fail_node(1)
+    cluster.restart_node(1)
+    assert cluster.node(1).alive
+    assert cluster.surviving_node_ids() == [0, 1, 2]
+    # The rejoined node owns no partitions; its old ones stay promoted.
+    assert cluster.partitioner.partitions_owned_by(1) == []
+
+
+def test_restart_of_alive_node_rejected():
+    cluster = make_cluster()
+    with pytest.raises(ClusterError):
+        cluster.restart_node(0)
+
+
+def test_recovery_listeners_invoked():
+    cluster = make_cluster()
+    seen = []
+    cluster.on_node_recovery(seen.append)
+    cluster.fail_node(2)
+    assert seen == []
+    cluster.restart_node(2)
+    assert seen == [2]
+
+
+def test_restarted_node_is_reassignment_target():
+    cluster = make_cluster()
+    cluster.fail_node(1)
+    cluster.restart_node(1)
+    cluster.fail_node(0)
+    # Node 0's partitions were promoted somewhere alive — possibly the
+    # rejoined node 1 — and nothing is orphaned on a dead member.
+    for p in range(cluster.partitioner.partition_count):
+        assert cluster.node(cluster.partitioner.owner_of_partition(p)).alive
+
+
+def test_repeated_failures_never_promote_to_dead_backup():
+    cluster = make_cluster(nodes=4)
+    cluster.fail_node(1)
+    cluster.fail_node(2)
+    survivors = set(cluster.surviving_node_ids())
+    for p in range(cluster.partitioner.partition_count):
+        assert cluster.partitioner.owner_of_partition(p) in survivors
+
+
 def test_invalid_cluster_config_rejected():
     from repro.errors import ConfigurationError
     sim = Simulator()

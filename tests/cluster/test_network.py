@@ -70,3 +70,41 @@ def test_separate_channels_do_not_block_each_other():
     # Without jitter both arrive after the base delay; channel FIFO
     # only forces ordering within one channel.
     assert first == second
+
+
+def test_close_channel_forgets_ordering_floor():
+    sim, net = make_network()
+    net.send(0, 1, lambda: None, channel="a")
+    assert net.open_channels == 1
+    assert net.close_channel("a") is True
+    assert net.open_channels == 0
+    assert net.close_channel("a") is False  # already closed
+
+
+def test_channel_count_bounded_by_eviction():
+    sim = Simulator()
+    config = NetworkConfig(local_delay_ms=0.01, remote_base_ms=0.25,
+                           bytes_per_ms=1000.0, jitter_ms=0.0,
+                           max_channels=8)
+    net = NetworkModel(sim, config)
+    # Churn through many short-lived channels, draining between sends
+    # so every floor lies in the past when eviction scans the table.
+    for i in range(100):
+        net.send(0, 1, lambda: None, channel=("ephemeral", i))
+        sim.run()
+    assert net.open_channels <= config.max_channels
+
+
+def test_eviction_preserves_live_floors():
+    sim = Simulator()
+    config = NetworkConfig(local_delay_ms=0.01, remote_base_ms=0.25,
+                           bytes_per_ms=1000.0, jitter_ms=0.0,
+                           max_channels=1)
+    net = NetworkModel(sim, config)
+    got = []
+    # Two sends on the same channel without draining: the second must
+    # still respect the first's floor even at the eviction threshold.
+    net.send(0, 1, got.append, 1, channel="live")
+    net.send(0, 1, got.append, 2, channel="live")
+    sim.run()
+    assert got == [1, 2]

@@ -118,3 +118,31 @@ def test_report_counts_continuous_queries(env):
     assert "continuous: 1 subscriptions" in text
     env.continuous.unsubscribe(subscription)
     assert collect_report(env).active_subscriptions == 0
+
+
+def test_report_counts_query_fault_tolerance():
+    from repro import Environment
+    from repro.config import ClusterConfig, CostModel, QueryRetryPolicy
+
+    slow = Environment(
+        ClusterConfig(nodes=3, processing_workers_per_node=2),
+        costs=CostModel(scan_entry_ms=0.05),
+    )
+    backend = make_squery_backend(slow)
+    job = build_average_job(slow, backend=backend, rate=4000, keys=250)
+    job.start()
+    slow.run_until(1_500)
+    service = QueryService(
+        slow, retry_policy=QueryRetryPolicy(query_timeout_ms=500.0)
+    )
+    execution = service.submit('SELECT COUNT(*) FROM "average"')
+    slow.run_for(2.0)  # scans in flight
+    victim = next(n for n in slow.cluster.surviving_node_ids()
+                  if n != execution.entry_node)
+    slow.cluster.fail_node(victim)
+    slow.run_for(2_000)
+    report = collect_report(slow)
+    assert report.query_retries == 1
+    assert report.locks_held == 0
+    text = format_report(report)
+    assert "query fault tolerance: 1 retries" in text
