@@ -145,6 +145,26 @@ class CostModel:
     #: Per-entry scan cost for query execution on the store.
     scan_entry_ms: float = 0.0008
 
+    # --- distributed query execution (pushdown) -------------------------
+    #: Execute scan fragments (pushed predicates, projection, partial
+    #: aggregation, partition pruning) on the storage nodes instead of
+    #: shipping every row to the entry node.  Off = the ablation
+    #: baseline where network cost scales with table size.
+    pushdown_enabled: bool = True
+    #: Per-entry cost of evaluating pushed predicates / projecting
+    #: columns during a scan chunk.
+    pushed_filter_entry_ms: float = 0.0001
+    #: Additional per-entry cost of folding a row into scan-side
+    #: partial-aggregate state.
+    partial_agg_entry_ms: float = 0.0001
+    #: Fixed serialisation overhead per shipped row/group under
+    #: pushdown (header, key, framing).
+    row_overhead_bytes: int = 24
+    #: Bytes per shipped column value under pushdown.  A full-width row
+    #: (``row_bytes / column_bytes`` columns) costs about ``row_bytes``,
+    #: so the flat legacy billing is the no-projection limit.
+    column_bytes: int = 12
+
     # --- query service ------------------------------------------------------
     #: Parse/plan/coordinate fixed cost of a SQL query.
     sql_fixed_ms: float = 1.2

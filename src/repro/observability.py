@@ -46,6 +46,10 @@ class ClusterReport:
     query_retries: int = 0
     query_aborts: int = 0
     query_timeouts: int = 0
+    # distributed query execution (pushdown / pruning effectiveness)
+    query_rows_shipped: int = 0
+    query_bytes_shipped: int = 0
+    query_partitions_pruned: int = 0
     # continuous queries (zero when the subsystem is unused)
     active_subscriptions: int = 0
     changes_captured: int = 0
@@ -97,6 +101,9 @@ def collect_report(env: Environment) -> ClusterReport:
         report.query_retries += service.query_retries
         report.query_aborts += service.query_aborts
         report.query_timeouts += service.query_timeouts
+        report.query_rows_shipped += service.rows_shipped_total
+        report.query_bytes_shipped += service.bytes_shipped_total
+        report.query_partitions_pruned += service.partitions_pruned_total
     continuous = getattr(env, "continuous", None)
     if continuous is not None:
         report.active_subscriptions = continuous.active_subscriptions
@@ -135,6 +142,12 @@ def format_report(report: ClusterReport) -> str:
         f"{report.lock_acquisitions:,} acquisitions, "
         f"{report.lock_contentions:,} contended"
     )
+    if report.query_rows_shipped or report.query_partitions_pruned:
+        footer += (
+            f"\nquery shipping: {report.query_rows_shipped:,} rows, "
+            f"{report.query_bytes_shipped:,} bytes | "
+            f"{report.query_partitions_pruned:,} partitions pruned"
+        )
     if report.query_retries or report.query_aborts:
         footer += (
             f"\nquery fault tolerance: {report.query_retries:,} "

@@ -45,9 +45,26 @@ from ..errors import (
 )
 from ..sql import EvalContext, parse
 from ..sql.ast import Binary, Column, Expr, Literal, Select, Union
-from ..sql.executor import QueryResult, execute_select
-from ..sql.planner import DictCatalog, ListTable
+from ..sql.executor import (
+    QueryResult,
+    execute_grouped_select,
+    execute_select,
+)
+from ..sql.fragments import (
+    DistributedPlan,
+    FragmentAccumulator,
+    KeySet,
+    PartialGroups,
+    extract_key_filter,
+    merge_partial_groups,
+    split_select,
+)
+from ..sql.planner import DictCatalog, ListTable, split_conjuncts
 from ..state.isolation import IsolationLevel, isolation_of_query
+
+#: Beyond this many pinned keys a multi-point get degenerates into a
+#: scan (pruned by partition instead of fetched key-by-key).
+MAX_POINT_KEYS = 64
 
 
 class _NoPointKey:
@@ -77,6 +94,14 @@ class QueryExecution:
         self.result: QueryResult | None = None
         self.error: Exception | None = None
         self.rows_shipped = 0
+        #: Network payload bytes of shipped scan results.  Under
+        #: pushdown this is billed from the actual surviving columns /
+        #: partial-group states; the legacy path bills a flat
+        #: ``row_bytes`` per row.
+        self.bytes_shipped = 0
+        #: Store partitions skipped entirely by key/range pruning
+        #: (across all scan attempts).
+        self.partitions_pruned = 0
         self.entries_scanned = 0
         #: Entries billed to store scan servers (== entries_scanned for
         #: scan queries; point lookups bill a fixed seek instead).
@@ -96,6 +121,9 @@ class QueryExecution:
         self.channels: set = set()
         #: Key of a point-lookup pushdown (``NO_POINT_KEY`` if none).
         self.point_key: object = NO_POINT_KEY
+        #: All pinned keys of a (multi-)point get (``None`` if none);
+        #: ``point_key`` stays the single-key convenience view.
+        self.point_keys: tuple | None = None
         self.on_done: Callable[["QueryExecution"], None] | None = None
 
     @property
@@ -121,7 +149,7 @@ class _InFlight:
     """Service-side bookkeeping for one running query."""
 
     __slots__ = ("execution", "select", "table_kinds", "snapshot_id",
-                 "state")
+                 "state", "plan")
 
     def __init__(self, execution: QueryExecution, select: Select,
                  table_kinds: list[tuple[str, str]]) -> None:
@@ -132,6 +160,9 @@ class _InFlight:
         self.snapshot_id: int | list[int] | None = None
         #: Scan-phase state; ``None`` until scans are dispatched.
         self.state: dict | None = None
+        #: Distributed plan (scan fragments + final fragment); ``None``
+        #: when pushdown is disabled or the statement is not eligible.
+        self.plan: DistributedPlan | None = None
 
 
 class QueryService:
@@ -139,12 +170,16 @@ class QueryService:
 
     def __init__(self, env, repeatable_read: bool = False,
                  ha_mode: bool = False,
-                 retry_policy: QueryRetryPolicy | None = None) -> None:
+                 retry_policy: QueryRetryPolicy | None = None,
+                 pushdown: bool | None = None) -> None:
         """``repeatable_read`` holds key locks for whole live queries;
         ``ha_mode`` declares that the job runs with active replication
         (§VII-B), upgrading live queries to read committed — state they
         observe is never rolled back.  ``retry_policy`` governs how
-        in-flight queries react to node failures."""
+        in-flight queries react to node failures.  ``pushdown`` forces
+        distributed predicate/projection pushdown on or off (``None``
+        defers to ``CostModel.pushdown_enabled``); off is the ablation
+        baseline that ships every raw row to the entry node."""
         self.env = env
         self.sim = env.sim
         self.cluster = env.cluster
@@ -154,8 +189,17 @@ class QueryService:
         self.ha_mode = ha_mode
         self.retry_policy = retry_policy or QueryRetryPolicy()
         self.retry_policy.validate()
+        self.pushdown_enabled = (
+            self.costs.pushdown_enabled if pushdown is None else pushdown
+        )
         self._entry_rotation = 0
         self.queries_executed = 0
+        #: Rows shipped to entry nodes across all finished queries.
+        self.rows_shipped_total = 0
+        #: Result-shipping bytes across all finished queries.
+        self.bytes_shipped_total = 0
+        #: Store partitions skipped by scan pruning, all queries.
+        self.partitions_pruned_total = 0
         #: Shards rescheduled onto survivors after a node death.
         self.query_retries = 0
         #: Queries failed fast (entry-node death, retry exhaustion,
@@ -207,11 +251,24 @@ class QueryService:
             and not select.joins
         ):
             # Point-lookup pushdown: a single-table query pinned to one
-            # key (Fig. 4's ``WHERE key = 1`` pattern) fetches only that
-            # key from its owner node instead of scanning everything.
-            execution.point_key = _extract_key_filter(select.where)
+            # or a few keys (Fig. 4's ``WHERE key = 1`` pattern, plus
+            # ``key IN (...)`` / OR-of-equalities) fetches only those
+            # keys from their owner nodes instead of scanning anything.
+            keys = _extract_key_filter(select.where,
+                                       select.table.binding or "")
+            if keys is not NO_POINT_KEY:
+                execution.point_keys = keys
+                if len(keys) == 1:
+                    execution.point_key = keys[0]
         execution.entry_node = self._next_entry_node()
         record = _InFlight(execution, select, table_kinds)
+        if (
+            self.pushdown_enabled
+            and materialize
+            and not isinstance(select, Union)
+            and not all_versions
+        ):
+            record.plan = split_select(select)
         self._inflight[execution.qid] = record
         self.sim.schedule(self.retry_policy.query_timeout_ms,
                           self._watchdog, execution)
@@ -244,6 +301,45 @@ class QueryService:
                 self.env, query_service=self
             )
         return self.env.continuous
+
+    def explain(self, sql: str) -> str:
+        """How this service would execute ``sql``: the point-lookup or
+        distributed-pushdown strategy with pushed predicates, scan-side
+        projection / partial aggregation and pruning, or the ship-all
+        baseline when pushdown cannot apply."""
+        from ..sql.explain import render_distributed
+
+        select = parse(sql)
+        table_kinds = self._classify_tables(select)
+        lines: list[str] = []
+        if (
+            not isinstance(select, Union)
+            and len(table_kinds) == 1
+            and not select.joins
+        ):
+            keys = _extract_key_filter(select.where,
+                                       select.table.binding or "")
+            if keys is not NO_POINT_KEY:
+                owners = sorted({
+                    self._table_for(*table_kinds[0]).owner_node_of(key)
+                    for key in keys
+                })
+                lines.append(
+                    f"point lookup: {len(keys)} key(s) on "
+                    f"{len(owners)} owner node(s)"
+                )
+        if not self.pushdown_enabled:
+            lines.append("distributed: ship all rows "
+                         "(pushdown disabled)")
+            return "\n".join(lines)
+        if isinstance(select, Union):
+            lines.append("distributed: ship all rows "
+                         "(UNION runs centrally)")
+            return "\n".join(lines)
+        plan = split_select(select)
+        lines.append("distributed: pushdown")
+        lines.extend(render_distributed(select, plan))
+        return "\n".join(lines)
 
     def execute(self, sql: str,
                 snapshot_id: int | None = None) -> QueryExecution:
@@ -316,6 +412,9 @@ class QueryService:
             network.close_channel(channel)
         execution.channels.clear()
         self._inflight.pop(execution.qid, None)
+        self.rows_shipped_total += execution.rows_shipped
+        self.bytes_shipped_total += execution.bytes_shipped
+        self.partitions_pruned_total += execution.partitions_pruned
         if error is None:
             self.queries_executed += 1
         execution._finish(self.sim.now, result, error)
@@ -404,10 +503,11 @@ class QueryService:
             # consumes the re-dispatch token as the single new shard
             self._point_attempt(record, attempt)
             return
-        state["pending"] += len(alive) - 1
-        state["nodes"][table] = set(alive)
         kind = state["kinds"][table]
-        for node_id in alive:
+        targets = self._scan_targets(record, table, kind)
+        state["pending"] += len(targets) - 1
+        state["nodes"][table] = set(targets)
+        for node_id in targets:
             self._scan_shard(record, table, kind, node_id, attempt)
 
     # -- plan / snapshot-id resolution ----------------------------------
@@ -477,7 +577,11 @@ class QueryService:
         nodes = self.cluster.surviving_node_ids()
         state = {
             "pending": 0,
-            "rows": {name: [] for name, _ in record.table_kinds},
+            #: table -> node -> shipped payload.  Per-node buckets keep
+            #: the merge order canonical (sorted by node id) regardless
+            #: of network arrival order, so pushdown on/off and retry
+            #: interleavings all produce identical results.
+            "rows": {name: {} for name, _ in record.table_kinds},
             "scanned": 0,
             #: table -> current attempt; bumped to invalidate lost work.
             "attempt": {name: 0 for name, _ in record.table_kinds},
@@ -490,7 +594,7 @@ class QueryService:
         }
         record.state = state
         if (
-            execution.point_key is not NO_POINT_KEY
+            execution.point_keys is not None
             and not isinstance(snapshot_id, list)
         ):
             state["point"] = True
@@ -504,7 +608,15 @@ class QueryService:
                 continue
             seen.add(table_name)
             state["stripe"][table_name] = stripe * max(1, len(nodes))
+            targets = self._scan_targets(record, table_name, kind)
             for node_id in nodes:
+                if node_id not in targets:
+                    # Node-level pruning: none of the pinned keys live
+                    # here, so the whole shard (every partition) skips.
+                    execution.partitions_pruned += \
+                        self._node_partition_count(table_name, kind,
+                                                   node_id)
+                    continue
                 shards.append((table_name, kind, node_id))
                 state["nodes"][table_name].add(node_id)
         state["pending"] = len(shards)
@@ -515,50 +627,80 @@ class QueryService:
             self._scan_shard(record, table_name, kind, node_id, attempt=0)
 
     def _point_attempt(self, record: _InFlight, attempt: int) -> None:
-        """Fetch a single key from its owner node (pushdown path)."""
+        """Fetch the pinned key(s) from their owner nodes (point path).
+
+        A single-key lookup touches exactly one node; ``key IN (...)``
+        and OR-of-equality queries fan out one multi-get per distinct
+        owner, each billed per key fetched."""
         execution = record.execution
         state = record.state
         table_name, kind = record.table_kinds[0]
-        key = execution.point_key
         table = (self.store.get_live_table(table_name) if kind == "live"
                  else self.store.get_snapshot_table(table_name))
-        owner = table.owner_node_of(key)
         nodes = self.cluster.surviving_node_ids()
-        if owner not in nodes:
-            owner = nodes[0]  # placement mid-recovery: any survivor
-        state["nodes"][table_name] = {owner}
-        server = self.cluster.node(owner).store_server(0)
-        # Index seek + entry read: a handful of store operations.
-        duration = 4 * self.costs.store_entry_ms
+        owners: dict[int, list] = {}
+        for key in execution.point_keys:
+            owner = table.owner_node_of(key)
+            if owner not in nodes:
+                owner = nodes[0]  # placement mid-recovery: any survivor
+            owners.setdefault(owner, []).append(key)
+        state["nodes"][table_name] = set(owners)
+        # The caller budgeted one shard; account for the fan-out.
+        state["pending"] += len(owners) - 1
         snapshot_id = record.snapshot_id
 
-        def finish() -> None:
-            if execution.done or state["attempt"][table_name] != attempt:
-                return
-            try:
-                if kind == "live":
-                    rows = table.point_rows(key)
-                else:
-                    rows = table.point_rows(key, snapshot_id)
-            except SnapshotNotFoundError as exc:
-                self._finish_execution(execution, None, exc)
-                return
-            state["scanned"] += 1
-            self._ship_when_locked(record, table_name, kind, owner, rows,
-                                   attempt)
+        for owner in sorted(owners):
+            owner_keys = owners[owner]
+            server = self.cluster.node(owner).store_server(0)
+            # Index seek + entry read per key: a handful of store ops.
+            duration = 4 * self.costs.store_entry_ms * len(owner_keys)
 
-        server.submit(duration, finish)
+            def finish(owner: int = owner,
+                       owner_keys: list = owner_keys) -> None:
+                if execution.done or \
+                        state["attempt"][table_name] != attempt:
+                    return
+                rows: list[dict] = []
+                try:
+                    for key in owner_keys:
+                        if kind == "live":
+                            rows.extend(table.point_rows(key))
+                        else:
+                            rows.extend(table.point_rows(key, snapshot_id))
+                except SnapshotNotFoundError as exc:
+                    self._finish_execution(execution, None, exc)
+                    return
+                state["scanned"] += len(owner_keys)
+                self._ship_when_locked(record, table_name, kind, owner,
+                                       rows, attempt)
+
+            server.submit(duration, finish)
 
     def _scan_shard(self, record: _InFlight, table_name: str, kind: str,
                     node_id: int, attempt: int) -> None:
         execution = record.execution
         state = record.state
         try:
-            entries = self._entries_on_node(table_name, kind, node_id,
-                                            record.snapshot_id)
+            entries, fetch, pruned = self._scan_selection(
+                record, table_name, kind, node_id
+            )
         except SnapshotNotFoundError as exc:
             self._finish_execution(execution, None, exc)
             return
+        execution.partitions_pruned += pruned
+        fragment = None
+        if record.plan is not None and not state["point"] \
+                and execution.materialize:
+            fragment = record.plan.fragments.get(table_name)
+            if fragment is not None and fragment.is_passthrough:
+                fragment = None
+        # Pushed predicate / projection / partial-agg work happens while
+        # the scan walks the entries, at a small per-entry surcharge.
+        per_entry_ms = self.costs.scan_entry_ms
+        if fragment is not None:
+            per_entry_ms += self.costs.pushed_filter_entry_ms
+            if fragment.partial is not None:
+                per_entry_ms += self.costs.partial_agg_entry_ms
         chunk = self.costs.scan_chunk_entries
         chunks = max(1, -(-entries // chunk))
         node = self.cluster.node(node_id)
@@ -569,19 +711,144 @@ class QueryService:
                 return  # query finished, or this shard's node died
             if remaining == 0:
                 self._shard_scanned(record, table_name, kind, node_id,
-                                    entries, attempt)
+                                    entries, attempt, fetch, fragment)
                 return
             # The final chunk is partial: bill only the entries left.
             done_entries = (chunks - remaining) * chunk
             entries_in_chunk = max(0, min(chunk, entries - done_entries))
             execution.entries_billed += entries_in_chunk
-            duration = entries_in_chunk * self.costs.scan_entry_ms
+            duration = entries_in_chunk * per_entry_ms
             # Successive chunks visit successive store partitions, so a
             # scan spreads over (and contends on) all partition threads.
             server = node.store_server(stripe + remaining)
             server.submit(duration, run_chunk, remaining - 1)
 
         run_chunk(chunks)
+
+    # -- scan pruning (partition selection) --------------------------------
+
+    def _table_for(self, table_name: str, kind: str):
+        if kind == "live":
+            return self.store.get_live_table(table_name)
+        return self.store.get_snapshot_table(table_name)
+
+    def _scan_targets(self, record: _InFlight, table_name: str,
+                      kind: str) -> list[int]:
+        """Nodes whose shards a table scan must visit.
+
+        With an exact key-set filter and every owner node alive, only
+        the owners are scanned; any doubt (range filters, dead owners
+        mid-reassignment) falls back to all survivors — pruning must
+        never lose rows, only skip provably-empty work."""
+        alive = self.cluster.surviving_node_ids()
+        plan = record.plan
+        if plan is None or not record.execution.materialize:
+            return list(alive)
+        fragment = plan.fragments.get(table_name)
+        if fragment is None or not isinstance(fragment.key_filter, KeySet):
+            return list(alive)
+        table = self._table_for(table_name, kind)
+        owners = sorted({
+            table.owner_node_of(key) for key in fragment.key_filter.keys
+        })
+        if owners and all(owner in alive for owner in owners):
+            return owners
+        return list(alive)
+
+    def _node_partition_count(self, table_name: str, kind: str,
+                              node_id: int) -> int:
+        table = self._table_for(table_name, kind)
+        partitions = getattr(table, "partitions_on_node", None)
+        if partitions is None:
+            return 0
+        return len(partitions(node_id))
+
+    def _scan_selection(
+        self, record: _InFlight, table_name: str, kind: str, node_id: int
+    ) -> tuple[int, Callable[[], list[dict]], int]:
+        """``(entries, fetch, partitions_pruned)`` for one node's shard.
+
+        When the fragment pins a key filter, the scan visits only the
+        partitions that can hold matching keys; ``fetch`` materialises
+        exactly those partitions' rows at scan-completion time."""
+        state = record.state
+        key_filter = None
+        if record.plan is not None and not state["point"] \
+                and record.execution.materialize:
+            fragment = record.plan.fragments.get(table_name)
+            if fragment is not None:
+                key_filter = fragment.key_filter
+        if key_filter is not None:
+            selection = self._select_partitions(
+                table_name, kind, node_id, record.snapshot_id, key_filter
+            )
+            if selection is not None:
+                return selection
+        entries = self._entries_on_node(table_name, kind, node_id,
+                                        record.snapshot_id)
+        fetch = self._full_shard_fetch(record, table_name, kind, node_id)
+        return entries, fetch, 0
+
+    def _select_partitions(self, table_name: str, kind: str, node_id: int,
+                           snapshot_id, key_filter):
+        """Partition-level pruning; ``None`` when the table or filter
+        shape does not support it (whole-shard scan instead)."""
+        if kind == "live":
+            table = self.store.get_live_table(table_name)
+            args: tuple = ()
+        else:
+            if isinstance(snapshot_id, list):
+                return None  # all-versions scans stay on the legacy path
+            table = self.store.get_snapshot_table(table_name)
+            args = (snapshot_id,)
+        if not hasattr(table, "rows_in_partition"):
+            return None  # incremental/LSM backends: no partition rows
+        partitions = table.partitions_on_node(node_id)
+        if isinstance(key_filter, KeySet):
+            # Exact key pinning is placement-stable: a key inserted
+            # mid-scan still hashes into a selected partition.
+            target = {
+                table.partition_of_key(key) for key in key_filter.keys
+            }
+            selected = [p for p in partitions if p in target]
+        elif kind == "snapshot":
+            # Zone-map range pruning: committed snapshots are immutable,
+            # so per-partition (min, max) key bounds computed at scan
+            # start stay valid for the whole scan.
+            selected = []
+            for partition in partitions:
+                bounds = table.partition_key_bounds(partition, *args)
+                if bounds is None or key_filter.overlaps(*bounds):
+                    selected.append(partition)
+        else:
+            # Live data moves under the scan: a range zone map computed
+            # now could hide rows inserted later, so ranges don't prune.
+            return None
+        entries = sum(
+            table.partition_entry_count(partition, *args)
+            for partition in selected
+        )
+
+        def fetch() -> list[dict]:
+            rows: list[dict] = []
+            for partition in selected:
+                rows.extend(table.rows_in_partition(partition, *args))
+            return rows
+
+        return entries, fetch, len(partitions) - len(selected)
+
+    def _full_shard_fetch(self, record: _InFlight, table_name: str,
+                          kind: str, node_id: int):
+        snapshot_id = record.snapshot_id
+        if kind == "live":
+            live = self.store.get_live_table(table_name)
+            return lambda: list(live.rows_on_node(node_id))
+        table = self.store.get_snapshot_table(table_name)
+        if isinstance(snapshot_id, list):
+            return lambda: list(
+                table.rows_all_versions_on_node(node_id, snapshot_id)
+            )
+        return lambda: list(table.rows_on_node(node_id, snapshot_id))
 
     def _entries_on_node(self, table_name: str, kind: str, node_id: int,
                          snapshot_id: int | list[int] | None) -> int:
@@ -595,59 +862,96 @@ class QueryService:
         return table.entries_on_node(node_id, snapshot_id)
 
     def _shard_scanned(self, record: _InFlight, table_name: str, kind: str,
-                       node_id: int, entries: int, attempt: int) -> None:
-        """Materialise this shard's rows *now* and ship them."""
+                       node_id: int, entries: int, attempt: int,
+                       fetch, fragment) -> None:
+        """Materialise this shard's rows *now*, run the pushed fragment
+        against them, and ship only what survives."""
         execution = record.execution
         state = record.state
-        snapshot_id = record.snapshot_id
+        lock_rows: list[dict] | None = None
         if not execution.materialize:
-            rows: list[dict] | int = self._row_count(
-                table_name, kind, node_id, snapshot_id
-            )
-        elif kind == "live":
-            table = self.store.get_live_table(table_name)
-            rows = list(table.rows_on_node(node_id))
-        elif isinstance(snapshot_id, list):
-            table = self.store.get_snapshot_table(table_name)
-            rows = list(
-                table.rows_all_versions_on_node(node_id, snapshot_id)
+            payload: list[dict] | int | PartialGroups = self._row_count(
+                table_name, kind, node_id, record.snapshot_id
             )
         else:
-            table = self.store.get_snapshot_table(table_name)
-            rows = list(table.rows_on_node(node_id, snapshot_id))
+            raws = fetch()
+            if fragment is not None:
+                accumulator = FragmentAccumulator(
+                    fragment, EvalContext(now_ms=self.sim.now)
+                )
+                # Repeatable read locks exactly the rows the query
+                # observes: the survivors of the pushed predicates.
+                lock_rows = [raw for raw in raws if accumulator.add(raw)]
+                payload = accumulator.payload()
+            else:
+                payload = raws
+                lock_rows = raws
         state["scanned"] += entries
-        self._ship_when_locked(record, table_name, kind, node_id, rows,
-                               attempt)
+        self._ship_when_locked(record, table_name, kind, node_id, payload,
+                               attempt, lock_rows)
 
     def _ship_when_locked(self, record: _InFlight, table_name: str,
-                          kind: str, node_id: int,
-                          rows: list[dict] | int, attempt: int) -> None:
-        """Ship a shard's rows, acquiring repeatable-read locks first."""
+                          kind: str, node_id: int, payload,
+                          attempt: int, lock_rows=None) -> None:
+        """Ship a shard's payload, acquiring repeatable-read locks first.
+
+        ``lock_rows`` are the raw rows to lock when they differ from the
+        shipped payload (projected rows / partial-aggregate states)."""
 
         def ship() -> None:
-            self._ship(record, table_name, node_id, rows, attempt)
+            self._ship(record, table_name, node_id, payload, attempt)
 
+        rows_to_lock = payload if lock_rows is None else lock_rows
         if (
             self.repeatable_read
             and kind == "live"
-            and not isinstance(rows, int)
+            and isinstance(rows_to_lock, list)
         ):
-            self._lock_rows(record.execution, table_name, rows, ship)
+            self._lock_rows(record.execution, table_name, rows_to_lock,
+                            ship)
         else:
             ship()
 
+    def _payload_nbytes(self, record: _InFlight, table_name: str,
+                        payload) -> int:
+        """Shipping bytes for one shard's payload.
+
+        The legacy path (and point lookups) bills a flat ``row_bytes``
+        per row; pushdown bills the actual surviving shape — projected
+        columns per row, or one fixed-width state per partial group —
+        which is precisely the bytes-on-the-wire saving the distributed
+        plan exists to create."""
+        costs = self.costs
+        if isinstance(payload, int):
+            return payload * costs.row_bytes
+        if isinstance(payload, PartialGroups):
+            per_group = (costs.row_overhead_bytes
+                         + payload.width() * costs.column_bytes)
+            return len(payload) * per_group
+        state = record.state
+        pushdown = record.plan is not None and not state["point"]
+        if pushdown:
+            fragment = record.plan.fragments.get(table_name)
+            if fragment is not None and not fragment.is_passthrough:
+                return sum(
+                    costs.row_overhead_bytes
+                    + len(row) * costs.column_bytes
+                    for row in payload
+                )
+        return len(payload) * costs.row_bytes
+
     def _ship(self, record: _InFlight, table_name: str, node_id: int,
-              rows: list[dict] | int, attempt: int) -> None:
+              payload, attempt: int) -> None:
         execution = record.execution
-        row_count = rows if isinstance(rows, int) else len(rows)
+        nbytes = self._payload_nbytes(record, table_name, payload)
         channel = ("query-result", execution.qid, table_name, node_id,
                    attempt)
         execution.channels.add(channel)
         self.cluster.network.send(
             node_id, execution.entry_node,
-            self._shard_arrived, record, table_name, node_id, rows,
-            attempt,
-            nbytes=row_count * self.costs.row_bytes,
+            self._shard_arrived, record, table_name, node_id, payload,
+            attempt, nbytes,
+            nbytes=nbytes,
             channel=channel,
         )
 
@@ -696,17 +1000,18 @@ class QueryService:
         granted_one()  # release the sentinel
 
     def _shard_arrived(self, record: _InFlight, table_name: str,
-                       node_id: int, rows: list[dict] | int,
-                       attempt: int) -> None:
+                       node_id: int, payload, attempt: int,
+                       nbytes: int) -> None:
         execution = record.execution
         state = record.state
         if execution.done or state["attempt"][table_name] != attempt:
             return  # stale shipment from a node that died mid-query
-        if isinstance(rows, int):
-            execution.rows_shipped += rows
+        if isinstance(payload, int):
+            execution.rows_shipped += payload
         else:
-            state["rows"][table_name].extend(rows)
-            execution.rows_shipped += len(rows)
+            state["rows"][table_name][node_id] = payload
+            execution.rows_shipped += len(payload)
+        execution.bytes_shipped += nbytes
         state["nodes"][table_name].discard(node_id)
         state["pending"] -= 1
         if state["pending"] == 0:
@@ -730,13 +1035,36 @@ class QueryService:
         if not execution.materialize:
             self._finish_execution(execution, None, None)
             return
-        catalog = DictCatalog()
-        for name, rows in record.state["rows"].items():
-            catalog.add(ListTable(name, tuple(rows)))
+        state = record.state
+        # Point lookups ship complete rows; the full statement (with the
+        # key predicate) runs centrally as before.
+        plan = record.plan if not state["point"] else None
+        context = EvalContext(now_ms=self.sim.now)
         try:
-            result = execute_select(
-                record.select, catalog, EvalContext(now_ms=self.sim.now)
-            )
+            if plan is not None and plan.partial is not None:
+                # Partial-aggregate merge: combine the per-node group
+                # states (sorted by node id for determinism), then
+                # finalise HAVING / ORDER BY / LIMIT centrally.
+                table_name = plan.select.table.name
+                per_node = state["rows"][table_name]
+                payloads = [per_node[n] for n in sorted(per_node)]
+                groups = merge_partial_groups(
+                    payloads, plan.partial, plan.select.table.binding
+                )
+                result = execute_grouped_select(
+                    plan.final_select, groups, context,
+                    scanned=sum(len(p) for p in payloads),
+                )
+            else:
+                catalog = DictCatalog()
+                for name, per_node in state["rows"].items():
+                    rows: list[dict] = []
+                    for n in sorted(per_node):
+                        rows.extend(per_node[n])
+                    catalog.add(ListTable(name, tuple(rows)))
+                statement = (plan.final_select if plan is not None
+                             else record.select)
+                result = execute_select(statement, catalog, context)
         except Exception as exc:  # surface SQL errors on the handle
             self._finish_execution(execution, None, exc)
             return
@@ -761,26 +1089,24 @@ def _lock_grant(locks, key, execution: QueryExecution,
     return granted
 
 
-def _extract_key_filter(where: Expr | None) -> object:
-    """Find a top-level ``key = <literal>`` / ``partitionKey = <literal>``
-    conjunct; returns :data:`NO_POINT_KEY` when absent."""
+def _extract_key_filter(where: Expr | None, binding: str = "") -> object:
+    """Keys a single-table query is pinned to.
+
+    Returns a non-empty tuple for ``key = <literal>``,
+    ``key IN (<literals>)`` or an OR-of-equality conjunct (each becomes
+    a multi-point get against the owners), or :data:`NO_POINT_KEY` when
+    the query needs a scan.  ``partitionKey`` works the same way."""
     if where is None:
         return NO_POINT_KEY
-    if isinstance(where, Binary) and where.op == "AND":
-        left = _extract_key_filter(where.left)
-        if left is not NO_POINT_KEY:
-            return left
-        return _extract_key_filter(where.right)
-    if isinstance(where, Binary) and where.op == "=":
-        sides = [(where.left, where.right), (where.right, where.left)]
-        for column, literal in sides:
-            if (
-                isinstance(column, Column)
-                and column.name in ("key", "partitionKey")
-                and isinstance(literal, Literal)
-                and literal.value is not None
-            ):
-                return literal.value
+    conjuncts = split_conjuncts(where)
+    for column in ("key", "partitionKey"):
+        key_filter = extract_key_filter(conjuncts, column, binding)
+        if isinstance(key_filter, KeySet):
+            keys = tuple(
+                key for key in key_filter.keys if key is not None
+            )
+            if 0 < len(keys) <= MAX_POINT_KEYS:
+                return keys
     return NO_POINT_KEY
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 from ..errors import SqlExecutionError
@@ -132,6 +133,14 @@ def execute_plan(plan: Plan, context: EvalContext) -> QueryResult:
     else:
         out_rows, columns = _execute_projection(select, rows, context)
 
+    final = _shape_output(select, out_rows, columns, context)
+    return QueryResult(columns=columns, rows=final, scanned=scanned)
+
+
+def _shape_output(select: Select, out_rows: list[dict],
+                  columns: list[str], context: EvalContext) -> list[dict]:
+    """The post-projection stages shared by every execution path:
+    DISTINCT, ORDER BY, OFFSET/LIMIT, and the final column strip."""
     if select.distinct:
         out_rows = _distinct(out_rows, columns)
 
@@ -143,7 +152,24 @@ def execute_plan(plan: Plan, context: EvalContext) -> QueryResult:
     if select.limit is not None:
         out_rows = out_rows[: select.limit]
 
-    final = [{col: row[col] for col in columns} for row in out_rows]
+    return [{col: row[col] for col in columns} for row in out_rows]
+
+
+def execute_grouped_select(select: Select, groups: dict,
+                           context: EvalContext,
+                           scanned: int = 0) -> QueryResult:
+    """Finalize a pre-aggregated SELECT from merged partial groups.
+
+    ``groups`` maps group-key tuples to ``{"row": representative bound
+    row, "accs": [Aggregate, ...]}`` with accumulators in
+    :func:`unique_aggregates` order — exactly the structure the central
+    aggregation builds, so HAVING/projection/ORDER/LIMIT semantics are
+    shared with :func:`execute_plan`.  Used by the distributed query
+    path after merging scan-side partial aggregates.
+    """
+    unique = unique_aggregates(select)
+    out_rows, columns = _finalize_groups(select, unique, groups, context)
+    final = _shape_output(select, out_rows, columns, context)
     return QueryResult(columns=columns, rows=final, scanned=scanned)
 
 
@@ -307,8 +333,11 @@ def _star_columns(rows: list[dict]) -> list[str]:
     return columns
 
 
-def _execute_aggregate(select: Select, rows: list[dict],
-                       context: EvalContext) -> tuple[list[dict], list[str]]:
+def unique_aggregates(select: Select) -> list[FuncCall]:
+    """The de-duplicated aggregate calls of a SELECT, in the canonical
+    items → HAVING → ORDER BY collection order.  Accumulator lists built
+    from the same SELECT are positionally aligned with this list, which
+    is what lets scan-side partial states merge with central ones."""
     aggregates: list[FuncCall] = []
     for item in select.items:
         collect_aggregates(item.expr, aggregates)
@@ -323,47 +352,62 @@ def _execute_aggregate(select: Select, rows: list[dict],
         if call not in seen:
             seen.add(call)
             unique.append(call)
+    return unique
+
+
+def new_group_accs(unique: list[FuncCall]) -> list:
+    """Fresh accumulators positionally aligned with ``unique``."""
+    return [
+        make_aggregate(
+            call.name,
+            bool(call.args) and isinstance(call.args[0], Star),
+            call.distinct,
+        )
+        for call in unique
+    ]
+
+
+def accumulate_group_row(unique: list[FuncCall], accs: list, row: dict,
+                         context: EvalContext) -> None:
+    """Feed one bound row into a group's accumulators."""
+    for call, acc in zip(unique, accs):
+        if call.args and not isinstance(call.args[0], Star):
+            acc.add(_eval(call.args[0], row, context, None))
+        else:
+            acc.add(1)
+
+
+def group_key(select: Select, row: dict, context: EvalContext) -> tuple:
+    """The hashable GROUP BY key of one bound row."""
+    return tuple(
+        _hashable(_eval(expr, row, context, None))
+        for expr in select.group_by
+    )
+
+
+def _execute_aggregate(select: Select, rows: list[dict],
+                       context: EvalContext) -> tuple[list[dict], list[str]]:
+    unique = unique_aggregates(select)
 
     groups: dict[tuple, dict] = {}
     for row in rows:
-        key = tuple(
-            _hashable(_eval(expr, row, context, None))
-            for expr in select.group_by
-        )
+        key = group_key(select, row, context)
         group = groups.get(key)
         if group is None:
-            group = {
-                "row": row,
-                "accs": [
-                    make_aggregate(
-                        call.name,
-                        bool(call.args)
-                        and isinstance(call.args[0], Star),
-                        call.distinct,
-                    )
-                    for call in unique
-                ],
-            }
+            group = {"row": row, "accs": new_group_accs(unique)}
             groups[key] = group
-        for call, acc in zip(unique, group["accs"]):
-            if call.args and not isinstance(call.args[0], Star):
-                acc.add(_eval(call.args[0], row, context, None))
-            else:
-                acc.add(1)
+        accumulate_group_row(unique, group["accs"], row, context)
 
+    return _finalize_groups(select, unique, groups, context)
+
+
+def _finalize_groups(select: Select, unique: list[FuncCall],
+                     groups: dict,
+                     context: EvalContext) -> tuple[list[dict], list[str]]:
+    """HAVING filter + projection over accumulated groups."""
     if not select.group_by and not groups:
         # Aggregates over an empty input produce one row (COUNT = 0).
-        groups[()] = {
-            "row": {},
-            "accs": [
-                make_aggregate(
-                    call.name,
-                    bool(call.args) and isinstance(call.args[0], Star),
-                    call.distinct,
-                )
-                for call in unique
-            ],
-        }
+        groups[()] = {"row": {}, "accs": new_group_accs(unique)}
 
     columns = [
         _output_name(item, position)
@@ -646,19 +690,35 @@ def _eval_like(expr: Like, row: dict, context: EvalContext,
     return (not result) if expr.negated else result
 
 
+#: Compiled LIKE patterns keyed by the raw pattern string.  Patterns are
+#: almost always literals, so the same handful recurs for every row of a
+#: scan; the bound guards against unbounded growth from data-derived
+#: patterns (``x LIKE y``).
+_LIKE_CACHE: dict[str, "re.Pattern[str]"] = {}
+_LIKE_CACHE_MAX = 1024
+
+
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex_parts = []
+        for ch in pattern:
+            if ch == "%":
+                regex_parts.append(".*")
+            elif ch == "_":
+                regex_parts.append(".")
+            else:
+                regex_parts.append(re.escape(ch))
+        compiled = re.compile("".join(regex_parts))
+        if len(_LIKE_CACHE) >= _LIKE_CACHE_MAX:
+            _LIKE_CACHE.clear()
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
 def _like_match(text: str, pattern: str) -> bool:
     """SQL LIKE with ``%`` and ``_`` wildcards (no escapes)."""
-    import re
-
-    regex_parts = []
-    for ch in pattern:
-        if ch == "%":
-            regex_parts.append(".*")
-        elif ch == "_":
-            regex_parts.append(".")
-        else:
-            regex_parts.append(re.escape(ch))
-    return re.fullmatch("".join(regex_parts), text) is not None
+    return _like_regex(pattern).fullmatch(text) is not None
 
 
 # -- stable entry points for incremental consumers ---------------------------
@@ -724,4 +784,19 @@ def render_expr(expr: Expr) -> str:
             f"({render_expr(expr.left)} {expr.op} "
             f"{render_expr(expr.right)})"
         )
+    if isinstance(expr, InList):
+        items = ", ".join(render_expr(item) for item in expr.items)
+        negated = "NOT " if expr.negated else ""
+        return f"{render_expr(expr.operand)} {negated}IN ({items})"
+    if isinstance(expr, Between):
+        negated = "NOT " if expr.negated else ""
+        return (f"{render_expr(expr.operand)} {negated}BETWEEN "
+                f"{render_expr(expr.low)} AND {render_expr(expr.high)}")
+    if isinstance(expr, Like):
+        negated = "NOT " if expr.negated else ""
+        return (f"{render_expr(expr.operand)} {negated}LIKE "
+                f"{render_expr(expr.pattern)}")
+    if isinstance(expr, IsNull):
+        negated = "NOT " if expr.negated else ""
+        return f"{render_expr(expr.operand)} IS {negated}NULL"
     return type(expr).__name__

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from .ast import Select, Union
 from .executor import render_expr
+from .fragments import DistributedPlan, KeyRange, KeySet, ScanFragment
 from .parser import parse
-from .planner import Catalog, Plan, plan_select
+from .planner import Catalog, Plan, conjoin, plan_select
 
 
 def explain(sql: str, catalog: Catalog) -> str:
@@ -72,6 +73,66 @@ def _render_output(select: Select, plan: Plan) -> str:
         )
     prefix = "select distinct" if select.distinct else "select"
     return f"{prefix}: {shape}"
+
+
+def render_distributed(select: Select, plan: DistributedPlan) -> list[str]:
+    """Render a distributed plan: the final (entry-node) fragment on
+    top, then each table's scan fragment with its pushed predicates,
+    projection, partial aggregation and key filter."""
+    lines: list[str] = [_render_output(select, None)]
+    final = plan.final_select
+    if plan.partial is not None:
+        calls = ", ".join(render_expr(c) for c in plan.partial.calls)
+        lines.append(f"  final: merge partial aggregates ({calls})")
+        if plan.partial.group_by:
+            keys = ", ".join(
+                render_expr(e) for e in plan.partial.group_by
+            )
+            lines.append(f"    group by: {keys}")
+    elif plan.residual is not None or final.joins:
+        lines.append("  final: join/filter shipped rows")
+    else:
+        lines.append("  final: concatenate shipped rows")
+    if final.having is not None:
+        lines.append(f"  having: {render_expr(final.having)}")
+    if plan.residual is not None:
+        lines.append(f"  residual filter: {render_expr(plan.residual)}")
+    for name in sorted(plan.fragments):
+        lines.extend(_render_fragment(plan.fragments[name]))
+    return lines
+
+
+def _render_fragment(fragment: ScanFragment) -> list[str]:
+    lines = [f"  scan: {fragment.table}"
+             + (f" AS {fragment.binding}"
+                if fragment.binding != fragment.table else "")]
+    if fragment.is_passthrough:
+        lines.append("    ship: all rows (no pushdown for this table)")
+        return lines
+    if fragment.pushed:
+        pushed = conjoin(list(fragment.pushed))
+        lines.append(f"    pushed filter: {render_expr(pushed)}")
+    if fragment.partial is not None:
+        calls = ", ".join(
+            render_expr(c) for c in fragment.partial.calls
+        )
+        lines.append(f"    partial aggregate: {calls}")
+    elif fragment.projection is not None:
+        lines.append("    projection: "
+                     + ", ".join(fragment.projection))
+    else:
+        lines.append("    projection: * (all columns)")
+    key_filter = fragment.key_filter
+    if isinstance(key_filter, KeySet):
+        lines.append(f"    key filter: {len(key_filter.keys)} pinned "
+                     "key(s) (partition pruning)")
+    elif isinstance(key_filter, KeyRange):
+        low = "-inf" if key_filter.low is None else repr(key_filter.low)
+        high = ("+inf" if key_filter.high is None
+                else repr(key_filter.high))
+        lines.append(f"    key filter: range {low} .. {high} "
+                     "(zone-map pruning on snapshots)")
+    return lines
 
 
 def _render_join(step) -> str:

@@ -1,0 +1,656 @@
+"""Distributed plan splitting: scan fragments vs. the final fragment.
+
+The query service executes a SELECT in two tiers.  Each storage node
+runs a :class:`ScanFragment` — the pushable WHERE conjuncts, the
+required-column projection, and (when the whole query decomposes) a
+partial-aggregation stage — and ships only the surviving projected rows
+or per-group partial states to the entry node.  The entry node then
+runs the *final* fragment: residual predicates, joins, merge/finalize
+of partials, HAVING, ORDER BY and LIMIT, reusing the central executor
+so both tiers share one set of SQL semantics.
+
+Splitting rules (all safety-first; anything unclear stays central):
+
+* A conjunct is pushed to a table iff every column it references
+  belongs to that table unambiguously — any column in a single-table
+  query, only binding-qualified columns once joins are involved
+  (unqualified names resolve against the merged row, where the left
+  side wins on collisions).
+* Only the base table and INNER-joined tables accept pushdown; rows of
+  a LEFT join's right side must reach the join un-filtered or the
+  null-extension changes.
+* ``LOCALTIMESTAMP`` pins a conjunct (or an aggregate) to the entry
+  node: scan-side evaluation would read the virtual clock at a
+  different instant.
+* Partial aggregation applies when the query is single-table, fully
+  pushed (no residual), uses only decomposable aggregates
+  (COUNT/SUM/AVG/MIN/MAX without DISTINCT), and group keys are
+  clock-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .ast import (
+    Between,
+    Binary,
+    CaseWhen,
+    Column,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Select,
+    Unary,
+    contains_aggregate,
+)
+from .executor import (
+    EvalContext,
+    accumulate_group_row,
+    bind_row,
+    eval_expr,
+    eval_predicate,
+    hashable_key,
+    new_group_accs,
+    unique_aggregates,
+)
+from .planner import (
+    collect_columns,
+    conjoin,
+    contains_local_timestamp,
+    split_conjuncts,
+)
+
+# -- key filters (partition pruning) ----------------------------------------
+
+
+@dataclass(frozen=True)
+class KeySet:
+    """The key column is restricted to an explicit set of values."""
+
+    keys: tuple
+
+    def contains(self, value: object) -> bool:
+        return value in self.keys
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """The key column is restricted to an interval (half-open allowed)."""
+
+    low: object | None = None
+    high: object | None = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def contains(self, value: object) -> bool:
+        try:
+            if self.low is not None:
+                if self.low_inclusive:
+                    if value < self.low:
+                        return False
+                elif value <= self.low:
+                    return False
+            if self.high is not None:
+                if self.high_inclusive:
+                    if value > self.high:
+                        return False
+                elif value >= self.high:
+                    return False
+        except TypeError:
+            return True  # incomparable types never justify pruning
+        return True
+
+    def overlaps(self, lo: object, hi: object) -> bool:
+        """Whether ``[lo, hi]`` (a partition's key span) intersects."""
+        try:
+            if self.low is not None:
+                if self.low_inclusive:
+                    if hi < self.low:
+                        return False
+                elif hi <= self.low:
+                    return False
+            if self.high is not None:
+                if self.high_inclusive:
+                    if lo > self.high:
+                        return False
+                elif lo >= self.high:
+                    return False
+        except TypeError:
+            return True
+        return True
+
+
+KeyFilter = KeySet | KeyRange
+
+
+def _is_key_column(expr: Expr, key_column: str, binding: str) -> bool:
+    return (
+        isinstance(expr, Column)
+        and expr.name == key_column
+        and expr.table in (None, binding)
+    )
+
+
+def _key_equality(expr: Expr, key_column: str, binding: str):
+    """``key = literal`` (either side) → the literal value, else None."""
+    if not isinstance(expr, Binary) or expr.op != "=":
+        return None
+    left, right = expr.left, expr.right
+    if _is_key_column(left, key_column, binding) and isinstance(
+        right, Literal
+    ):
+        return right
+    if _is_key_column(right, key_column, binding) and isinstance(
+        left, Literal
+    ):
+        return left
+    return None
+
+
+def _or_equality_keys(expr: Expr, key_column: str,
+                      binding: str) -> list | None:
+    """``key = a OR key = b OR ...`` → the key values, else None."""
+    if isinstance(expr, Binary) and expr.op == "OR":
+        left = _or_equality_keys(expr.left, key_column, binding)
+        if left is None:
+            return None
+        right = _or_equality_keys(expr.right, key_column, binding)
+        if right is None:
+            return None
+        return left + right
+    literal = _key_equality(expr, key_column, binding)
+    if literal is not None:
+        return [literal.value]
+    return None
+
+
+def _conjunct_key_filter(expr: Expr, key_column: str,
+                         binding: str) -> KeyFilter | None:
+    literal = _key_equality(expr, key_column, binding)
+    if literal is not None:
+        return KeySet((literal.value,))
+    if (
+        isinstance(expr, InList)
+        and not expr.negated
+        and _is_key_column(expr.operand, key_column, binding)
+        and all(isinstance(item, Literal) for item in expr.items)
+    ):
+        seen: list = []
+        for item in expr.items:
+            if item.value not in seen:
+                seen.append(item.value)
+        return KeySet(tuple(seen))
+    or_keys = _or_equality_keys(expr, key_column, binding)
+    if or_keys is not None:
+        unique: list = []
+        for value in or_keys:
+            if value not in unique:
+                unique.append(value)
+        return KeySet(tuple(unique))
+    if isinstance(expr, Binary) and expr.op in ("<", "<=", ">", ">="):
+        left, right = expr.left, expr.right
+        op = expr.op
+        if _is_key_column(right, key_column, binding) and isinstance(
+            left, Literal
+        ):
+            # literal OP key  ==  key FLIP(OP) literal
+            left, right = right, left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+        if _is_key_column(left, key_column, binding) and isinstance(
+            right, Literal
+        ):
+            value = right.value
+            if op == "<":
+                return KeyRange(high=value, high_inclusive=False)
+            if op == "<=":
+                return KeyRange(high=value)
+            if op == ">":
+                return KeyRange(low=value, low_inclusive=False)
+            return KeyRange(low=value)
+    if (
+        isinstance(expr, Between)
+        and not expr.negated
+        and _is_key_column(expr.operand, key_column, binding)
+        and isinstance(expr.low, Literal)
+        and isinstance(expr.high, Literal)
+    ):
+        return KeyRange(low=expr.low.value, high=expr.high.value)
+    return None
+
+
+def _intersect(first: KeyFilter | None,
+               second: KeyFilter | None) -> KeyFilter | None:
+    if first is None:
+        return second
+    if second is None:
+        return first
+    if isinstance(first, KeySet):
+        return KeySet(
+            tuple(key for key in first.keys if second.contains(key))
+        )
+    if isinstance(second, KeySet):
+        return KeySet(
+            tuple(key for key in second.keys if first.contains(key))
+        )
+    low, low_inc = first.low, first.low_inclusive
+    high, high_inc = first.high, first.high_inclusive
+    try:
+        if second.low is not None and (
+            low is None or second.low > low
+            or (second.low == low and not second.low_inclusive)
+        ):
+            low, low_inc = second.low, second.low_inclusive
+        if second.high is not None and (
+            high is None or second.high < high
+            or (second.high == high and not second.high_inclusive)
+        ):
+            high, high_inc = second.high, second.high_inclusive
+    except TypeError:
+        return first  # incomparable bounds: keep the looser filter
+    return KeyRange(low, high, low_inc, high_inc)
+
+
+def extract_key_filter(conjuncts: list[Expr], key_column: str,
+                       binding: str) -> KeyFilter | None:
+    """The tightest key restriction implied by top-level conjuncts.
+
+    Only conjuncts that will also be (re-)evaluated against the rows may
+    contribute — the filter is a pruning aid, never the only filter."""
+    combined: KeyFilter | None = None
+    for conjunct in conjuncts:
+        part = _conjunct_key_filter(conjunct, key_column, binding)
+        if part is not None:
+            combined = _intersect(combined, part)
+    return combined
+
+
+# -- fragments ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartialAggregate:
+    """Scan-side partial-aggregation stage of a decomposed GROUP BY."""
+
+    group_by: tuple[Expr, ...]
+    #: aggregate calls in :func:`unique_aggregates` order.
+    calls: tuple[FuncCall, ...]
+    #: raw column names the finalize stage reads outside aggregate args
+    #: (group-key columns, HAVING / ORDER BY references, ...).
+    rep_columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ScanFragment:
+    """What one storage node executes against one table's shards."""
+
+    table: str
+    binding: str
+    #: WHERE conjuncts evaluated scan-side (rows failing any are dropped).
+    pushed: tuple[Expr, ...] = ()
+    #: raw column names to ship; ``None`` ships every column.
+    projection: tuple[str, ...] | None = None
+    partial: PartialAggregate | None = None
+    #: key restriction implied by ``pushed`` (drives partition pruning).
+    key_filter: KeyFilter | None = None
+
+    @property
+    def is_passthrough(self) -> bool:
+        return (
+            not self.pushed
+            and self.projection is None
+            and self.partial is None
+        )
+
+
+@dataclass(frozen=True)
+class DistributedPlan:
+    """A SELECT split into per-table scan fragments + a final fragment."""
+
+    select: Select
+    #: the entry-node statement: original SELECT with WHERE replaced by
+    #: the residual conjuncts (joins/HAVING/ORDER/LIMIT untouched).
+    final_select: Select
+    fragments: dict[str, ScanFragment] = field(default_factory=dict)
+    residual: Expr | None = None
+    #: set iff the whole query runs as scan-side partial aggregation.
+    partial: PartialAggregate | None = None
+
+    def fragment(self, table: str) -> ScanFragment:
+        return self.fragments[table]
+
+
+#: Row fields every fragment retains regardless of projection: ``key``
+#: feeds repeatable-read locking and pruning audits, ``ssid`` keeps
+#: snapshot-version predicates re-checkable at the entry node.
+ALWAYS_KEPT_COLUMNS = ("key", "ssid", "partitionKey")
+
+
+def _collect_non_aggregate_columns(expr: Expr | None,
+                                   out: list[Column]) -> None:
+    """Like ``collect_columns`` but skips aggregate-call arguments —
+    those are consumed scan-side by the partial stage."""
+    if expr is None:
+        return
+    if isinstance(expr, FuncCall):
+        if contains_aggregate(expr):
+            for arg in expr.args:
+                if not contains_aggregate(arg):
+                    continue
+                _collect_non_aggregate_columns(arg, out)
+            return
+        for arg in expr.args:
+            _collect_non_aggregate_columns(arg, out)
+    elif isinstance(expr, Column):
+        out.append(expr)
+    elif isinstance(expr, Unary):
+        _collect_non_aggregate_columns(expr.operand, out)
+    elif isinstance(expr, Binary):
+        _collect_non_aggregate_columns(expr.left, out)
+        _collect_non_aggregate_columns(expr.right, out)
+    elif isinstance(expr, InList):
+        _collect_non_aggregate_columns(expr.operand, out)
+        for item in expr.items:
+            _collect_non_aggregate_columns(item, out)
+    elif isinstance(expr, Between):
+        _collect_non_aggregate_columns(expr.operand, out)
+        _collect_non_aggregate_columns(expr.low, out)
+        _collect_non_aggregate_columns(expr.high, out)
+    elif isinstance(expr, Like):
+        _collect_non_aggregate_columns(expr.operand, out)
+        _collect_non_aggregate_columns(expr.pattern, out)
+    elif isinstance(expr, IsNull):
+        _collect_non_aggregate_columns(expr.operand, out)
+    elif isinstance(expr, CaseWhen):
+        for condition, result in expr.branches:
+            _collect_non_aggregate_columns(condition, out)
+            _collect_non_aggregate_columns(result, out)
+        if expr.default is not None:
+            _collect_non_aggregate_columns(expr.default, out)
+
+
+def _referenced_columns(select: Select, residual: Expr | None,
+                        joins_central: bool) -> list[Column]:
+    """Every column the final fragment can still read."""
+    columns: list[Column] = []
+    for item in select.items:
+        collect_columns(item.expr, columns)
+    collect_columns(residual, columns)
+    for expr in select.group_by:
+        collect_columns(expr, columns)
+    collect_columns(select.having, columns)
+    for order in select.order_by:
+        collect_columns(order.expr, columns)
+    if joins_central:
+        for join in select.joins:
+            for name in join.using:
+                columns.append(Column(name))
+            if join.on is not None:
+                collect_columns(join.on, columns)
+    return columns
+
+
+def _projection_for(select: Select, binding: str,
+                    referenced: list[Column]) -> tuple[str, ...] | None:
+    """Raw columns table ``binding`` must ship, or None for all."""
+    if select.select_star:
+        return None
+    names: list[str] = []
+    for column in referenced:
+        if column.table in (None, binding) and column.name not in names:
+            names.append(column.name)
+    for name in ALWAYS_KEPT_COLUMNS:
+        if name not in names:
+            names.append(name)
+    return tuple(names)
+
+
+def _partial_aggregate_for(select: Select, pushed: list[Expr],
+                           residual: Expr | None) -> PartialAggregate | None:
+    """Decide scan-side partial aggregation for a single-table SELECT."""
+    if select.joins or residual is not None:
+        return None
+    is_aggregate = bool(select.group_by) or any(
+        contains_aggregate(item.expr) for item in select.items
+    )
+    if not is_aggregate or select.select_star:
+        return None
+    calls = unique_aggregates(select)
+    for call in calls:
+        if call.distinct:
+            return None
+        if any(contains_local_timestamp(arg) for arg in call.args):
+            return None
+    for expr in select.group_by:
+        if contains_local_timestamp(expr) or contains_aggregate(expr):
+            return None
+    rep: list[Column] = []
+    for item in select.items:
+        _collect_non_aggregate_columns(item.expr, rep)
+    for expr in select.group_by:
+        _collect_non_aggregate_columns(expr, rep)
+    _collect_non_aggregate_columns(select.having, rep)
+    for order in select.order_by:
+        _collect_non_aggregate_columns(order.expr, rep)
+    rep_columns: list[str] = []
+    for column in rep:
+        if column.name not in rep_columns:
+            rep_columns.append(column.name)
+    return PartialAggregate(
+        group_by=tuple(select.group_by),
+        calls=tuple(calls),
+        rep_columns=tuple(rep_columns),
+    )
+
+
+def split_select(select: Select) -> DistributedPlan:
+    """Split one SELECT into scan fragments and a final fragment."""
+    base_binding = select.table.binding
+    bindings: dict[str, str] = {select.table.name: base_binding}
+    duplicated: set[str] = set()
+    #: bindings whose scans may be filtered without changing semantics.
+    pushable: dict[str, str] = {base_binding: select.table.name}
+    for join in select.joins:
+        name = join.table.name
+        if name in bindings:
+            duplicated.add(name)
+        else:
+            bindings[name] = join.table.binding
+        if join.kind == "INNER":
+            pushable[join.table.binding] = name
+
+    single_table = not select.joins
+    pushed_by_table: dict[str, list[Expr]] = {
+        name: [] for name in bindings
+    }
+    residual_parts: list[Expr] = []
+    for conjunct in split_conjuncts(select.where):
+        if contains_local_timestamp(conjunct) or contains_aggregate(
+            conjunct
+        ):
+            residual_parts.append(conjunct)
+            continue
+        columns: list[Column] = []
+        collect_columns(conjunct, columns)
+        if single_table:
+            if all(
+                column.table in (None, base_binding) for column in columns
+            ):
+                pushed_by_table[select.table.name].append(conjunct)
+            else:
+                residual_parts.append(conjunct)
+            continue
+        qualifiers = {column.table for column in columns}
+        if len(qualifiers) == 1:
+            qualifier = next(iter(qualifiers))
+            if qualifier is not None and qualifier in pushable:
+                target = pushable[qualifier]
+                if target not in duplicated:
+                    pushed_by_table[target].append(conjunct)
+                    continue
+        residual_parts.append(conjunct)
+
+    residual = conjoin(residual_parts)
+    partial = _partial_aggregate_for(
+        select, pushed_by_table.get(select.table.name, []), residual
+    )
+
+    referenced = _referenced_columns(
+        select, residual, joins_central=bool(select.joins)
+    )
+    fragments: dict[str, ScanFragment] = {}
+    for name, binding in bindings.items():
+        if name in duplicated:
+            fragments[name] = ScanFragment(table=name, binding=binding)
+            continue
+        pushed = pushed_by_table[name]
+        key_filter = extract_key_filter(pushed, "key", binding)
+        fragments[name] = ScanFragment(
+            table=name,
+            binding=binding,
+            pushed=tuple(pushed),
+            projection=(
+                None if partial is not None
+                else _projection_for(select, binding, referenced)
+            ),
+            partial=partial if name == select.table.name else None,
+            key_filter=key_filter,
+        )
+
+    final_select = replace(select, where=residual)
+    return DistributedPlan(
+        select=select,
+        final_select=final_select,
+        fragments=fragments,
+        residual=residual,
+        partial=partial,
+    )
+
+
+# -- scan-side execution -----------------------------------------------------
+
+
+@dataclass
+class PartialGroups:
+    """Shipped payload of one node's partial-aggregation scan.
+
+    ``entries`` preserves group insertion order (first-seen row order on
+    that node), which the merge relies on to reproduce the central
+    executor's group ordering."""
+
+    entries: list  # of (group_key, representative_raw, accs)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def width(self) -> int:
+        """Shipped 'columns' per group (key + accumulators + rep)."""
+        if not self.entries:
+            return 0
+        key, rep, accs = self.entries[0]
+        return len(key) + len(accs) + len(rep)
+
+
+class FragmentAccumulator:
+    """Per-(table, node, attempt) scan-side state.
+
+    Rows are fed raw (as stored); the accumulator binds, filters,
+    projects, and — in partial mode — folds them into group states.
+    """
+
+    def __init__(self, fragment: ScanFragment,
+                 context: EvalContext) -> None:
+        self.fragment = fragment
+        self.context = context
+        self.rows: list[dict] = []
+        self.groups: dict[tuple, list] = {}
+        self._calls = (
+            list(fragment.partial.calls)
+            if fragment.partial is not None else []
+        )
+        self._keep = (
+            set(fragment.projection)
+            if fragment.projection is not None else None
+        )
+        self.survived = 0
+
+    def add(self, raw: dict) -> bool:
+        """Feed one raw row; returns True iff the row survived."""
+        fragment = self.fragment
+        bound = None
+        if fragment.pushed:
+            bound = bind_row(raw, fragment.binding)
+            for conjunct in fragment.pushed:
+                if not eval_predicate(conjunct, bound, self.context):
+                    return False
+        self.survived += 1
+        partial = fragment.partial
+        if partial is not None:
+            if bound is None:
+                bound = bind_row(raw, fragment.binding)
+            key = tuple(
+                hashable_key(eval_expr(expr, bound, self.context))
+                for expr in partial.group_by
+            )
+            group = self.groups.get(key)
+            if group is None:
+                rep = {
+                    name: raw[name]
+                    for name in partial.rep_columns
+                    if name in raw
+                }
+                group = [rep, new_group_accs(self._calls)]
+                self.groups[key] = group
+            accumulate_group_row(
+                self._calls, group[1], bound, self.context
+            )
+            return True
+        if self._keep is None:
+            self.rows.append(raw)
+        else:
+            keep = self._keep
+            self.rows.append(
+                {k: v for k, v in raw.items() if k in keep}
+            )
+        return True
+
+    def payload(self) -> "list[dict] | PartialGroups":
+        if self.fragment.partial is not None:
+            return PartialGroups(
+                entries=[
+                    (key, rep, accs)
+                    for key, (rep, accs) in self.groups.items()
+                ]
+            )
+        return self.rows
+
+
+def merge_partial_groups(payloads: list[PartialGroups],
+                         partial: PartialAggregate,
+                         binding: str) -> dict:
+    """Merge per-node partial groups into the central group structure.
+
+    ``payloads`` must arrive in canonical (node-id-sorted) order so the
+    merged insertion order — and each group's representative row —
+    matches what the central executor would have produced from the same
+    canonical row order.  Fresh accumulators are created here; shipped
+    ones are never mutated, so re-merging a payload after a retry of a
+    *different* node cannot corrupt state.
+    """
+    calls = list(partial.calls)
+    groups: dict[tuple, dict] = {}
+    for payload in payloads:
+        for key, rep, accs in payload.entries:
+            group = groups.get(key)
+            if group is None:
+                group = {
+                    "row": bind_row(rep, binding),
+                    "accs": new_group_accs(calls),
+                }
+                groups[key] = group
+            for mine, theirs in zip(group["accs"], accs):
+                mine.merge(theirs)
+    return groups

@@ -103,6 +103,13 @@ class Aggregate:
     def result(self) -> object:
         raise NotImplementedError
 
+    def merge(self, other: "Aggregate") -> None:
+        """Fold another partial accumulator of the same shape into this
+        one.  Merging is commutative and associative, so scan-side
+        partials can combine in any arrival order; merging a fresh
+        (empty) accumulator is the identity."""
+        raise NotImplementedError
+
 
 class CountAggregate(Aggregate):
     def __init__(self, count_star: bool, distinct: bool) -> None:
@@ -123,6 +130,13 @@ class CountAggregate(Aggregate):
     def result(self) -> object:
         return self._count
 
+    def merge(self, other: "CountAggregate") -> None:
+        if self._seen is not None:
+            self._seen |= other._seen or set()
+            self._count = len(self._seen)
+        else:
+            self._count += other._count
+
 
 class SumAggregate(Aggregate):
     def __init__(self, distinct: bool) -> None:
@@ -140,6 +154,20 @@ class SumAggregate(Aggregate):
 
     def result(self) -> object:
         return self._total
+
+    def merge(self, other: "SumAggregate") -> None:
+        if self._seen is not None:
+            self._seen |= other._seen or set()
+            self._total = None
+            for value in self._seen:
+                self._total = (
+                    value if self._total is None else self._total + value
+                )
+        elif other._total is not None:
+            self._total = (
+                other._total if self._total is None
+                else self._total + other._total
+            )
 
 
 class AvgAggregate(Aggregate):
@@ -163,6 +191,15 @@ class AvgAggregate(Aggregate):
             return None
         return self._total / self._count
 
+    def merge(self, other: "AvgAggregate") -> None:
+        if self._seen is not None:
+            self._seen |= other._seen or set()
+            self._total = float(sum(self._seen))
+            self._count = len(self._seen)
+        else:
+            self._total += other._total
+            self._count += other._count
+
 
 class MinAggregate(Aggregate):
     def __init__(self) -> None:
@@ -177,6 +214,9 @@ class MinAggregate(Aggregate):
     def result(self) -> object:
         return self._best
 
+    def merge(self, other: "MinAggregate") -> None:
+        self.add(other._best)
+
 
 class MaxAggregate(Aggregate):
     def __init__(self) -> None:
@@ -190,6 +230,9 @@ class MaxAggregate(Aggregate):
 
     def result(self) -> object:
         return self._best
+
+    def merge(self, other: "MaxAggregate") -> None:
+        self.add(other._best)
 
 
 def make_aggregate(name: str, count_star: bool, distinct: bool) -> Aggregate:

@@ -215,6 +215,20 @@ class IncrementalSnapshotTable:
 
         return self._node_of_instance(stable_hash(key) % self.parallelism)
 
+    def partitions_on_node(self, node_id: int) -> list[int]:
+        """Instance partitions a node hosts (node-level scan pruning;
+        chain reconstruction has no per-partition row API, so partition-
+        level pruning falls back to whole-node scans here)."""
+        return [
+            instance for instance in range(self.parallelism)
+            if self._node_of_instance(instance) == node_id
+        ]
+
+    def partition_of_key(self, key: Hashable) -> int:
+        from ..cluster.partition import stable_hash
+
+        return stable_hash(key) % self.parallelism
+
     def point_rows(self, key: Hashable, ssid: int) -> list[dict]:
         """The single (key, ssid) row, or empty (point lookup)."""
         from ..cluster.partition import stable_hash

@@ -60,6 +60,35 @@ class LiveStateTable:
     def get(self, key: Hashable, default: object = None) -> object:
         return self._imap.get(key, default)
 
+    # -- partition-granular access (distributed scan pruning) --------------
+
+    def partitions_on_node(self, node_id: int) -> list[int]:
+        return self._imap.partitions_on_node(node_id)
+
+    def partition_entry_count(self, partition: int) -> int:
+        return self._imap.partition_size(partition)
+
+    def partition_of_key(self, key: Hashable) -> int:
+        return self._imap.placement.partition_of(key)
+
+    def rows_in_partition(self, partition: int) -> Iterator[dict]:
+        for key, value in self._imap.partition_entries(partition):
+            yield live_row(key, value)
+
+    def partition_key_bounds(
+        self, partition: int
+    ) -> tuple[object, object] | None:
+        """(min, max) key of one partition — the zone map that lets a
+        range predicate skip the partition.  ``None`` when empty or the
+        keys are mutually incomparable."""
+        keys = [key for key, _ in self._imap.partition_entries(partition)]
+        if not keys:
+            return None
+        try:
+            return min(keys), max(keys)
+        except TypeError:
+            return None
+
     def owner_node_of(self, key: Hashable) -> int:
         """Node holding ``key`` (point-lookup routing)."""
         return self._imap.placement.owner_of(key)

@@ -151,6 +151,20 @@ class LsmSnapshotTable:
 
         return self._node_of_instance(stable_hash(key) % self.parallelism)
 
+    def partitions_on_node(self, node_id: int) -> list[int]:
+        """Instance partitions a node hosts (node-level scan pruning;
+        LSM reconstruction has no per-partition row API, so partition-
+        level pruning falls back to whole-node scans here)."""
+        return [
+            instance for instance in range(self.parallelism)
+            if self._node_of_instance(instance) == node_id
+        ]
+
+    def partition_of_key(self, key: Hashable) -> int:
+        from ..cluster.partition import stable_hash
+
+        return stable_hash(key) % self.parallelism
+
     def point_rows(self, key: Hashable, ssid: int) -> list[dict]:
         """A true MVCC point get against the instance's LSM store."""
         if ssid not in self._ssids:

@@ -111,6 +111,51 @@ class FullSnapshotTable:
 
         return self._node_of_instance(stable_hash(key) % self.parallelism)
 
+    # -- partition-granular access (distributed scan pruning) --------------
+    #
+    # Snapshot partitions coincide with operator instances; because a
+    # committed snapshot is immutable, partition selections and zone
+    # maps computed at scan start stay valid for the whole scan.
+
+    def partitions_on_node(self, node_id: int) -> list[int]:
+        return [
+            instance for instance in range(self.parallelism)
+            if self._node_of_instance(instance) == node_id
+        ]
+
+    def partition_of_key(self, key: Hashable) -> int:
+        from ..cluster.partition import stable_hash
+
+        return stable_hash(key) % self.parallelism
+
+    def partition_entry_count(self, partition: int, ssid: int) -> int:
+        snapshot = self._by_ssid.get(ssid)
+        if snapshot is None:
+            raise SnapshotNotFoundError(ssid)
+        return len(snapshot.get(partition, {}))
+
+    def rows_in_partition(self, partition: int,
+                          ssid: int) -> Iterator[dict]:
+        snapshot = self._by_ssid.get(ssid)
+        if snapshot is None:
+            raise SnapshotNotFoundError(ssid)
+        for key, value in snapshot.get(partition, {}).items():
+            yield snapshot_row(key, ssid, value)
+
+    def partition_key_bounds(
+        self, partition: int, ssid: int
+    ) -> tuple[object, object] | None:
+        snapshot = self._by_ssid.get(ssid)
+        if snapshot is None:
+            raise SnapshotNotFoundError(ssid)
+        keys = list(snapshot.get(partition, {}))
+        if not keys:
+            return None
+        try:
+            return min(keys), max(keys)
+        except TypeError:
+            return None
+
     def point_rows(self, key: Hashable, ssid: int) -> list[dict]:
         """The single (key, ssid) row, or empty (point lookup)."""
         from ..cluster.partition import stable_hash
