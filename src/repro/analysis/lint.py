@@ -1,0 +1,199 @@
+"""The AST lint engine: file walking, suppressions, and the baseline.
+
+The engine is deliberately small: it parses each Python file once,
+hands the tree to every selected rule (:mod:`repro.analysis.rules`),
+and collects :class:`Violation` records.  Two suppression mechanisms
+exist, both explicit:
+
+* an inline ``# lint: allow(<rule>)`` comment on the violating line
+  (append a reason after the closing parenthesis);
+* a committed baseline file (``analysis-baseline.txt``) listing known
+  pre-existing violations, so new code is held to the rules while the
+  backlog is burned down deliberately.
+
+Baseline entries are keyed by ``(rule, path, message)`` — not by line
+number — so unrelated edits that shift lines do not invalidate them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Directory names never descended into during a tree walk.
+SKIP_DIRS = {"__pycache__", ".git", "results", "fixtures"}
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([a-z0-9_,\- ]+)\)")
+_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class FileContext:
+    """Everything a rule needs to check one file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+
+    def allowed_rules_on_line(self, line: int) -> set[str]:
+        """Rules suppressed by an inline comment on ``line`` (1-based)."""
+        if not 1 <= line <= len(self.lines):
+            return set()
+        match = _ALLOW_RE.search(self.lines[line - 1])
+        if match is None:
+            return set()
+        return {part.strip() for part in match.group(1).split(",")}
+
+
+def discover_files(paths: Iterable[str | Path],
+                   skip_dirs: set[str] | None = None) -> list[Path]:
+    """Python files under ``paths``, sorted for deterministic output."""
+    skip = SKIP_DIRS if skip_dirs is None else skip_dirs
+    found: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path)
+            continue
+        for candidate in path.rglob("*.py"):
+            if any(part in skip for part in candidate.parts):
+                continue
+            found.add(candidate)
+    return sorted(found)
+
+
+def _display_path(path: Path) -> str:
+    """Path relative to the working directory when possible (stable
+    baseline keys regardless of absolute checkout location)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(path: Path, rules: Sequence) -> list[Violation]:
+    """Run ``rules`` over one file; syntax errors become violations."""
+    display = _display_path(path)
+    source = path.read_text(encoding="utf-8")
+    if _SKIP_FILE_RE.search(source):
+        return []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation("syntax", display, exc.lineno or 0,
+                          f"file does not parse: {exc.msg}")]
+    context = FileContext(display, source, tree)
+    violations: list[Violation] = []
+    for rule in rules:
+        for violation in rule.check(context):
+            if rule.name in context.allowed_rules_on_line(violation.line):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def lint_paths(paths: Iterable[str | Path],
+               rules: Sequence | None = None,
+               skip_dirs: set[str] | None = None) -> list[Violation]:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    ``rules`` defaults to :data:`repro.analysis.rules.ALL_RULES`.
+    """
+    if rules is None:
+        from .rules import ALL_RULES
+
+        rules = ALL_RULES
+    violations: list[Violation] = []
+    for path in discover_files(paths, skip_dirs):
+        violations.extend(lint_file(path, rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
+    return violations
+
+
+# -- baseline --------------------------------------------------------------
+
+_BASELINE_SEP = "\t"
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Parse a baseline file into a multiset of violation keys.
+
+    Lines are ``rule<TAB>path<TAB>message``; blank lines and ``#``
+    comments (the place to justify each entry) are ignored.
+    """
+    baseline: Counter = Counter()
+    path = Path(path)
+    if not path.exists():
+        return baseline
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(_BASELINE_SEP, 2)
+        if len(parts) != 3:
+            continue
+        baseline[tuple(parts)] += 1
+    return baseline
+
+
+def filter_baselined(
+    violations: Iterable[Violation], baseline: Counter
+) -> tuple[list[Violation], int]:
+    """Split violations into (new, suppressed-by-baseline count)."""
+    remaining = Counter(baseline)
+    fresh: list[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        if remaining[violation.key] > 0:
+            remaining[violation.key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(violation)
+    return fresh, suppressed
+
+
+def write_baseline(path: str | Path,
+                   violations: Iterable[Violation]) -> None:
+    """Write the current violations as the new baseline."""
+    lines = [
+        "# repro.analysis lint baseline — known pre-existing violations.",
+        "# Each entry must carry a justification comment; burn entries",
+        "# down by fixing the code, then regenerate with:",
+        "#   python -m repro.analysis lint --write-baseline",
+        "# Format: rule<TAB>path<TAB>message",
+    ]
+    for violation in sorted(set(v.key for v in violations)):
+        lines.append(_BASELINE_SEP.join(violation))
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def iter_rule_violations(context: FileContext, rule_name: str,
+                         findings: Iterable[tuple[int, str]]
+                         ) -> Iterator[Violation]:
+    """Helper for rules: wrap ``(line, message)`` pairs as violations."""
+    for line, message in findings:
+        yield Violation(rule_name, context.path, line, message)

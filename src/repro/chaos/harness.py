@@ -61,10 +61,18 @@ class ChaosHarness:
     be replayed exactly from ``(seed, workload)``.
     """
 
+    #: Seed used when the caller does not supply one.  ``Random(None)``
+    #: would seed from the OS — the one source of nondeterminism in an
+    #: otherwise bit-reproducible simulation — so an omitted seed means
+    #: this constant, not the wall clock.
+    DEFAULT_SEED = 23
+
     def __init__(self, env: Environment, seed: int | None = None) -> None:
         self.env = env
         self.cluster = env.cluster
-        self.rng = random.Random(seed)
+        self.rng = random.Random(
+            self.DEFAULT_SEED if seed is None else seed
+        )
         self.events: list[ChaosEvent] = []
         self.log: list[ExecutedEvent] = []
         self.kills_executed = 0

@@ -311,6 +311,44 @@ VANILLA = SQueryConfig(live_state=False, snapshot_state=False)
 
 
 @dataclass(frozen=True)
+class SanitizerConfig:
+    """Runtime invariant sanitizers (``repro.analysis.sanitizers``).
+
+    When ``enabled``, constructing an :class:`~repro.env.Environment`
+    installs detection wrappers around the state store, every query
+    service, and every node's worker pools and store servers.  The
+    individual flags arm one detector each; all are cheap guards except
+    ``snapshot_fingerprints``, which hashes committed snapshot contents
+    to catch in-place mutation that bypasses the store API (O(state)
+    per verification — leave it to targeted tests and the CI smoke).
+
+    ``fail_fast`` raises :class:`~repro.errors.SanitizerError` at the
+    violation site; otherwise violations accumulate on the runtime for
+    later inspection via :meth:`SanitizerRuntime.verify`.
+    """
+
+    enabled: bool = False
+    #: Writes/drops against an already-committed snapshot version.
+    snapshot_immutability: bool = True
+    #: Content hashes of committed snapshots, re-checked at verify().
+    snapshot_fingerprints: bool = False
+    #: Key locks still held by a query after it completed.
+    lock_leaks: bool = True
+    #: Isolation/billing misclassification and unbilled shipments.
+    billing: bool = True
+    #: Pool/server submissions on nodes that are not alive.
+    dead_node_scheduling: bool = True
+    fail_fast: bool = True
+
+    def validate(self) -> None:
+        if self.snapshot_fingerprints and not self.snapshot_immutability:
+            raise ConfigurationError(
+                "snapshot_fingerprints requires snapshot_immutability "
+                "(the fingerprint hooks ride on the immutability wraps)"
+            )
+
+
+@dataclass(frozen=True)
 class JobConfig:
     """Execution parameters of one streaming job."""
 

@@ -136,6 +136,11 @@ class ContinuousQueryService:
             arrangement = self.arrangements.get(table)
             if arrangement is not None:
                 arrangement.remove_reader(reader, rollback_cb)
+        # Release the push channel's FIFO floor: without this, every
+        # subscription ever cancelled would leave a row in the network's
+        # channel table, and a future subscription reusing the id would
+        # inherit a stale ordering floor.
+        self.cluster.network.close_channel(("push", subscription.id))
 
     def on_rollback_recovery(self, committed_ssid: int | None) -> None:
         """Called by recovery after every instance's state is restored:

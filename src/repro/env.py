@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from .cluster import Cluster
-from .config import ClusterConfig, CostModel
+from .config import ClusterConfig, CostModel, SanitizerConfig
 from .kvstore import StateStore
 from .simtime import Simulator
 
@@ -16,7 +16,8 @@ class Environment:
     """
 
     def __init__(self, cluster_config: ClusterConfig | None = None,
-                 costs: CostModel | None = None, seed: int = 7) -> None:
+                 costs: CostModel | None = None, seed: int = 7,
+                 sanitizers: SanitizerConfig | None = None) -> None:
         self.sim = Simulator(seed)
         self.cluster = Cluster(self.sim, cluster_config, costs)
         self.store = StateStore(self.cluster)
@@ -26,6 +27,21 @@ class Environment:
         #: itself here, so rollback recovery can flag in-flight live
         #: queries and observability can sum retry/abort counters.
         self.query_services: list = []
+        #: The armed SanitizerRuntime, or ``None``.  An explicit
+        #: ``sanitizers=SanitizerConfig(enabled=True)`` arms the runtime
+        #: invariant detectors; with no argument the process-wide default
+        #: applies (set by the test suite, off in production).
+        self.sanitizers = None
+        from_default = False
+        if sanitizers is None:
+            from .analysis.sanitizers import default_config
+            sanitizers = default_config()
+            from_default = sanitizers is not None
+        if sanitizers is not None and sanitizers.enabled:
+            from .analysis.sanitizers import install_sanitizers
+            self.sanitizers = install_sanitizers(
+                self, sanitizers, from_default=from_default
+            )
 
     @property
     def costs(self) -> CostModel:

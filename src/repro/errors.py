@@ -127,3 +127,10 @@ class QueryTimeoutError(QueryAbortedError):
 class InvariantViolationError(ReproError):
     """A fault-injection scenario left the system in a state that
     violates one of the chaos harness's invariants."""
+
+
+class SanitizerError(InvariantViolationError):
+    """A runtime sanitizer (``repro.analysis.sanitizers``) detected an
+    invariant violation — snapshot mutation after commit, a lock leaked
+    past query completion, an unbilled or misclassified query, or an
+    event scheduled on a dead node — while fail-fast mode was on."""

@@ -57,6 +57,8 @@ class ClusterReport:
     push_batches_sent: int = 0
     push_batches_coalesced: int = 0
     subscription_rescans: int = 0
+    # runtime sanitizers (zero unless armed via SanitizerConfig)
+    sanitizer_violations: int = 0
 
     def hottest_pool(self) -> tuple[int, str, float]:
         """(node, pool kind, utilisation) of the busiest worker pool."""
@@ -112,6 +114,9 @@ def collect_report(env: Environment) -> ClusterReport:
         report.push_batches_sent = continuous.batches_sent
         report.push_batches_coalesced = continuous.batches_coalesced
         report.subscription_rescans = continuous.rescans_run
+    sanitizers = getattr(env, "sanitizers", None)
+    if sanitizers is not None:
+        report.sanitizer_violations = len(sanitizers.violations)
     return report
 
 
@@ -162,5 +167,10 @@ def format_report(report: ClusterReport) -> str:
             f"{report.push_batches_sent:,} batches "
             f"({report.push_batches_coalesced:,} coalesced), "
             f"{report.subscription_rescans:,} rescans"
+        )
+    if report.sanitizer_violations:
+        footer += (
+            f"\nsanitizers: {report.sanitizer_violations:,} invariant "
+            "violations detected"
         )
     return f"{table}\n{footer}"

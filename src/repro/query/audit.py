@@ -15,10 +15,17 @@ across snapshot versions.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
 from ..errors import QueryError
+
+#: Process-wide monotonic audit ids.  Never key scheduled work on
+#: ``id(report)``: CPython recycles object addresses, so two audits
+#: alive at different times could collide on the pool's per-key FIFO
+#: and serialize (or reorder) work that should be independent.
+_audit_ids = itertools.count(1)
 
 
 @dataclass
@@ -44,6 +51,7 @@ class AuditReport:
     completed_ms: float | None = None
     tables: dict[str, TableAudit] = field(default_factory=dict)
     on_done: Callable[["AuditReport"], None] | None = None
+    aid: int = field(default_factory=_audit_ids.__next__)
 
     @property
     def done(self) -> bool:
@@ -97,7 +105,7 @@ class StateAuditor:
         )
         node = self._next_entry_node()
         pool = self.cluster.node(node).query_pool
-        pool.submit(("audit", id(report)), duration,
+        pool.submit(("audit", report.aid), duration,
                     self._complete, report, versions)
         return report
 
@@ -145,7 +153,7 @@ class StateAuditor:
         node = self._next_entry_node()
         pool = self.cluster.node(node).query_pool
         pool.submit(
-            ("audit", id(report)), duration,
+            ("audit", report.aid), duration,
             self._complete_history, report, snap_name, versions,
         )
         return report

@@ -1,0 +1,21 @@
+"""Billing fixture: unbilled sends and an orphaned report counter."""
+
+
+def ship_unbilled(cluster, src, dst, deliver, payload):
+    cluster.network.send(src, dst, deliver, payload)  # VIOLATION
+
+
+def ship_unbilled_bare(network, src, dst, deliver):
+    network.send(src, dst, deliver)  # VIOLATION: no nbytes=
+
+
+class ClusterReport:
+    horizon_ms: float
+    messages: int = 0
+    orphaned_counter: int = 0  # VIOLATION: never rolled up below
+
+
+def collect_report(env):
+    report = ClusterReport()
+    report.messages = env.cluster.network.messages_sent
+    return report

@@ -1,0 +1,32 @@
+"""Determinism-rule fixture: every statement here should be flagged."""
+
+import datetime
+import os
+import random
+import time
+import uuid
+
+
+def wall_clock():
+    started = time.time()  # VIOLATION: wall-clock read
+    elapsed = time.perf_counter()  # VIOLATION: wall-clock read
+    stamp = datetime.datetime.now()  # VIOLATION: wall-clock read
+    return started, elapsed, stamp
+
+
+def entropy():
+    rng = random.Random()  # VIOLATION: unseeded Random
+    draw = random.random()  # VIOLATION: process-global stream
+    pick = random.choice([1, 2, 3])  # VIOLATION: process-global stream
+    token = uuid.uuid4()  # VIOLATION: entropy source
+    raw = os.urandom(8)  # VIOLATION: entropy source
+    return rng, draw, pick, token, raw
+
+
+def set_order(counters):
+    out = []
+    for key in {"b", "a", "c"}:  # VIOLATION: set iteration order
+        out.append(key)
+    out.extend(list(set(counters)))  # VIOLATION: list(set(...))
+    k, v = counters.popitem()  # VIOLATION: popitem order
+    return out, k, v

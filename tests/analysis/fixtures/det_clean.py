@@ -1,0 +1,22 @@
+"""Determinism-rule fixture: nothing here should be flagged."""
+
+import random
+
+
+def virtual_clock(sim):
+    return sim.now
+
+
+def seeded(seed):
+    rng = random.Random(seed)
+    explicit = random.Random(x=42)
+    return rng.random(), explicit.random()
+
+
+def set_order(counters):
+    out = []
+    for key in sorted({"b", "a", "c"}):
+        out.append(key)
+    out.extend(sorted(set(counters)))
+    value = counters.pop("a", None)
+    return out, value

@@ -1,0 +1,24 @@
+"""Lock-pairing fixture: leaky acquire patterns, all flagged."""
+
+
+def early_return_leak(locks, key, owner, ready):
+    locks.acquire(key, owner)
+    if not ready:
+        return None  # VIOLATION: returns while the lock is held
+    locks.release(key, owner)
+    return True
+
+
+def raise_leak(locks, key, owner, value):
+    locks.acquire(key, owner)
+    if value < 0:
+        raise ValueError(value)  # VIOLATION: raises while held
+    locks.release(key, owner)
+
+
+def ignored_try_acquire(locks, key, owner):
+    locks.try_acquire(key, owner)  # VIOLATION: result ignored
+
+
+def held_at_end(locks, key, owner):
+    locks.acquire(key, owner)  # VIOLATION: never released

@@ -1,0 +1,28 @@
+"""Lock-pairing fixture: disciplined acquire patterns, none flagged."""
+
+
+def balanced(locks, key, owner):
+    locks.acquire(key, owner)
+    locks.release(key, owner)
+
+
+def finally_protected(locks, key, owner, work):
+    locks.acquire(key, owner)
+    try:
+        if not work:
+            return None
+        return work()
+    finally:
+        locks.release(key, owner)
+
+
+def granted_handover(locks, key, owner, on_granted):
+    # The callback owns the release; the runtime sanitizer checks it.
+    locks.acquire(key, owner, granted=on_granted)
+
+
+def checked_try_acquire(locks, key, owner):
+    if locks.try_acquire(key, owner):
+        locks.release(key, owner)
+        return True
+    return False

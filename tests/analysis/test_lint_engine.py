@@ -1,0 +1,158 @@
+"""Engine-level tests: suppressions, baseline, CLI, and repo cleanliness."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Violation,
+    filter_baselined,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.__main__ import DEFAULT_SCAN_PATHS, main, repo_root
+from repro.analysis.rules import rules_by_name
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def write_module(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+# -- inline suppressions --------------------------------------------------
+
+
+def test_inline_allow_suppresses_one_line(tmp_path):
+    path = write_module(tmp_path, (
+        "import time\n"
+        "def f():\n"
+        "    a = time.time()  # lint: allow(determinism) boot stamp\n"
+        "    b = time.time()\n"
+        "    return a, b\n"
+    ))
+    violations = lint_paths([path], rules_by_name(["determinism"]))
+    assert [v.line for v in violations] == [4]
+
+
+def test_skip_file_pragma_suppresses_whole_file(tmp_path):
+    path = write_module(tmp_path, (
+        "# lint: skip-file — generated\n"
+        "import time\n"
+        "def f():\n"
+        "    return time.time()\n"
+    ))
+    assert lint_paths([path]) == []
+
+
+def test_syntax_error_becomes_violation(tmp_path):
+    path = write_module(tmp_path, "def broken(:\n")
+    violations = lint_paths([path])
+    assert len(violations) == 1
+    assert violations[0].rule == "syntax"
+
+
+def test_fixture_directories_are_skipped_in_tree_walks(tmp_path):
+    nested = tmp_path / "fixtures"
+    nested.mkdir()
+    write_module(nested, "import time\nx = time.time()\n")
+    assert lint_paths([tmp_path]) == []
+
+
+# -- baseline -------------------------------------------------------------
+
+
+def test_baseline_roundtrip_suppresses_known_violations(tmp_path):
+    violations = [
+        Violation("determinism", "a.py", 3, "wall-clock read"),
+        Violation("billing", "b.py", 7, "unbilled send"),
+    ]
+    baseline_path = tmp_path / "baseline.txt"
+    write_baseline(baseline_path, violations)
+    fresh, suppressed = filter_baselined(
+        violations, load_baseline(baseline_path)
+    )
+    assert fresh == []
+    assert suppressed == 2
+
+
+def test_baseline_is_line_number_independent(tmp_path):
+    baseline_path = tmp_path / "baseline.txt"
+    write_baseline(baseline_path,
+                   [Violation("billing", "a.py", 10, "unbilled send")])
+    moved = Violation("billing", "a.py", 99, "unbilled send")
+    fresh, suppressed = filter_baselined(
+        [moved], load_baseline(baseline_path)
+    )
+    assert fresh == []
+    assert suppressed == 1
+
+
+def test_baseline_is_a_multiset_not_a_set(tmp_path):
+    baseline_path = tmp_path / "baseline.txt"
+    one = Violation("billing", "a.py", 1, "unbilled send")
+    write_baseline(baseline_path, [one])
+    # Two identical violations, one baseline entry: one stays fresh.
+    fresh, suppressed = filter_baselined(
+        [one, Violation("billing", "a.py", 2, "unbilled send")],
+        load_baseline(baseline_path),
+    )
+    assert suppressed == 1
+    assert len(fresh) == 1
+
+
+def test_missing_baseline_means_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.txt") == {}
+
+
+# -- CLI ------------------------------------------------------------------
+
+
+def test_cli_exit_zero_on_clean_path(tmp_path, capsys):
+    write_module(tmp_path, "def f():\n    return 1\n")
+    code = main(["lint", "--path", str(tmp_path), "--no-baseline"])
+    assert code == 0
+    assert "0 violations" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_violations(capsys):
+    code = main(["lint", "--path", str(FIXTURES / "det_bad.py"),
+                 "--no-baseline"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[determinism]" in out
+
+
+def test_cli_rule_filter(capsys):
+    code = main(["lint", "--path", str(FIXTURES / "det_bad.py"),
+                 "--rule", "billing", "--no-baseline"])
+    assert code == 0
+
+
+def test_cli_write_then_pass_with_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.txt"
+    bad = str(FIXTURES / "lock_bad.py")
+    assert main(["lint", "--path", bad, "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
+    assert main(["lint", "--path", bad,
+                 "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_cli_unknown_rule_rejected():
+    with pytest.raises(SystemExit):
+        main(["lint", "--rule", "no-such-rule"])
+
+
+# -- the repo itself ------------------------------------------------------
+
+
+def test_repository_is_lint_clean():
+    """The committed tree passes every rule with no baseline at all."""
+    root = repo_root(Path(__file__))
+    paths = [root / p for p in DEFAULT_SCAN_PATHS if (root / p).exists()]
+    violations = lint_paths(paths)
+    assert violations == [], "\n".join(v.format() for v in violations)

@@ -118,7 +118,7 @@ def test_invariants_clean_on_fresh_env(env4):
 
 
 def test_invariants_flag_leaked_lock(env4):
-    env4.store.locks.try_acquire(("t", 1), "leaker")
+    assert env4.store.locks.try_acquire(("t", 1), "leaker")
     violations = check_invariants(env4)
     assert any("leaked" in v for v in violations)
     with pytest.raises(InvariantViolationError):
@@ -152,3 +152,26 @@ def test_snapshot_fingerprint_is_order_independent():
     c = QueryResult(columns=["key", "count"],
                     rows=[{"key": 1, "count": 2}, {"key": 2, "count": 6}])
     assert snapshot_fingerprint(a) != snapshot_fingerprint(c)
+
+
+def test_unseeded_harness_is_deterministic():
+    """An omitted seed must mean a fixed default, never the wall clock:
+    two unseeded harnesses plan identical fault schedules."""
+    def plan():
+        env = Environment(ClusterConfig(nodes=4))
+        chaos = ChaosHarness(env)
+        events = chaos.plan_random(horizon_ms=2_000.0, kills=3,
+                                   restart_after_ms=250.0)
+        return [(e.at_ms, e.action, e.node_id) for e in events]
+
+    assert plan() == plan()
+
+
+def test_explicit_seed_still_wins_over_default():
+    env = Environment(ClusterConfig(nodes=4))
+    seeded = ChaosHarness(env, seed=ChaosHarness.DEFAULT_SEED + 1)
+    default = ChaosHarness(Environment(ClusterConfig(nodes=4)))
+    a = seeded.plan_random(horizon_ms=2_000.0, kills=3)
+    b = default.plan_random(horizon_ms=2_000.0, kills=3)
+    assert [(e.at_ms, e.node_id) for e in a] \
+        != [(e.at_ms, e.node_id) for e in b]

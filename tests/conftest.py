@@ -18,6 +18,33 @@ from repro import (
 )
 from repro.dataflow import Job
 from repro.dataflow.sources import CallableSource
+from repro.analysis.sanitizers import drain_runtimes, set_default_config
+from repro.config import SanitizerConfig
+
+
+@pytest.fixture(autouse=True)
+def _armed_sanitizers():
+    """Arm the cheap runtime sanitizers for every test environment.
+
+    Each ``Environment`` built while this fixture is active gets the
+    fail-fast invariant detectors (snapshot immutability, lock leaks,
+    billing classification, dead-node scheduling); a violation raises
+    :class:`repro.errors.SanitizerError` at the offending call.  The
+    O(state) fingerprint pass stays off — the CI smoke covers it.
+
+    End-of-test ``verify()`` runs only for runtimes armed through this
+    default: sanitizer tests that pass an explicit config (to trigger
+    violations on purpose) are left alone.
+    """
+    set_default_config(SanitizerConfig(enabled=True, fail_fast=True))
+    try:
+        yield
+    finally:
+        set_default_config(None)
+        runtimes = drain_runtimes()
+    for runtime in runtimes:
+        if runtime.from_default:
+            runtime.verify()
 
 
 @pytest.fixture

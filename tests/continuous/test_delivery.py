@@ -113,3 +113,20 @@ def test_cancellation_stops_delivery(env):
     assert sub.batches_received == received
     assert not sub.active
     assert env.continuous.active_subscriptions == 0
+
+
+def test_unsubscribe_closes_push_channel(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=1000)
+    service = QueryService(env)
+    job.start()
+    env.run_for(100)
+    sub = service.subscribe(SQL)
+    env.run_for(500)
+    network = env.cluster.network
+    assert ("push", sub.id) in network._last_delivery
+    env.continuous.unsubscribe(sub)
+    # The channel's FIFO floor is released at cancellation, so the
+    # table does not grow with every subscription ever cancelled and a
+    # reused id cannot inherit a stale floor.
+    assert ("push", sub.id) not in network._last_delivery

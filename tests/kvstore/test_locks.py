@@ -15,14 +15,14 @@ def test_try_acquire_free_key():
 
 def test_try_acquire_held_key_fails():
     locks = LockManager()
-    locks.try_acquire("k", "o1")
+    assert locks.try_acquire("k", "o1")
     assert not locks.try_acquire("k", "o2")
     assert locks.holder_of("k") == "o1"
 
 
 def test_release_frees_key():
     locks = LockManager()
-    locks.try_acquire("k", "o1")
+    assert locks.try_acquire("k", "o1")
     locks.release("k", "o1")
     assert not locks.is_locked("k")
 
@@ -34,7 +34,7 @@ def test_release_unlocked_key_raises():
 
 def test_release_by_non_owner_raises():
     locks = LockManager()
-    locks.try_acquire("k", "o1")
+    assert locks.try_acquire("k", "o1")
     with pytest.raises(LockError):
         locks.release("k", "o2")
 
@@ -75,9 +75,9 @@ def test_contention_counter():
 def test_release_all_for_owner():
     locks = LockManager()
     owner = object()
-    locks.try_acquire("k1", owner)
-    locks.try_acquire("k2", owner)
-    locks.try_acquire("k3", "other")
+    assert locks.try_acquire("k1", owner)
+    assert locks.try_acquire("k2", owner)
+    assert locks.try_acquire("k3", "other")
     assert locks.release_all(owner) == 2
     assert not locks.is_locked("k1")
     assert locks.is_locked("k3")
@@ -87,7 +87,7 @@ def test_release_all_hands_over_to_waiters():
     locks = LockManager()
     owner = object()
     grants = []
-    locks.try_acquire("k", owner)
+    assert locks.try_acquire("k", owner)
     locks.acquire("k", "w", granted=lambda: grants.append("w"))
     locks.release_all(owner)
     assert grants == ["w"]

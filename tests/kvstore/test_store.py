@@ -128,6 +128,7 @@ def test_key_lock_helpers(env):
     assert not store.lock_key("m", "k", "other")
     store.unlock_key("m", "k", "owner")
     assert store.lock_key("m", "k", "other")
+    store.unlock_key("m", "k", "other")
 
 
 def test_node_failure_hash_placed_map_survives_via_backups(env):

@@ -64,5 +64,6 @@ def test_acquisition_accounting(schedule):
     assert locks.acquisitions == immediate
     # Exactly the distinct keys are locked.
     assert sum(
-        1 for key in {k for k, _ in schedule} if locks.is_locked(key)
+        1 for key in dict.fromkeys(k for k, _ in schedule)
+        if locks.is_locked(key)
     ) == immediate

@@ -104,3 +104,24 @@ def test_on_done_callback(qcommerce_env):
     env.run_for(200)
     assert len(seen) == 1
     assert auditor.audits_executed >= 1
+
+
+def test_audit_pool_keys_are_monotonic_not_recycled(env):
+    """Pool jobs are keyed by a monotonic audit id: ``id(report)``
+    would let CPython recycle the address of a dead report into a new
+    one, colliding two unrelated audits on the per-key FIFO."""
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend, rate=2000,
+                            limit_per_instance=300)
+    job.start()
+    env.run_until(1_500)
+    auditor = StateAuditor(env)
+    seen = []
+    for _ in range(5):
+        report = auditor.submit_subject_access(3)
+        seen.append(report.aid)
+        env.run_for(200)
+        assert report.done
+        del report  # free the address: id() reuse would now be possible
+    assert seen == sorted(seen)
+    assert len(set(seen)) == len(seen)

@@ -243,7 +243,7 @@ def test_contended_lock_blocks_instead_of_being_dropped(env):
     env.run_until(3_000)  # sources exhausted: no writer lock traffic
     locks = env.store.locks
     contentions_before = locks.contentions
-    locks.try_acquire(("average", 1), "external-holder")
+    assert locks.try_acquire(("average", 1), "external-holder")
 
     service = QueryService(env, repeatable_read=True)
     execution = service.submit('SELECT * FROM "average" WHERE key = 1')
@@ -269,7 +269,7 @@ def test_aborted_query_returns_contended_lock(env):
     job.start()
     env.run_until(3_000)
     locks = env.store.locks
-    locks.try_acquire(("average", 1), "external-holder")
+    assert locks.try_acquire(("average", 1), "external-holder")
 
     service = QueryService(
         env, repeatable_read=True,
