@@ -18,7 +18,11 @@ detection:
   query must never be accounted as a snapshot read or vice versa, and
   a query that shipped rows must have billed shipping bytes;
 * **dead-node scheduling** — work submitted to a pool or store server
-  of a node that is not alive would execute on a ghost.
+  of a node that is not alive would execute on a ghost;
+* **index coherence** — every secondary index must agree with its
+  backing partitions at verification time, committed snapshot versions
+  must have frozen index registries, and any mutation of a frozen
+  registry is reported the instant it is attempted.
 
 Violations either raise :class:`~repro.errors.SanitizerError`
 immediately (``fail_fast``) or accumulate on the runtime.  The test
@@ -139,6 +143,11 @@ class SanitizerRuntime:
         store = self.env.store
         original_write = getattr(table, "write_instance", None)
         original_drop = getattr(table, "drop_snapshot", None)
+        set_hook = getattr(table, "set_index_mutation_hook", None)
+        if set_hook is not None:
+            set_hook(lambda message, name=name: self._record(
+                "frozen-index", f"snapshot table {name!r}: {message}"
+            ))
 
         if original_write is not None:
             def write_instance(ssid, *args, **kwargs):
@@ -299,7 +308,45 @@ class SanitizerRuntime:
                         f"lock on {key!r} still held by finished "
                         f"query {getattr(holder, 'qid', holder)!r}",
                     )
+        if self.config.index_coherence:
+            self._check_index_coherence()
         return list(self.violations)
+
+    def _check_index_coherence(self) -> None:
+        """Every secondary index must agree with its backing store, and
+        committed snapshot versions must have frozen indexes."""
+        store = self.env.store
+        for name in store.live_table_names():
+            table = store.get_live_table(name)
+            errors = getattr(table, "index_coherence_errors", None)
+            if errors is None:
+                continue
+            for problem in errors():
+                self._record(
+                    "index-coherence",
+                    f"live table {name!r}: {problem}",
+                )
+        available = store.available_ssids()
+        for name in store.snapshot_table_names():
+            table = store.get_snapshot_table(name)
+            if not getattr(table, "index_count", 0):
+                continue
+            for ssid in available:
+                if not table.has_snapshot(ssid):
+                    continue
+                if not table.index_ready(ssid):
+                    self._record(
+                        "frozen-index",
+                        f"snapshot table {name!r} ssid {ssid} committed "
+                        "but its indexes were never frozen",
+                    )
+                    continue
+                for problem in table.index_coherence_errors(ssid):
+                    self._record(
+                        "index-coherence",
+                        f"snapshot table {name!r} ssid {ssid}: "
+                        f"{problem}",
+                    )
 
 
 class _ServiceRegistry(list):

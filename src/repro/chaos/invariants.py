@@ -10,7 +10,11 @@ out, once the simulation drains the system must be clean:
   must have given everything back);
 * **snapshot determinism** — a committed snapshot query returns
   bit-identical rows before and after a kill/recovery, checked via
-  :func:`snapshot_fingerprint`.
+  :func:`snapshot_fingerprint`;
+* **index coherence** — whatever partitions were dropped, rebuilt, or
+  promoted along the way, every secondary index must agree with its
+  backing store, and committed snapshot versions must carry frozen
+  index registries.
 """
 
 from __future__ import annotations
@@ -49,6 +53,36 @@ def check_invariants(
         violations.append(
             f"lock table stranded {locks.waiting_count} waiters"
         )
+
+    store = env.store
+    for name in store.live_table_names():
+        table = store.get_live_table(name)
+        errors = getattr(table, "index_coherence_errors", None)
+        if errors is None:
+            continue
+        violations.extend(
+            f"live table {name!r} index incoherent: {problem}"
+            for problem in errors()
+        )
+    available = store.available_ssids()
+    for name in store.snapshot_table_names():
+        table = store.get_snapshot_table(name)
+        if not getattr(table, "index_count", 0):
+            continue
+        for ssid in available:
+            if not table.has_snapshot(ssid):
+                continue
+            if not table.index_ready(ssid):
+                violations.append(
+                    f"snapshot table {name!r} ssid {ssid} committed "
+                    "with unfrozen indexes"
+                )
+                continue
+            violations.extend(
+                f"snapshot table {name!r} ssid {ssid} index "
+                f"incoherent: {problem}"
+                for problem in table.index_coherence_errors(ssid)
+            )
 
     for execution in executions:
         if not execution.done:

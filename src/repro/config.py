@@ -165,6 +165,23 @@ class CostModel:
     #: so the flat legacy billing is the no-projection limit.
     column_bytes: int = 12
 
+    # --- secondary indexes ------------------------------------------------
+    #: Let scan fragments use secondary indexes when the cost-based
+    #: chooser prices an index access path below the full scan.  Off =
+    #: the ablation baseline (indexes are still maintained, never read).
+    index_enabled: bool = True
+    #: Fixed cost of one index probe (hash-bucket lookup or sorted-run
+    #: bisection) against one partition's index structure.
+    index_probe_ms: float = 0.01
+    #: Per-candidate-row cost of an index-backed fetch (point read of
+    #: the stored entry; slightly above ``scan_entry_ms`` because the
+    #: access is not a sequential partition sweep).
+    index_entry_ms: float = 0.0012
+    #: Per-entry write-path cost of incrementally maintaining one
+    #: secondary index (charged per indexed entry on mirror writes and
+    #: snapshot writes).
+    index_maintain_entry_ms: float = 0.0004
+
     # --- query service ------------------------------------------------------
     #: Parse/plan/coordinate fixed cost of a SQL query.
     sql_fixed_ms: float = 1.2
@@ -248,6 +265,45 @@ class QueryRetryPolicy:
 
 
 @dataclass(frozen=True)
+class IndexSpec:
+    """Declarative secondary index on one stateful vertex's state table.
+
+    ``vertex`` may name the vertex or its sanitised table name.  ``kind``
+    is ``"hash"`` (equality/IN probes) or ``"sorted"`` (also ranges and
+    LIKE-prefix probes).  ``live``/``snapshots`` choose which of the two
+    table families carry the index.
+    """
+
+    vertex: str
+    column: str
+    kind: str = "hash"
+    live: bool = True
+    snapshots: bool = True
+
+    def validate(self) -> None:
+        from .kvstore.indexes import INDEX_KINDS, RESERVED_COLUMNS
+
+        if not self.vertex:
+            raise ConfigurationError("index vertex must be non-empty")
+        if not self.column:
+            raise ConfigurationError("index column must be non-empty")
+        if self.column in RESERVED_COLUMNS:
+            raise ConfigurationError(
+                f"column {self.column!r} is reserved (key lookups already "
+                "bypass scans)"
+            )
+        if self.kind not in INDEX_KINDS:
+            raise ConfigurationError(
+                f"index kind must be one of {INDEX_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not (self.live or self.snapshots):
+            raise ConfigurationError(
+                "index must target live tables, snapshot tables, or both"
+            )
+
+
+@dataclass(frozen=True)
 class SQueryConfig:
     """Which S-QUERY features are enabled for a job.
 
@@ -288,8 +344,14 @@ class SQueryConfig:
     #: invalidated by rollback.  Costs an extra synchronous hop per
     #: update (``CostModel.replication_sync_ms``).
     active_replication: bool = False
+    #: Secondary indexes to create on registration of the named
+    #: vertices (DDL-at-deploy; ``StateStore.create_index`` is the
+    #: runtime DDL equivalent).
+    indexes: tuple[IndexSpec, ...] = ()
 
     def validate(self) -> None:
+        for spec in self.indexes:
+            spec.validate()
         if self.retained_snapshots < 1:
             raise ConfigurationError("must retain at least one snapshot")
         if self.prune_chain_length < 1:
@@ -338,6 +400,10 @@ class SanitizerConfig:
     billing: bool = True
     #: Pool/server submissions on nodes that are not alive.
     dead_node_scheduling: bool = True
+    #: Secondary-index/store coherence: every index must agree with its
+    #: backing partitions at verify(), committed snapshot versions must
+    #: have frozen indexes, and frozen registries reject mutation.
+    index_coherence: bool = True
     fail_fast: bool = True
 
     def validate(self) -> None:

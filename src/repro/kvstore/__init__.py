@@ -8,14 +8,19 @@ pointer used by snapshot queries.
 """
 
 from .imap import HashPlacement, IMap, InstancePlacement, Placement
+from .indexes import EqProbe, IndexDef, IndexRegistry, RangeProbe
 from .locks import LockManager
 from .store import StateStore
 
 __all__ = [
+    "EqProbe",
     "HashPlacement",
     "IMap",
+    "IndexDef",
+    "IndexRegistry",
     "InstancePlacement",
     "LockManager",
     "Placement",
+    "RangeProbe",
     "StateStore",
 ]

@@ -17,6 +17,8 @@ from typing import Callable, Hashable, Iterator
 
 from ..cluster.partition import Partitioner, stable_hash
 from ..errors import StoreError
+from .indexes import MISSING as _NO_VALUE
+from .indexes import IndexDef, IndexRegistry
 
 
 class Placement:
@@ -111,12 +113,43 @@ class IMap:
         ]
         self._versions: dict[Hashable, int] = {}
         self._writes = 0
+        #: Secondary indexes (``None`` until the first ``add_index``;
+        #: the mutation fast path then stays exactly as before).
+        self._indexes: IndexRegistry | None = None
+
+    # -- secondary indexes -------------------------------------------------
+
+    @property
+    def indexes(self) -> IndexRegistry | None:
+        return self._indexes
+
+    def add_index(self, definition: IndexDef) -> IndexDef:
+        """Create (or return the existing) index on one value column."""
+        if self._indexes is None:
+            self._indexes = IndexRegistry(
+                self.placement.partition_count,
+                lambda partition: self._partitions[partition].items(),
+            )
+        return self._indexes.add_definition(definition)
+
+    def index_defs(self) -> list[IndexDef]:
+        return [] if self._indexes is None else self._indexes.defs()
+
+    def partition_get(self, partition: int, key: Hashable,
+                      default: object = None) -> object:
+        """Read a key known to live in ``partition`` (index fetches)."""
+        return self._partitions[partition].get(key, default)
 
     # -- single-key operations -------------------------------------------
 
     def put(self, key: Hashable, value: object) -> None:
         partition = self.placement.partition_of(key)
-        self._partitions[partition][key] = value
+        bucket = self._partitions[partition]
+        if self._indexes is not None:
+            self._indexes.on_put(
+                partition, key, bucket.get(key, _NO_VALUE), value
+            )
+        bucket[key] = value
         self._versions[key] = self._versions.get(key, 0) + 1
         self._writes += 1
 
@@ -133,6 +166,8 @@ class IMap:
         removed = self._partitions[partition].pop(key, _MISSING)
         if removed is _MISSING:
             return False
+        if self._indexes is not None:
+            self._indexes.on_remove(partition, key, removed)
         self._versions[key] = self._versions.get(key, 0) + 1
         self._writes += 1
         return True
@@ -180,8 +215,10 @@ class IMap:
         ]
 
     def clear(self) -> None:
-        for partition in self._partitions:
+        for index, partition in enumerate(self._partitions):
             partition.clear()
+            if self._indexes is not None:
+                self._indexes.rebuild_partition(index)
 
     def drop_partitions(self, partitions: list[int]) -> int:
         """Discard the given partitions' entries; returns entries lost.
@@ -194,6 +231,8 @@ class IMap:
         for partition in partitions:
             lost += len(self._partitions[partition])
             self._partitions[partition].clear()
+            if self._indexes is not None:
+                self._indexes.rebuild_partition(partition)
         return lost
 
 

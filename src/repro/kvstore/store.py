@@ -15,6 +15,7 @@ from typing import Hashable
 from ..cluster import Cluster
 from ..errors import MapNotFoundError, StoreError
 from .imap import HashPlacement, IMap, Placement
+from .indexes import IndexDef
 from .locks import LockManager
 
 
@@ -66,6 +67,47 @@ class StateStore:
 
     def map_names(self) -> list[str]:
         return sorted(self._maps)
+
+    # -- secondary indexes -------------------------------------------------
+
+    def create_index(self, name: str, column: str,
+                     kind: str = "hash") -> IndexDef:
+        """DDL: create a secondary index on a value column of ``name``.
+
+        Live tables index their backing map and stay incrementally
+        maintained from the write path; snapshot tables index every
+        retained version, and versions already committed are frozen
+        immediately.  Idempotent for an identical definition.
+        """
+        definition = IndexDef(column=column, kind=kind)
+        definition.validate()
+        if name in self._maps:
+            return self._maps[name].add_index(definition)
+        if name in self._snapshot_tables:
+            table = self._snapshot_tables[name]
+            add = getattr(table, "add_index", None)
+            if add is None:
+                raise StoreError(
+                    f"snapshot table {name!r} backend does not support "
+                    "secondary indexes"
+                )
+            created = add(definition)
+            for ssid in self._available_ssids:
+                table.freeze_index(ssid)
+            return created
+        raise MapNotFoundError(name)
+
+    def index_maintenance_ops(self) -> int:
+        """Index-entry write-path touches across every table
+        (observability rollup)."""
+        total = 0
+        for imap in self._maps.values():
+            registry = imap.indexes
+            if registry is not None:
+                total += registry.maintenance_ops
+        for table in self._snapshot_tables.values():
+            total += getattr(table, "index_maintenance_ops", 0)
+        return total
 
     # -- snapshot tables --------------------------------------------------
 
@@ -154,6 +196,14 @@ class StateStore:
         self._in_progress_ssid = None
         self._committed_ssid = ssid
         self._available_ssids.append(ssid)
+        # The committed version is immutable from this instant on: its
+        # secondary indexes freeze with it (copy-on-write — the next
+        # in-progress version builds fresh registries), so index probes
+        # rely on exactly the immutability zone-map pruning relies on.
+        for table in self._snapshot_tables.values():
+            freeze = getattr(table, "freeze_index", None)
+            if freeze is not None:
+                freeze(ssid)
         for listener in self._commit_listeners:
             listener(ssid)
 

@@ -50,6 +50,12 @@ class ClusterReport:
     query_rows_shipped: int = 0
     query_bytes_shipped: int = 0
     query_partitions_pruned: int = 0
+    # secondary indexes (access paths and write-path maintenance)
+    index_probes: int = 0
+    index_rows_read: int = 0
+    rows_skipped_by_index: int = 0
+    index_maintenance_ops: int = 0
+    index_maintenance_cost: float = 0.0
     # continuous queries (zero when the subsystem is unused)
     active_subscriptions: int = 0
     changes_captured: int = 0
@@ -106,6 +112,13 @@ def collect_report(env: Environment) -> ClusterReport:
         report.query_rows_shipped += service.rows_shipped_total
         report.query_bytes_shipped += service.bytes_shipped_total
         report.query_partitions_pruned += service.partitions_pruned_total
+        report.index_probes += service.index_probes_total
+        report.index_rows_read += service.index_rows_read_total
+        report.rows_skipped_by_index += service.rows_skipped_by_index_total
+    report.index_maintenance_ops = env.store.index_maintenance_ops()
+    report.index_maintenance_cost = (
+        report.index_maintenance_ops * env.costs.index_maintain_entry_ms
+    )
     continuous = getattr(env, "continuous", None)
     if continuous is not None:
         report.active_subscriptions = continuous.active_subscriptions
@@ -152,6 +165,14 @@ def format_report(report: ClusterReport) -> str:
             f"\nquery shipping: {report.query_rows_shipped:,} rows, "
             f"{report.query_bytes_shipped:,} bytes | "
             f"{report.query_partitions_pruned:,} partitions pruned"
+        )
+    if report.index_probes or report.index_maintenance_ops:
+        footer += (
+            f"\nindexes: {report.index_probes:,} probes, "
+            f"{report.index_rows_read:,} rows read, "
+            f"{report.rows_skipped_by_index:,} rows skipped | "
+            f"{report.index_maintenance_ops:,} maintenance ops "
+            f"({report.index_maintenance_cost:,.1f} ms billed)"
         )
     if report.query_retries or report.query_aborts:
         footer += (

@@ -33,6 +33,7 @@ hangs regardless of the failure interleaving.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Callable
 
 from ..config import QueryRetryPolicy
@@ -50,11 +51,13 @@ from ..sql.executor import (
     execute_grouped_select,
     execute_select,
 )
+from ..sql.access import choose_access_path
 from ..sql.fragments import (
     DistributedPlan,
     FragmentAccumulator,
     KeySet,
     PartialGroups,
+    ScanFragment,
     extract_key_filter,
     merge_partial_groups,
     split_select,
@@ -102,6 +105,13 @@ class QueryExecution:
         #: Store partitions skipped entirely by key/range pruning
         #: (across all scan attempts).
         self.partitions_pruned = 0
+        #: Secondary-index probes issued by index-backed shard scans.
+        self.index_probes = 0
+        #: Candidate rows fetched through an index (instead of swept).
+        self.index_rows_read = 0
+        #: Rows an index-backed scan never touched (scan minus
+        #: candidates, summed over indexed shards).
+        self.rows_skipped_by_index = 0
         self.entries_scanned = 0
         #: Entries billed to store scan servers (== entries_scanned for
         #: scan queries; point lookups bill a fixed seek instead).
@@ -145,6 +155,26 @@ class QueryExecution:
             self.on_done(self)
 
 
+@dataclass
+class _ShardPlan:
+    """How one node's shard of one table will be read.
+
+    ``entries`` is what the scan servers bill per entry (candidate rows
+    for an index path, surviving-partition entries otherwise);
+    ``fetch`` materialises exactly those rows at scan-completion time.
+    """
+
+    entries: int
+    fetch: Callable[[], list[dict]]
+    pruned: int = 0
+    fragment: ScanFragment | None = None
+    #: index probes issued before the fetch (indexed shards only).
+    probes: int = 0
+    #: rows the index proved away (scan entries minus candidates).
+    skipped: int = 0
+    indexed: bool = False
+
+
 class _InFlight:
     """Service-side bookkeeping for one running query."""
 
@@ -171,7 +201,8 @@ class QueryService:
     def __init__(self, env, repeatable_read: bool = False,
                  ha_mode: bool = False,
                  retry_policy: QueryRetryPolicy | None = None,
-                 pushdown: bool | None = None) -> None:
+                 pushdown: bool | None = None,
+                 indexes: bool | None = None) -> None:
         """``repeatable_read`` holds key locks for whole live queries;
         ``ha_mode`` declares that the job runs with active replication
         (§VII-B), upgrading live queries to read committed — state they
@@ -179,7 +210,10 @@ class QueryService:
         in-flight queries react to node failures.  ``pushdown`` forces
         distributed predicate/projection pushdown on or off (``None``
         defers to ``CostModel.pushdown_enabled``); off is the ablation
-        baseline that ships every raw row to the entry node."""
+        baseline that ships every raw row to the entry node.
+        ``indexes`` forces index-backed scans on or off the same way
+        (``None`` defers to ``CostModel.index_enabled``); off keeps
+        indexes maintained but never read."""
         self.env = env
         self.sim = env.sim
         self.cluster = env.cluster
@@ -192,6 +226,9 @@ class QueryService:
         self.pushdown_enabled = (
             self.costs.pushdown_enabled if pushdown is None else pushdown
         )
+        self.index_enabled = (
+            self.costs.index_enabled if indexes is None else indexes
+        )
         self._entry_rotation = 0
         self.queries_executed = 0
         #: Rows shipped to entry nodes across all finished queries.
@@ -200,6 +237,12 @@ class QueryService:
         self.bytes_shipped_total = 0
         #: Store partitions skipped by scan pruning, all queries.
         self.partitions_pruned_total = 0
+        #: Secondary-index probes across all finished queries.
+        self.index_probes_total = 0
+        #: Rows fetched through indexes across all finished queries.
+        self.index_rows_read_total = 0
+        #: Rows index-backed scans never touched, all finished queries.
+        self.rows_skipped_by_index_total = 0
         #: Shards rescheduled onto survivors after a node death.
         self.query_retries = 0
         #: Queries failed fast (entry-node death, retry exhaustion,
@@ -339,7 +382,60 @@ class QueryService:
         plan = split_select(select)
         lines.append("distributed: pushdown")
         lines.extend(render_distributed(select, plan))
+        lines.extend(self._explain_access_paths(plan, table_kinds))
         return "\n".join(lines)
+
+    def _explain_access_paths(self, plan: DistributedPlan,
+                              table_kinds: list[tuple[str, str]]
+                              ) -> list[str]:
+        """One line per filtered fragment: how its shards would be read
+        right now (live indexes, or the latest committed snapshot)."""
+        lines: list[str] = []
+        seen: list[str] = []
+        for table_name, kind in table_kinds:
+            if table_name in seen:
+                continue
+            seen.append(table_name)
+            fragment = plan.fragments.get(table_name)
+            if fragment is None or fragment.is_passthrough \
+                    or not fragment.pushed:
+                continue
+            prefix = f"  access path [{table_name}]: "
+            if not self.index_enabled:
+                lines.append(prefix + "full scan (indexes disabled)")
+                continue
+            table = self._table_for(table_name, kind)
+            if kind == "live":
+                args: tuple = ()
+            else:
+                committed = self.store.committed_ssid
+                if committed is None:
+                    lines.append(
+                        prefix + "full scan (no committed snapshot)"
+                    )
+                    continue
+                args = (committed,)
+            ready = getattr(table, "index_ready", None)
+            if ready is None or not ready(*args):
+                lines.append(prefix + "full scan (no usable index)")
+                continue
+            partitions: list[int] = []
+            entries = 0
+            for node_id in self.cluster.surviving_node_ids():
+                for partition in table.partitions_on_node(node_id):
+                    partitions.append(partition)
+                    entries += table.partition_entry_count(
+                        partition, *args
+                    )
+            surcharge = self.costs.pushed_filter_entry_ms
+            if fragment.partial is not None:
+                surcharge += self.costs.partial_agg_entry_ms
+            choice = choose_access_path(
+                fragment, table, args, partitions, entries, self.costs,
+                surcharge,
+            )
+            lines.append(prefix + choice.describe())
+        return lines
 
     def execute(self, sql: str,
                 snapshot_id: int | None = None) -> QueryExecution:
@@ -415,6 +511,9 @@ class QueryService:
         self.rows_shipped_total += execution.rows_shipped
         self.bytes_shipped_total += execution.bytes_shipped
         self.partitions_pruned_total += execution.partitions_pruned
+        self.index_probes_total += execution.index_probes
+        self.index_rows_read_total += execution.index_rows_read
+        self.rows_skipped_by_index_total += execution.rows_skipped_by_index
         if error is None:
             self.queries_executed += 1
         execution._finish(self.sim.now, result, error)
@@ -681,26 +780,31 @@ class QueryService:
         execution = record.execution
         state = record.state
         try:
-            entries, fetch, pruned = self._scan_selection(
+            shard = self._scan_selection(
                 record, table_name, kind, node_id
             )
         except SnapshotNotFoundError as exc:
             self._finish_execution(execution, None, exc)
             return
-        execution.partitions_pruned += pruned
-        fragment = None
-        if record.plan is not None and not state["point"] \
-                and execution.materialize:
-            fragment = record.plan.fragments.get(table_name)
-            if fragment is not None and fragment.is_passthrough:
-                fragment = None
+        execution.partitions_pruned += shard.pruned
+        if shard.indexed:
+            execution.index_probes += shard.probes
+            execution.index_rows_read += shard.entries
+            execution.rows_skipped_by_index += shard.skipped
+        fragment = shard.fragment
+        entries = shard.entries
+        fetch = shard.fetch
         # Pushed predicate / projection / partial-agg work happens while
         # the scan walks the entries, at a small per-entry surcharge.
-        per_entry_ms = self.costs.scan_entry_ms
+        # Index-backed shards fetch candidates by key (index_entry_ms)
+        # instead of sweeping partitions (scan_entry_ms).
+        per_entry_ms = (self.costs.index_entry_ms if shard.indexed
+                        else self.costs.scan_entry_ms)
         if fragment is not None:
             per_entry_ms += self.costs.pushed_filter_entry_ms
             if fragment.partial is not None:
                 per_entry_ms += self.costs.partial_agg_entry_ms
+        probe_ms = shard.probes * self.costs.index_probe_ms
         chunk = self.costs.scan_chunk_entries
         chunks = max(1, -(-entries // chunk))
         node = self.cluster.node(node_id)
@@ -718,6 +822,9 @@ class QueryService:
             entries_in_chunk = max(0, min(chunk, entries - done_entries))
             execution.entries_billed += entries_in_chunk
             duration = entries_in_chunk * per_entry_ms
+            if remaining == chunks:
+                # Index probes run before the first candidate fetch.
+                duration += probe_ms
             # Successive chunks visit successive store partitions, so a
             # scan spreads over (and contends on) all partition threads.
             server = node.store_server(stripe + remaining)
@@ -763,31 +870,92 @@ class QueryService:
             return 0
         return len(partitions(node_id))
 
-    def _scan_selection(
-        self, record: _InFlight, table_name: str, kind: str, node_id: int
-    ) -> tuple[int, Callable[[], list[dict]], int]:
-        """``(entries, fetch, partitions_pruned)`` for one node's shard.
+    def _scan_selection(self, record: _InFlight, table_name: str,
+                        kind: str, node_id: int) -> _ShardPlan:
+        """Decide how one node's shard of one table is read.
 
         When the fragment pins a key filter, the scan visits only the
-        partitions that can hold matching keys; ``fetch`` materialises
-        exactly those partitions' rows at scan-completion time."""
+        partitions that can hold matching keys; when a secondary index
+        prices below sweeping the surviving partitions, the shard
+        resolves candidates through the index instead.  ``fetch``
+        materialises exactly the chosen rows at scan-completion time."""
         state = record.state
-        key_filter = None
+        execution = record.execution
+        fragment = None
         if record.plan is not None and not state["point"] \
-                and record.execution.materialize:
+                and execution.materialize:
             fragment = record.plan.fragments.get(table_name)
-            if fragment is not None:
-                key_filter = fragment.key_filter
-        if key_filter is not None:
+            if fragment is not None and fragment.is_passthrough:
+                fragment = None
+        selected: list[int] | None = None
+        selection = None
+        if fragment is not None and fragment.key_filter is not None:
             selection = self._select_partitions(
-                table_name, kind, node_id, record.snapshot_id, key_filter
+                table_name, kind, node_id, record.snapshot_id,
+                fragment.key_filter,
             )
-            if selection is not None:
-                return selection
-        entries = self._entries_on_node(table_name, kind, node_id,
-                                        record.snapshot_id)
-        fetch = self._full_shard_fetch(record, table_name, kind, node_id)
-        return entries, fetch, 0
+        if selection is not None:
+            entries, fetch, pruned, selected = selection
+        else:
+            entries = self._entries_on_node(table_name, kind, node_id,
+                                            record.snapshot_id)
+            fetch = self._full_shard_fetch(record, table_name, kind,
+                                           node_id)
+            pruned = 0
+        if fragment is not None and fragment.pushed:
+            indexed = self._index_plan(record, table_name, kind, node_id,
+                                       fragment, selected, entries)
+            if indexed is not None:
+                indexed.pruned = pruned
+                return indexed
+        return _ShardPlan(entries=entries, fetch=fetch, pruned=pruned,
+                          fragment=fragment)
+
+    def _index_plan(self, record: _InFlight, table_name: str, kind: str,
+                    node_id: int, fragment: ScanFragment,
+                    selected: list[int] | None,
+                    scan_entries: int) -> _ShardPlan | None:
+        """Index-backed shard plan, or ``None`` when no index beats the
+        (pruned) full scan under the cost model."""
+        if not self.index_enabled:
+            return None
+        snapshot_id = record.snapshot_id
+        if isinstance(snapshot_id, list):
+            return None  # all-versions scans stay on the legacy path
+        table = self._table_for(table_name, kind)
+        if not hasattr(table, "index_probe_count"):
+            return None  # backend without secondary-index support
+        args: tuple = () if kind == "live" else (snapshot_id,)
+        if not table.index_ready(*args):
+            return None  # no indexes, or the version is not frozen yet
+        if selected is None:
+            if not hasattr(table, "partitions_on_node"):
+                return None
+            selected = table.partitions_on_node(node_id)
+        surcharge = self.costs.pushed_filter_entry_ms
+        if fragment.partial is not None:
+            surcharge += self.costs.partial_agg_entry_ms
+        choice = choose_access_path(
+            fragment, table, args, selected, scan_entries, self.costs,
+            surcharge,
+        )
+        if choice.kind == "scan":
+            return None
+        partitions = list(selected)
+        column = choice.column
+        probe = choice.probe
+
+        def fetch() -> list[dict]:
+            return table.index_rows(partitions, column, probe, *args)
+
+        return _ShardPlan(
+            entries=choice.candidates,
+            fetch=fetch,
+            fragment=fragment,
+            probes=choice.probes,
+            skipped=scan_entries - choice.candidates,
+            indexed=True,
+        )
 
     def _select_partitions(self, table_name: str, kind: str, node_id: int,
                            snapshot_id, key_filter):
@@ -835,7 +1003,7 @@ class QueryService:
                 rows.extend(table.rows_in_partition(partition, *args))
             return rows
 
-        return entries, fetch, len(partitions) - len(selected)
+        return entries, fetch, len(partitions) - len(selected), selected
 
     def _full_shard_fetch(self, record: _InFlight, table_name: str,
                           kind: str, node_id: int):

@@ -1,0 +1,157 @@
+"""Cost-based access-path selection for scan fragments.
+
+For each scan fragment the query service must decide *how* to read the
+fragment's partitions: sweep them (the pruned full scan of PR 3) or
+resolve candidates through a secondary index and fetch only those rows.
+The decision is priced with the :class:`~repro.config.CostModel`:
+
+* full scan — every surviving partition entry pays the per-entry scan
+  cost plus the pushed-filter (and partial-aggregation) surcharge;
+* index path — each per-partition probe pays ``index_probe_ms``, and
+  each *candidate* row pays ``index_entry_ms`` plus the same surcharge
+  (candidates still run the full pushed-conjunct filter, so index-on
+  results stay bit-identical to index-off).
+
+The chooser is strictly conservative: it only considers a column when
+the fragment's pushed conjuncts imply a value restriction on it
+(:func:`~repro.sql.fragments.extract_column_filter`), and it asks the
+table for exact per-partition candidate counts — a partition that
+cannot be probed soundly (missing columns, mixed types, a degraded
+structure) vetoes the whole index path for this fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kvstore.indexes import EqProbe, RangeProbe
+from .fragments import (
+    KeyFilter,
+    KeySet,
+    ScanFragment,
+    extract_column_filter,
+)
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """One priced way of reading a fragment's partitions on one node."""
+
+    kind: str  # "scan" | "index-eq" | "index-range"
+    column: str | None
+    probe: EqProbe | RangeProbe | None
+    #: index probes issued (one per partition-and-value / range).
+    probes: int
+    #: rows the path touches (== scan_entries for a full scan).
+    candidates: int
+    scan_entries: int
+    cost_ms: float
+    scan_cost_ms: float
+
+    def describe(self) -> str:
+        if self.kind == "scan":
+            return (
+                f"full scan ({self.scan_entries} rows, "
+                "no cheaper index)"
+            )
+        shape = (
+            "index probe" if self.kind == "index-eq" else "index range"
+        )
+        return (
+            f"{shape} on {self.column!r}: {self.candidates} of "
+            f"{self.scan_entries} rows via {self.probes} probe(s) "
+            f"(est. {self.cost_ms:.3f} ms vs scan "
+            f"{self.scan_cost_ms:.3f} ms)"
+        )
+
+
+def probe_for(key_filter: KeyFilter,
+              needs_str: bool) -> EqProbe | RangeProbe:
+    """Translate a planner value restriction into an index probe."""
+    if isinstance(key_filter, KeySet):
+        # NULL never satisfies an equality/IN predicate, and sorted
+        # structures exclude NULLs — probing without them is exact.
+        return EqProbe(
+            values=tuple(
+                value for value in key_filter.keys if value is not None
+            ),
+            needs_str=needs_str,
+        )
+    return RangeProbe(
+        low=key_filter.low,
+        high=key_filter.high,
+        low_inclusive=key_filter.low_inclusive,
+        high_inclusive=key_filter.high_inclusive,
+        needs_str=needs_str,
+    )
+
+
+def _scan_path(scan_entries: int, scan_cost: float) -> AccessPath:
+    return AccessPath(
+        kind="scan",
+        column=None,
+        probe=None,
+        probes=0,
+        candidates=scan_entries,
+        scan_entries=scan_entries,
+        cost_ms=scan_cost,
+        scan_cost_ms=scan_cost,
+    )
+
+
+def choose_access_path(fragment: ScanFragment, view, view_args: tuple,
+                       partitions: list[int], scan_entries: int,
+                       costs, surcharge_ms: float = 0.0) -> AccessPath:
+    """Pick the cheapest way to read ``partitions`` of ``view``.
+
+    ``view`` is a live or snapshot table exposing ``index_columns()``
+    and ``index_probe_count(partition, column, probe, *view_args)``
+    (``view_args`` carries the snapshot id for snapshot tables).  The
+    full scan is the baseline; an index path must be strictly cheaper
+    to win.
+    """
+    scan_cost = scan_entries * (costs.scan_entry_ms + surcharge_ms)
+    best = _scan_path(scan_entries, scan_cost)
+    columns = view.index_columns()
+    for column, kind in columns.items():
+        extracted = extract_column_filter(
+            list(fragment.pushed), column, fragment.binding
+        )
+        if extracted is None:
+            continue
+        key_filter, needs_str = extracted
+        probe = probe_for(key_filter, needs_str)
+        if isinstance(probe, RangeProbe) and kind == "hash":
+            continue
+        probes = 0
+        candidates = 0
+        usable = True
+        for partition in partitions:
+            counted = view.index_probe_count(
+                partition, column, probe, *view_args
+            )
+            if counted is None:
+                usable = False
+                break
+            probes += counted[0]
+            candidates += counted[1]
+        if not usable:
+            continue
+        cost = probes * costs.index_probe_ms + candidates * (
+            costs.index_entry_ms + surcharge_ms
+        )
+        if cost < best.cost_ms:
+            best = AccessPath(
+                kind=(
+                    "index-eq" if isinstance(probe, EqProbe)
+                    else "index-range"
+                ),
+                column=column,
+                probe=probe,
+                probes=probes,
+                candidates=candidates,
+                scan_entries=scan_entries,
+                cost_ms=cost,
+                scan_cost_ms=scan_cost,
+            )
+    return best

@@ -690,30 +690,50 @@ def _eval_like(expr: Like, row: dict, context: EvalContext,
     return (not result) if expr.negated else result
 
 
-#: Compiled LIKE patterns keyed by the raw pattern string.  Patterns are
-#: almost always literals, so the same handful recurs for every row of a
-#: scan; the bound guards against unbounded growth from data-derived
-#: patterns (``x LIKE y``).
-_LIKE_CACHE: dict[str, "re.Pattern[str]"] = {}
+#: Compiled LIKE patterns keyed by the raw pattern string, each with its
+#: literal prefix (the characters before the first wildcard — what the
+#: planner turns into a sorted-index range probe).  Patterns are almost
+#: always literals, so the same handful recurs for every row of a scan;
+#: the bound guards against unbounded growth from data-derived patterns
+#: (``x LIKE y``).
+_LIKE_CACHE: dict[str, tuple["re.Pattern[str]", str]] = {}
 _LIKE_CACHE_MAX = 1024
 
 
-def _like_regex(pattern: str) -> "re.Pattern[str]":
+def _compiled_like(pattern: str) -> tuple["re.Pattern[str]", str]:
     compiled = _LIKE_CACHE.get(pattern)
     if compiled is None:
         regex_parts = []
-        for ch in pattern:
+        prefix_len = len(pattern)
+        for position, ch in enumerate(pattern):
             if ch == "%":
                 regex_parts.append(".*")
+                prefix_len = min(prefix_len, position)
             elif ch == "_":
                 regex_parts.append(".")
+                prefix_len = min(prefix_len, position)
             else:
                 regex_parts.append(re.escape(ch))
-        compiled = re.compile("".join(regex_parts))
+        compiled = (
+            re.compile("".join(regex_parts)), pattern[:prefix_len]
+        )
         if len(_LIKE_CACHE) >= _LIKE_CACHE_MAX:
             _LIKE_CACHE.clear()
         _LIKE_CACHE[pattern] = compiled
     return compiled
+
+
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    return _compiled_like(pattern)[0]
+
+
+def like_literal_prefix(pattern: str) -> str | None:
+    """The literal prefix every LIKE match must start with, or ``None``
+    when the pattern starts with a wildcard (no usable prefix).  A
+    prefix equal to the whole pattern means wildcard-free: the pattern
+    is an exact string match."""
+    prefix = _compiled_like(pattern)[1]
+    return prefix if prefix else None
 
 
 def _like_match(text: str, pattern: str) -> bool:

@@ -54,6 +54,7 @@ from .executor import (
     eval_expr,
     eval_predicate,
     hashable_key,
+    like_literal_prefix,
     new_group_accs,
     unique_aggregates,
 )
@@ -266,6 +267,67 @@ def extract_key_filter(conjuncts: list[Expr], key_column: str,
         if part is not None:
             combined = _intersect(combined, part)
     return combined
+
+
+def _prefix_upper_bound(prefix: str) -> str | None:
+    """Smallest string above every string starting with ``prefix``.
+
+    Increments the last incrementable code point; ``None`` when every
+    character is U+10FFFF (no finite upper bound exists)."""
+    for position in reversed(range(len(prefix))):
+        point = ord(prefix[position])
+        if point < 0x10FFFF:
+            return prefix[:position] + chr(point + 1)
+    return None
+
+
+def _like_conjunct_filter(expr: Expr, column: str,
+                          binding: str) -> KeyFilter | None:
+    """``col LIKE 'prefix%'`` → the string range all matches fall in."""
+    if not isinstance(expr, Like) or expr.negated:
+        return None
+    if not _is_key_column(expr.operand, column, binding):
+        return None
+    if not isinstance(expr.pattern, Literal) or not isinstance(
+        expr.pattern.value, str
+    ):
+        return None
+    prefix = like_literal_prefix(expr.pattern.value)
+    if prefix is None:
+        return None
+    if prefix == expr.pattern.value:
+        # Wildcard-free pattern: an exact string match.
+        return KeySet((prefix,))
+    upper = _prefix_upper_bound(prefix)
+    if upper is None:
+        return KeyRange(low=prefix)
+    return KeyRange(low=prefix, high=upper, high_inclusive=False)
+
+
+def extract_column_filter(conjuncts: list[Expr], column: str,
+                          binding: str) -> tuple[KeyFilter, bool] | None:
+    """Value restriction on ``column`` for index probing.
+
+    Like :func:`extract_key_filter` plus LIKE-prefix ranges; returns
+    ``(filter, needs_str)`` where ``needs_str`` marks that the bounds
+    constrain ``str(value)`` (LIKE coerces), not the raw value — a
+    sorted index may only serve such a probe when every indexed value
+    already is a string.  LIKE conjuncts never feed *key* filters:
+    partition routing and point lookups use raw keys, where the
+    coercion would be unsound."""
+    combined: KeyFilter | None = None
+    needs_str = False
+    for conjunct in conjuncts:
+        part = _conjunct_key_filter(conjunct, column, binding)
+        if part is None:
+            part = _like_conjunct_filter(conjunct, column, binding)
+            if part is not None:
+                needs_str = True
+        if part is not None:
+            combined = _intersect(combined, part)
+    if combined is None:
+        return None
+    return combined, needs_str
 
 
 # -- fragments ---------------------------------------------------------------

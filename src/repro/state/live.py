@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Hashable, Iterator
 
 from ..kvstore import IMap
+from ..kvstore.indexes import IndexDef
 from .rows import live_row
 
 _MISSING = object()
@@ -92,6 +93,73 @@ class LiveStateTable:
     def owner_node_of(self, key: Hashable) -> int:
         """Node holding ``key`` (point-lookup routing)."""
         return self._imap.placement.owner_of(key)
+
+    # -- secondary indexes (index-backed scans) ----------------------------
+    #
+    # Live indexes are maintained synchronously inside the IMap write
+    # path (under the same key-level locks as the mirror writes), so a
+    # probe at any instant agrees with the partition dicts at that
+    # instant.  Probe results come back in partition iteration order —
+    # an index-backed fetch feeds the executor the same surviving rows,
+    # in the same order, as a full scan would.
+
+    def add_index(self, definition: IndexDef) -> IndexDef:
+        return self._imap.add_index(definition)
+
+    @property
+    def index_count(self) -> int:
+        registry = self._imap.indexes
+        return 0 if registry is None else len(registry)
+
+    def index_defs(self) -> list[IndexDef]:
+        return self._imap.index_defs()
+
+    def index_columns(self) -> dict[str, str]:
+        registry = self._imap.indexes
+        return {} if registry is None else registry.column_kinds()
+
+    def index_ready(self) -> bool:
+        """Live indexes are usable as soon as they exist (no freeze)."""
+        return self.index_count > 0
+
+    def index_probe_count(self, partition: int, column: str,
+                          probe) -> tuple[int, int] | None:
+        registry = self._imap.indexes
+        if registry is None:
+            return None
+        return registry.probe_count(partition, column, probe)
+
+    def index_rows(self, partitions: list[int], column: str,
+                   probe) -> list[dict]:
+        """Candidate rows of an index probe over ``partitions``.
+
+        A partition that can no longer be probed soundly (it degraded
+        after the access path was chosen) falls back to all of its rows
+        — a superset is safe because the pushed predicates re-filter
+        every candidate."""
+        registry = self._imap.indexes
+        rows: list[dict] = []
+        for partition in partitions:
+            keys = (None if registry is None
+                    else registry.probe_keys(partition, column, probe))
+            if keys is None:
+                rows.extend(self.rows_in_partition(partition))
+                continue
+            for key in keys:
+                value = self._imap.partition_get(partition, key, _MISSING)
+                if value is _MISSING:
+                    continue
+                rows.append(live_row(key, value))
+        return rows
+
+    @property
+    def index_maintenance_ops(self) -> int:
+        registry = self._imap.indexes
+        return 0 if registry is None else registry.maintenance_ops
+
+    def index_coherence_errors(self) -> list[str]:
+        registry = self._imap.indexes
+        return [] if registry is None else registry.coherence_errors()
 
     def point_rows(self, key: Hashable) -> list[dict]:
         """The single row for ``key``, or empty (point lookup)."""

@@ -104,6 +104,22 @@ class SQueryBackend(VanillaBackend):
                 )
             self.snapshot_tables[vertex_name] = table
             self.store.register_snapshot_table(snap_name, table)
+        self._create_declared_indexes(vertex_name)
+
+    def _create_declared_indexes(self, vertex_name: str) -> None:
+        """Deploy-time DDL: apply ``config.indexes`` specs naming this
+        vertex (by vertex or sanitised table name)."""
+        table_name = self._vertex_table[vertex_name]
+        for spec in self.config.indexes:
+            if spec.vertex not in (vertex_name, table_name):
+                continue
+            if spec.live and self.config.live_state:
+                self.store.create_index(table_name, spec.column, spec.kind)
+            if spec.snapshots and self.config.snapshot_state \
+                    and not self.config.incremental:
+                self.store.create_index(
+                    snapshot_table_name(vertex_name), spec.column, spec.kind
+                )
 
     # -- live state ---------------------------------------------------------
 
@@ -117,6 +133,11 @@ class SQueryBackend(VanillaBackend):
             cost += self._costs.live_mirror_remote_ms
         if self.config.active_replication:
             cost += self._costs.replication_sync_ms
+        live = self.live_tables.get(vertex_name)
+        if live is not None and live.index_count:
+            # Incremental index maintenance rides the mirror write,
+            # under the same key-level lock.
+            cost += self._costs.index_maintain_entry_ms * live.index_count
         return cost
 
     def on_state_update(self, vertex_name: str, key: Hashable,
@@ -168,6 +189,9 @@ class SQueryBackend(VanillaBackend):
             # up front; the LSM backend amortises it into background
             # compaction instead (append-only writes).
             per_entry += costs.incremental_entry_overhead_ms
+        per_entry += costs.index_maintain_entry_ms * getattr(
+            table, "index_count", 0
+        )
         server = self._cluster.node(node_id).store_server(instance)
 
         def finish() -> None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Hashable, Iterator
 
 from ..errors import SnapshotNotFoundError
+from ..kvstore.indexes import IndexDef, IndexRegistry
 from .rows import snapshot_row
 
 
@@ -26,15 +27,139 @@ class FullSnapshotTable:
         self._node_of_instance = node_of_instance
         #: ssid -> instance -> {key: state object}
         self._by_ssid: dict[int, dict[int, dict[Hashable, object]]] = {}
+        #: Secondary index definitions, shared by every version; each
+        #: retained ssid carries its own copy-on-write registry, frozen
+        #: when the version commits.
+        self._index_defs: dict[str, IndexDef] = {}
+        self._indexes: dict[int, IndexRegistry] = {}
+        #: Maintenance ops of registries retired with their snapshots
+        #: (keeps the observability rollup monotonic).
+        self._dropped_index_ops = 0
+        self._index_hook: Callable[[str], None] | None = None
 
     # -- writes ---------------------------------------------------------
 
     def write_instance(self, ssid: int, instance: int,
                        payload: dict[Hashable, object]) -> None:
         self._by_ssid.setdefault(ssid, {})[instance] = dict(payload)
+        if self._index_defs:
+            self._registry_for(ssid).rebuild_partition(instance)
 
     def drop_snapshot(self, ssid: int) -> None:
         self._by_ssid.pop(ssid, None)
+        registry = self._indexes.pop(ssid, None)
+        if registry is not None:
+            self._dropped_index_ops += registry.maintenance_ops
+
+    # -- secondary indexes -----------------------------------------------
+
+    def _registry_for(self, ssid: int) -> IndexRegistry:
+        registry = self._indexes.get(ssid)
+        if registry is None:
+            registry = IndexRegistry(
+                self.parallelism,
+                lambda partition: self._by_ssid.get(ssid, {})
+                .get(partition, {}).items(),
+            )
+            registry.on_frozen_mutation = self._index_hook
+            for definition in self._index_defs.values():
+                registry.add_definition(definition)
+            self._indexes[ssid] = registry
+        return registry
+
+    def add_index(self, definition: IndexDef) -> IndexDef:
+        definition.validate()
+        existing = self._index_defs.get(definition.column)
+        if existing is not None:
+            if existing.kind != definition.kind:
+                from ..errors import StoreError
+
+                raise StoreError(
+                    f"column {definition.column!r} already has a "
+                    f"{existing.kind} index"
+                )
+            return existing
+        self._index_defs[definition.column] = definition
+        # Retained versions (committed ones are re-frozen by the store's
+        # DDL entry point) get the new index backfilled.
+        for ssid in sorted(self._by_ssid):
+            self._registry_for(ssid).add_definition(definition)
+        return definition
+
+    def freeze_index(self, ssid: int) -> None:
+        """Commit time: the version's registry becomes immutable."""
+        if not self._index_defs:
+            return
+        self._registry_for(ssid).freeze()
+
+    def index_ready(self, ssid: int) -> bool:
+        """Probes only serve committed (frozen) versions."""
+        if not self._index_defs:
+            return False
+        registry = self._indexes.get(ssid)
+        return registry is not None and registry.frozen
+
+    @property
+    def index_count(self) -> int:
+        return len(self._index_defs)
+
+    def index_defs(self) -> list[IndexDef]:
+        return [
+            self._index_defs[column]
+            for column in sorted(self._index_defs)
+        ]
+
+    def index_columns(self) -> dict[str, str]:
+        return {
+            column: self._index_defs[column].kind
+            for column in sorted(self._index_defs)
+        }
+
+    def index_probe_count(self, partition: int, column: str, probe,
+                          ssid: int) -> tuple[int, int] | None:
+        registry = self._indexes.get(ssid)
+        if registry is None:
+            return None
+        return registry.probe_count(partition, column, probe)
+
+    def index_rows(self, partitions: list[int], column: str, probe,
+                   ssid: int) -> list[dict]:
+        """Candidate rows of an index probe (same order as a scan)."""
+        snapshot = self._by_ssid.get(ssid)
+        if snapshot is None:
+            raise SnapshotNotFoundError(ssid)
+        registry = self._indexes.get(ssid)
+        rows: list[dict] = []
+        for partition in partitions:
+            keys = (None if registry is None
+                    else registry.probe_keys(partition, column, probe))
+            state = snapshot.get(partition, {})
+            if keys is None:
+                for key, value in state.items():
+                    rows.append(snapshot_row(key, ssid, value))
+                continue
+            for key in keys:
+                rows.append(snapshot_row(key, ssid, state[key]))
+        return rows
+
+    @property
+    def index_maintenance_ops(self) -> int:
+        return self._dropped_index_ops + sum(
+            registry.maintenance_ops
+            for registry in self._indexes.values()
+        )
+
+    def set_index_mutation_hook(
+        self, hook: Callable[[str], None] | None
+    ) -> None:
+        """Observe frozen-registry mutation attempts (sanitizers)."""
+        self._index_hook = hook
+        for registry in self._indexes.values():
+            registry.on_frozen_mutation = hook
+
+    def index_coherence_errors(self, ssid: int) -> list[str]:
+        registry = self._indexes.get(ssid)
+        return [] if registry is None else registry.coherence_errors()
 
     # -- reads ----------------------------------------------------------
 

@@ -1,0 +1,177 @@
+"""Runtime sanitizer tests for secondary-index invariants.
+
+Every test passes an explicit :class:`SanitizerConfig` (or disables
+sanitizers entirely), so the autouse fixture's end-of-test ``verify()``
+does not double-fail the deliberate violations.
+"""
+
+import pytest
+
+from repro.config import ClusterConfig, IndexSpec, SanitizerConfig
+from repro.env import Environment
+from repro.errors import SanitizerError, StoreError
+from repro.kvstore.indexes import IndexDef
+from repro.query.service import QueryService
+from repro.state.live import LiveStateTable
+from repro.state.snapshots import FullSnapshotTable
+
+from ..conftest import build_average_job, make_squery_backend
+
+
+def armed_env(**config_overrides):
+    config_overrides.setdefault("fail_fast", True)
+    config = SanitizerConfig(enabled=True, **config_overrides)
+    return Environment(
+        ClusterConfig(nodes=3, processing_workers_per_node=2),
+        sanitizers=config,
+    )
+
+
+def commit_indexed_snapshot(env, ssid=1):
+    table = FullSnapshotTable("snapshot_t", parallelism=2,
+                              node_of_instance=lambda i: i % 2)
+    table.add_index(IndexDef("v", "hash"))
+    env.store.register_snapshot_table("snapshot_t", table)
+    env.store.begin_snapshot(ssid)
+    table.write_instance(ssid, 0, {"a": {"v": 1}})
+    table.write_instance(ssid, 1, {"b": {"v": 2}})
+    env.store.commit_snapshot(ssid)
+    return table
+
+
+# -- frozen-index mutation ---------------------------------------------------
+
+
+def test_commit_freezes_the_version_registry():
+    env = armed_env()
+    table = commit_indexed_snapshot(env)
+    assert table.index_ready(1)
+
+
+def test_frozen_index_mutation_is_recorded_and_rejected():
+    env = armed_env(fail_fast=False)
+    table = commit_indexed_snapshot(env)
+    # A write to the committed version hits the frozen registry: the
+    # snapshot-mutation guard records first, then the registry fires
+    # the frozen-index hook and refuses with StoreError.
+    with pytest.raises(StoreError, match="frozen"):
+        table.write_instance(1, 0, {"a": {"v": 99}})
+    kinds = {v.kind for v in env.sanitizers.violations}
+    assert "snapshot-mutation" in kinds
+    assert "frozen-index" in kinds
+
+
+def test_frozen_index_mutation_raises_store_error_unsanitized():
+    # Freeze-at-commit is a store-layer contract, not a sanitizer
+    # feature: with detection off the mutation still refuses.
+    env = Environment(sanitizers=SanitizerConfig(enabled=False))
+    table = commit_indexed_snapshot(env)
+    with pytest.raises(StoreError, match="immutable"):
+        table.write_instance(1, 0, {"a": {"v": 99}})
+
+
+def test_uncommitted_version_stays_mutable():
+    env = armed_env()
+    table = commit_indexed_snapshot(env, ssid=1)
+    env.store.begin_snapshot(2)
+    table.write_instance(2, 0, {"a": {"v": 7}})  # in-flight: allowed
+    env.store.commit_snapshot(2)
+    assert table.index_ready(2)
+
+
+def test_verify_flags_committed_but_unfrozen_indexes():
+    env = armed_env(fail_fast=False)
+    table = commit_indexed_snapshot(env)
+    table._indexes[1].frozen = False  # melt it behind the store's back
+    violations = env.sanitizers.verify()
+    assert any(
+        v.kind == "frozen-index" and "never frozen" in v.message
+        for v in violations
+    )
+
+
+# -- index/store coherence ---------------------------------------------------
+
+
+def indexed_live_table(env):
+    imap = env.store.create_map("data")
+    env.store.register_live_table("data", LiveStateTable(imap))
+    for key in range(50):
+        imap.put(key, {"v": key % 5})
+    env.store.create_index("data", "v", "hash")
+    return imap
+
+
+def test_verify_catches_corrupted_live_registry():
+    env = armed_env(fail_fast=False)
+    imap = indexed_live_table(env)
+    # Corrupt one partition's hash buckets behind the write path.
+    structure = next(
+        s for s in imap.indexes._columns["v"] if s.buckets
+    )
+    structure.buckets.clear()
+    violations = env.sanitizers.verify()
+    assert any(v.kind == "index-coherence" for v in violations)
+
+
+def test_verify_catches_corrupted_snapshot_registry():
+    env = armed_env(fail_fast=False)
+    table = commit_indexed_snapshot(env)
+    registry = table._indexes[1]
+    structure = next(
+        s for s in registry._columns["v"] if s.buckets
+    )
+    structure.buckets.clear()
+    violations = env.sanitizers.verify()
+    assert any(v.kind == "index-coherence" for v in violations)
+
+
+def test_fail_fast_verify_raises_on_incoherence():
+    env = armed_env(fail_fast=True)
+    imap = indexed_live_table(env)
+    imap.indexes._order[
+        next(p for p, d in enumerate(imap.indexes._order) if d)
+    ].clear()
+    with pytest.raises(SanitizerError, match="index"):
+        env.sanitizers.verify()
+
+
+def test_index_coherence_check_can_be_disabled():
+    env = armed_env(fail_fast=False, index_coherence=False)
+    imap = indexed_live_table(env)
+    structure = next(
+        s for s in imap.indexes._columns["v"] if s.buckets
+    )
+    structure.buckets.clear()
+    assert env.sanitizers.verify() == []
+
+
+# -- clean end-to-end run ----------------------------------------------------
+
+
+def test_indexed_workload_under_all_sanitizers_is_clean():
+    env = armed_env(snapshot_fingerprints=True)
+    backend = make_squery_backend(
+        env, repeatable_read_locks=True,
+        indexes=(IndexSpec("average", "total", "hash"),),
+    )
+    job = build_average_job(env, backend=backend, rate=3000, keys=20,
+                            checkpoint_interval_ms=500,
+                            limit_per_instance=400)
+    job.start()
+    service = QueryService(env, repeatable_read=True)
+    results = []
+    env.sim.schedule(
+        700, lambda: results.append(
+            service.submit('SELECT * FROM "average" WHERE total > 0')
+        )
+    )
+    env.sim.schedule(
+        900, lambda: results.append(
+            service.submit('SELECT COUNT(*) AS n FROM "snapshot_average"')
+        )
+    )
+    env.run_until(4_000)
+    for execution in results:
+        assert execution.done and execution.error is None
+    assert env.sanitizers.verify() == []
