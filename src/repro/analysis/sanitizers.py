@@ -22,7 +22,12 @@ detection:
 * **index coherence** — every secondary index must agree with its
   backing partitions at verification time, committed snapshot versions
   must have frozen index registries, and any mutation of a frozen
-  registry is reported the instant it is attempted.
+  registry is reported the instant it is attempted;
+* **sketch coherence** — every probabilistic summary (count-min, HLL,
+  reservoir) must be rebuildable bit-identically from its backing
+  partitions, committed snapshot versions must have frozen sketch
+  registries, and any mutation of a frozen sketch registry is reported
+  the instant it is attempted.
 
 Violations either raise :class:`~repro.errors.SanitizerError`
 immediately (``fail_fast``) or accumulate on the runtime.  The test
@@ -147,6 +152,12 @@ class SanitizerRuntime:
         if set_hook is not None:
             set_hook(lambda message, name=name: self._record(
                 "frozen-index", f"snapshot table {name!r}: {message}"
+            ))
+        set_sketch_hook = getattr(table, "set_sketch_mutation_hook",
+                                  None)
+        if set_sketch_hook is not None:
+            set_sketch_hook(lambda message, name=name: self._record(
+                "frozen-sketch", f"snapshot table {name!r}: {message}"
             ))
 
         if original_write is not None:
@@ -310,6 +321,8 @@ class SanitizerRuntime:
                     )
         if self.config.index_coherence:
             self._check_index_coherence()
+        if self.config.sketch_coherence:
+            self._check_sketch_coherence()
         return list(self.violations)
 
     def _check_index_coherence(self) -> None:
@@ -344,6 +357,43 @@ class SanitizerRuntime:
                 for problem in table.index_coherence_errors(ssid):
                     self._record(
                         "index-coherence",
+                        f"snapshot table {name!r} ssid {ssid}: "
+                        f"{problem}",
+                    )
+
+    def _check_sketch_coherence(self) -> None:
+        """Every sketch must be rebuildable bit-identically from its
+        backing store, and committed versions must have frozen
+        sketches."""
+        store = self.env.store
+        for name in store.live_table_names():
+            table = store.get_live_table(name)
+            errors = getattr(table, "sketch_coherence_errors", None)
+            if errors is None:
+                continue
+            for problem in errors():
+                self._record(
+                    "sketch-coherence",
+                    f"live table {name!r}: {problem}",
+                )
+        available = store.available_ssids()
+        for name in store.snapshot_table_names():
+            table = store.get_snapshot_table(name)
+            if not getattr(table, "sketch_count", 0):
+                continue
+            for ssid in available:
+                if not table.has_snapshot(ssid):
+                    continue
+                if not table.sketch_ready(ssid):
+                    self._record(
+                        "frozen-sketch",
+                        f"snapshot table {name!r} ssid {ssid} committed "
+                        "but its sketches were never frozen",
+                    )
+                    continue
+                for problem in table.sketch_coherence_errors(ssid):
+                    self._record(
+                        "sketch-coherence",
                         f"snapshot table {name!r} ssid {ssid}: "
                         f"{problem}",
                     )

@@ -1,0 +1,43 @@
+"""Approximate query answering: incrementally-maintained sketches.
+
+Probabilistic summaries — count-min sketches, HyperLogLogs, and
+reservoir samples — declared per column like secondary indexes,
+maintained per-partition on the live-mirror write path, and frozen at
+snapshot commit.  ``SELECT APPROX <aggregate> ...`` answers from them
+in O(partitions) probes with an explicit ``(estimate, error_bound,
+confidence)`` contract, falling back to the exact path whenever a
+statement isn't sketch-answerable.
+"""
+
+from .hashing import DEFAULT_SEED, HashFamily, hash64
+from .planning import ApproxAggregate, analyze_approx_select
+from .registry import (
+    MODE_KIND,
+    SKETCH_KINDS,
+    SketchDef,
+    SketchRegistry,
+)
+from .sketches import (
+    CountMinSketch,
+    HyperLogLog,
+    ReservoirSample,
+    Z_VALUES,
+    hll_estimate,
+)
+
+__all__ = [
+    "ApproxAggregate",
+    "CountMinSketch",
+    "DEFAULT_SEED",
+    "HashFamily",
+    "HyperLogLog",
+    "MODE_KIND",
+    "ReservoirSample",
+    "SKETCH_KINDS",
+    "SketchDef",
+    "SketchRegistry",
+    "Z_VALUES",
+    "analyze_approx_select",
+    "hash64",
+    "hll_estimate",
+]

@@ -1,0 +1,89 @@
+"""Seeded 64-bit hashing shared by the probabilistic sketches.
+
+Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), so
+sketch contents built on it would differ between runs and break the
+simulator's bit-determinism guarantee.  Everything here is pure integer
+arithmetic over a canonical byte encoding of the value, seeded by an
+explicit constant, so the same value always lands in the same counters
+on every run and every platform.
+
+The family is an FNV-1a core whose 64-bit state is passed through the
+splitmix64 finisher once per row — one byte-walk per value regardless
+of sketch depth.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+#: Fixed default seed for declared sketches.  Determinism requires a
+#: constant; the exact value is arbitrary (digits of pi).
+DEFAULT_SEED = 0x3141592653589793
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+#: Types a sketch can canonically encode.  Anything else (nested
+#: containers, arbitrary objects whose ``repr`` may embed addresses)
+#: marks the partition as unsupported instead of being hashed.
+SKETCHABLE_TYPES = (bool, int, float, str)
+
+
+def is_sketchable(value: object) -> bool:
+    return isinstance(value, SKETCHABLE_TYPES)
+
+
+def canonical_bytes(value: object) -> bytes:
+    """Type-tagged canonical encoding (``1`` and ``1.0`` and ``True``
+    hash differently even though they compare equal)."""
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return b"I" + repr(value).encode("ascii")
+    if isinstance(value, float):
+        return b"F" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"S" + value.encode("utf-8")
+    return b"O" + repr(value).encode("utf-8", "backslashreplace")
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finisher: avalanche a 64-bit state."""
+    x &= MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return (x ^ (x >> 31)) & MASK64
+
+
+def hash64(value: object, seed: int = DEFAULT_SEED) -> int:
+    """Seeded 64-bit hash of one sketchable value."""
+    h = _FNV_OFFSET
+    for byte in canonical_bytes(value):
+        h = ((h ^ byte) * _FNV_PRIME) & MASK64
+    return _mix64(h ^ seed)
+
+
+class HashFamily:
+    """``depth`` pairwise-independent-ish 64-bit hash functions.
+
+    One FNV pass per value; each row then applies its own pre-mixed
+    seed through the splitmix64 finisher, so count-min depth costs
+    almost nothing extra on the write path.
+    """
+
+    __slots__ = ("depth", "seed", "_row_seeds")
+
+    def __init__(self, depth: int, seed: int = DEFAULT_SEED) -> None:
+        self.depth = depth
+        self.seed = seed
+        self._row_seeds = tuple(
+            _mix64(seed + row + 1) for row in range(depth)
+        )
+
+    def hashes(self, value: object) -> tuple[int, ...]:
+        h = _FNV_OFFSET
+        for byte in canonical_bytes(value):
+            h = ((h ^ byte) * _FNV_PRIME) & MASK64
+        return tuple(_mix64(h ^ row_seed) for row_seed in self._row_seeds)

@@ -1,0 +1,228 @@
+"""The three sketch structures, one instance per (definition, partition).
+
+All of them support the live write path's mutation mix — inserts,
+overwrites, and deletes — which rules out the textbook insert-only
+variants:
+
+* :class:`CountMinSketch` counters simply decrement on removal (the
+  conservative-update trick is insert-only, so we don't use it);
+* :class:`HyperLogLog` keeps an exact value→multiplicity map beside the
+  registers; register maxima are insert-safe, and a removal that drops
+  a value's multiplicity to zero marks the registers dirty for a lazy
+  order-independent rebuild from the surviving values;
+* :class:`ReservoirSample` runs Algorithm R with a seeded RNG and
+  rebuilds from the backing partition when any value is removed.
+
+Estimates and error bounds are produced by the registry after merging
+across partitions (see :mod:`repro.approx.registry`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable
+
+from .hashing import HashFamily, hash64
+
+#: Two-sided normal critical values for the supported confidence
+#: levels (CLT intervals for reservoir estimates, HLL std-error).
+Z_VALUES = {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}
+
+
+class CountMinSketch:
+    """Frequency sketch: ``estimate(v)`` overcounts by at most
+    ``(e / width) * total`` with probability ``1 - e**-depth``."""
+
+    __slots__ = ("width", "depth", "rows", "total", "_family")
+
+    def __init__(self, width: int, depth: int,
+                 family: HashFamily) -> None:
+        self.width = width
+        self.depth = depth
+        self.rows = [[0] * width for _ in range(depth)]
+        self.total = 0
+        self._family = family
+
+    def insert(self, value: object) -> None:
+        width = self.width
+        for row, h in zip(self.rows, self._family.hashes(value)):
+            row[h % width] += 1
+        self.total += 1
+
+    def remove(self, value: object) -> None:
+        width = self.width
+        for row, h in zip(self.rows, self._family.hashes(value)):
+            row[h % width] -= 1
+        self.total -= 1
+
+    def estimate(self, value: object) -> int:
+        if self.total <= 0:
+            return 0
+        width = self.width
+        return min(
+            row[h % width]
+            for row, h in zip(self.rows, self._family.hashes(value))
+        )
+
+    def error_bound(self) -> float:
+        """Additive overcount bound for this partition's slice."""
+        return (math.e / self.width) * max(self.total, 0)
+
+    @property
+    def confidence(self) -> float:
+        return 1.0 - math.exp(-self.depth)
+
+
+class HyperLogLog:
+    """Distinct-count sketch with deletion support.
+
+    The exact ``value -> multiplicity`` map is what makes removal
+    possible; the registers are the thing actually estimated from, and
+    they are rebuilt lazily (rebuilds iterate the map's *keys* through
+    a max, so insertion order cannot leak into the registers).
+    """
+
+    __slots__ = ("m", "registers", "_index_bits", "_seed", "_counts",
+                 "dirty")
+
+    def __init__(self, registers: int, seed: int) -> None:
+        self.m = registers
+        self._index_bits = registers.bit_length() - 1
+        self._seed = seed
+        self.registers = [0] * registers
+        self._counts: dict[object, int] = {}
+        self.dirty = False
+
+    def insert(self, value: object) -> None:
+        seen = self._counts.get(value, 0)
+        self._counts[value] = seen + 1
+        if seen == 0 and not self.dirty:
+            self._observe(value)
+
+    def remove(self, value: object) -> None:
+        seen = self._counts.get(value, 0)
+        if seen <= 1:
+            self._counts.pop(value, None)
+            # A register may now overstate the max rank; rebuild lazily.
+            self.dirty = True
+        else:
+            self._counts[value] = seen - 1
+
+    def _observe(self, value: object) -> None:
+        h = hash64(value, self._seed)
+        bucket = h & (self.m - 1)
+        rest = h >> self._index_bits
+        rank = (64 - self._index_bits) - rest.bit_length() + 1
+        if rank > self.registers[bucket]:
+            self.registers[bucket] = rank
+
+    def refresh(self) -> None:
+        if not self.dirty:
+            return
+        self.registers = [0] * self.m
+        for value in self._counts:
+            self._observe(value)
+        self.dirty = False
+
+    @property
+    def distinct_tracked(self) -> int:
+        return len(self._counts)
+
+    def counts(self) -> dict[object, int]:
+        return dict(self._counts)
+
+
+def hll_estimate(registers: list[int]) -> float:
+    """Flajolet et al. estimator with the small-range linear-counting
+    correction, over (possibly merged) registers."""
+    m = len(registers)
+    if m == 0:
+        return 0.0
+    raw = _hll_alpha(m) * m * m / math.fsum(
+        2.0 ** -r for r in registers
+    )
+    zeros = registers.count(0)
+    if raw <= 2.5 * m and zeros:
+        return m * math.log(m / zeros)
+    return raw
+
+
+def _hll_alpha(m: int) -> float:
+    if m >= 128:
+        return 0.7213 / (1 + 1.079 / m)
+    if m == 64:
+        return 0.709
+    if m == 32:
+        return 0.697
+    return 0.673
+
+
+def hll_relative_error(m: int) -> float:
+    """One standard error of the HLL estimator."""
+    return 1.04 / math.sqrt(m)
+
+
+class ReservoirSample:
+    """Uniform sample of one partition's numeric column (Algorithm R).
+
+    ``n`` tracks the live population size exactly (it drives the
+    stratified merge weights).  Removal invalidates uniformity, so it
+    just flips ``dirty``; the registry rebuilds from the backing
+    partition with a freshly re-seeded RNG before the next read, which
+    keeps the sample a pure deterministic function of (seed, partition
+    contents in iteration order).
+    """
+
+    __slots__ = ("capacity", "sample", "n", "dirty", "_seed", "_rng",
+                 "_stream")
+
+    def __init__(self, capacity: int, seed: int) -> None:
+        self.capacity = capacity
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self.sample: list[float] = []
+        self._stream = 0
+        self.n = 0
+        self.dirty = False
+
+    def insert(self, value: float) -> None:
+        self.n += 1
+        if self.dirty:
+            return  # stale anyway; the next read rebuilds
+        self._offer(value)
+
+    def remove(self, _value: float) -> None:
+        self.n -= 1
+        self.dirty = True
+
+    def _offer(self, value: float) -> None:
+        self._stream += 1
+        if len(self.sample) < self.capacity:
+            self.sample.append(value)
+            return
+        slot = self._rng.randrange(self._stream)
+        if slot < self.capacity:
+            self.sample[slot] = value
+
+    def rebuild(self, values: Iterable[float]) -> None:
+        self._rng = random.Random(self._seed)
+        self.sample = []
+        self._stream = 0
+        count = 0
+        for value in values:
+            count += 1
+            self._offer(value)
+        self.n = count
+        self.dirty = False
+
+    def stats(self) -> tuple[int, float, float]:
+        """(sample size, sample mean, sample variance)."""
+        k = len(self.sample)
+        if k == 0:
+            return 0, 0.0, 0.0
+        mean = math.fsum(self.sample) / k
+        if k < 2:
+            return k, mean, 0.0
+        var = math.fsum((v - mean) ** 2 for v in self.sample) / (k - 1)
+        return k, mean, var

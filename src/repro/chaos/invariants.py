@@ -14,7 +14,11 @@ out, once the simulation drains the system must be clean:
 * **index coherence** — whatever partitions were dropped, rebuilt, or
   promoted along the way, every secondary index must agree with its
   backing store, and committed snapshot versions must carry frozen
-  index registries.
+  index registries;
+* **sketch coherence** — the same for the approximate-query sketches:
+  every count-min/HLL/reservoir summary must be rebuildable
+  bit-identically from its backing store, and committed snapshot
+  versions must carry frozen sketch registries.
 """
 
 from __future__ import annotations
@@ -64,6 +68,15 @@ def check_invariants(
             f"live table {name!r} index incoherent: {problem}"
             for problem in errors()
         )
+    for name in store.live_table_names():
+        table = store.get_live_table(name)
+        errors = getattr(table, "sketch_coherence_errors", None)
+        if errors is None:
+            continue
+        violations.extend(
+            f"live table {name!r} sketch incoherent: {problem}"
+            for problem in errors()
+        )
     available = store.available_ssids()
     for name in store.snapshot_table_names():
         table = store.get_snapshot_table(name)
@@ -82,6 +95,24 @@ def check_invariants(
                 f"snapshot table {name!r} ssid {ssid} index "
                 f"incoherent: {problem}"
                 for problem in table.index_coherence_errors(ssid)
+            )
+    for name in store.snapshot_table_names():
+        table = store.get_snapshot_table(name)
+        if not getattr(table, "sketch_count", 0):
+            continue
+        for ssid in available:
+            if not table.has_snapshot(ssid):
+                continue
+            if not table.sketch_ready(ssid):
+                violations.append(
+                    f"snapshot table {name!r} ssid {ssid} committed "
+                    "with unfrozen sketches"
+                )
+                continue
+            violations.extend(
+                f"snapshot table {name!r} ssid {ssid} sketch "
+                f"incoherent: {problem}"
+                for problem in table.sketch_coherence_errors(ssid)
             )
 
     for execution in executions:

@@ -182,6 +182,20 @@ class CostModel:
     #: snapshot writes).
     index_maintain_entry_ms: float = 0.0004
 
+    # --- approximate query answering (sketches) ---------------------------
+    #: Let ``APPROX`` aggregates answer from sketches when the
+    #: cost-based chooser prices the sketch path below index probes and
+    #: pruned scans.  Off = exact fallback (sketches still maintained).
+    sketch_enabled: bool = True
+    #: Fixed cost of reading one partition's sketch (O(1) counter reads
+    #: for count-min, O(registers) merge for HLL, O(capacity) for a
+    #: reservoir — all independent of partition size).
+    sketch_probe_ms: float = 0.02
+    #: Per-entry write-path cost of incrementally maintaining one
+    #: sketch (charged per sketched entry on mirror writes and snapshot
+    #: writes).
+    sketch_maintain_entry_ms: float = 0.0005
+
     # --- query service ------------------------------------------------------
     #: Parse/plan/coordinate fixed cost of a SQL query.
     sql_fixed_ms: float = 1.2
@@ -304,6 +318,47 @@ class IndexSpec:
 
 
 @dataclass(frozen=True)
+class SketchSpec:
+    """Declarative sketch on one stateful vertex's state table.
+
+    ``vertex`` may name the vertex or its sanitised table name.
+    ``kind`` is ``"countmin"`` (``APPROX COUNT(*) WHERE col = v``),
+    ``"hll"`` (``APPROX COUNT(DISTINCT col)``), or ``"reservoir"``
+    (``APPROX SUM/AVG(col)``).  ``live``/``snapshots`` choose which of
+    the two table families carry the sketch.
+    """
+
+    vertex: str
+    column: str
+    kind: str
+    live: bool = True
+    snapshots: bool = True
+
+    def validate(self) -> None:
+        from .approx.registry import SKETCH_KINDS
+        from .kvstore.indexes import RESERVED_COLUMNS
+
+        if not self.vertex:
+            raise ConfigurationError("sketch vertex must be non-empty")
+        if not self.column:
+            raise ConfigurationError("sketch column must be non-empty")
+        if self.column in RESERVED_COLUMNS:
+            raise ConfigurationError(
+                f"column {self.column!r} is reserved (key lookups "
+                "already bypass scans)"
+            )
+        if self.kind not in SKETCH_KINDS:
+            raise ConfigurationError(
+                f"sketch kind must be one of {SKETCH_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not (self.live or self.snapshots):
+            raise ConfigurationError(
+                "sketch must target live tables, snapshot tables, or both"
+            )
+
+
+@dataclass(frozen=True)
 class SQueryConfig:
     """Which S-QUERY features are enabled for a job.
 
@@ -348,10 +403,16 @@ class SQueryConfig:
     #: vertices (DDL-at-deploy; ``StateStore.create_index`` is the
     #: runtime DDL equivalent).
     indexes: tuple[IndexSpec, ...] = ()
+    #: Sketches to create on registration of the named vertices
+    #: (DDL-at-deploy; ``StateStore.create_sketch`` is the runtime DDL
+    #: equivalent).
+    sketches: tuple[SketchSpec, ...] = ()
 
     def validate(self) -> None:
         for spec in self.indexes:
             spec.validate()
+        for sketch_spec in self.sketches:
+            sketch_spec.validate()
         if self.retained_snapshots < 1:
             raise ConfigurationError("must retain at least one snapshot")
         if self.prune_chain_length < 1:
@@ -404,6 +465,10 @@ class SanitizerConfig:
     #: backing partitions at verify(), committed snapshot versions must
     #: have frozen indexes, and frozen registries reject mutation.
     index_coherence: bool = True
+    #: Sketch/store coherence: every sketch must agree with its backing
+    #: partitions at verify(), committed snapshot versions must have
+    #: frozen sketches, and frozen sketch registries reject mutation.
+    sketch_coherence: bool = True
     fail_fast: bool = True
 
     def validate(self) -> None:

@@ -116,6 +116,8 @@ class IMap:
         #: Secondary indexes (``None`` until the first ``add_index``;
         #: the mutation fast path then stays exactly as before).
         self._indexes: IndexRegistry | None = None
+        #: Probabilistic sketches, same lazy pattern as the indexes.
+        self._sketches = None
 
     # -- secondary indexes -------------------------------------------------
 
@@ -135,6 +137,28 @@ class IMap:
     def index_defs(self) -> list[IndexDef]:
         return [] if self._indexes is None else self._indexes.defs()
 
+    # -- sketches ----------------------------------------------------------
+
+    @property
+    def sketches(self):
+        return self._sketches
+
+    def add_sketch(self, definition):
+        """Create (or return the existing) sketch on one value column."""
+        if self._sketches is None:
+            # Imported lazily: the approx package builds on kvstore, so
+            # a module-level import here would be circular.
+            from ..approx.registry import SketchRegistry
+
+            self._sketches = SketchRegistry(
+                self.placement.partition_count,
+                lambda partition: self._partitions[partition].items(),
+            )
+        return self._sketches.add_definition(definition)
+
+    def sketch_defs(self) -> list:
+        return [] if self._sketches is None else self._sketches.defs()
+
     def partition_get(self, partition: int, key: Hashable,
                       default: object = None) -> object:
         """Read a key known to live in ``partition`` (index fetches)."""
@@ -147,6 +171,10 @@ class IMap:
         bucket = self._partitions[partition]
         if self._indexes is not None:
             self._indexes.on_put(
+                partition, key, bucket.get(key, _NO_VALUE), value
+            )
+        if self._sketches is not None:
+            self._sketches.on_put(
                 partition, key, bucket.get(key, _NO_VALUE), value
             )
         bucket[key] = value
@@ -168,6 +196,8 @@ class IMap:
             return False
         if self._indexes is not None:
             self._indexes.on_remove(partition, key, removed)
+        if self._sketches is not None:
+            self._sketches.on_remove(partition, key, removed)
         self._versions[key] = self._versions.get(key, 0) + 1
         self._writes += 1
         return True
@@ -219,6 +249,8 @@ class IMap:
             partition.clear()
             if self._indexes is not None:
                 self._indexes.rebuild_partition(index)
+            if self._sketches is not None:
+                self._sketches.rebuild_partition(index)
 
     def drop_partitions(self, partitions: list[int]) -> int:
         """Discard the given partitions' entries; returns entries lost.
@@ -233,6 +265,8 @@ class IMap:
             self._partitions[partition].clear()
             if self._indexes is not None:
                 self._indexes.rebuild_partition(partition)
+            if self._sketches is not None:
+                self._sketches.rebuild_partition(partition)
         return lost
 
 

@@ -109,6 +109,51 @@ class StateStore:
             total += getattr(table, "index_maintenance_ops", 0)
         return total
 
+    # -- sketches ----------------------------------------------------------
+
+    def create_sketch(self, name: str, column: str, kind: str,
+                      **params):
+        """DDL: create a probabilistic sketch on a value column of
+        ``name``.
+
+        Mirrors :meth:`create_index`: live tables sketch their backing
+        map and stay incrementally maintained from the write path;
+        snapshot tables sketch every retained version, and versions
+        already committed are frozen immediately.  Idempotent for an
+        identical definition.
+        """
+        from ..approx.registry import SketchDef
+
+        definition = SketchDef(column=column, kind=kind, **params)
+        definition.validate()
+        if name in self._maps:
+            return self._maps[name].add_sketch(definition)
+        if name in self._snapshot_tables:
+            table = self._snapshot_tables[name]
+            add = getattr(table, "add_sketch", None)
+            if add is None:
+                raise StoreError(
+                    f"snapshot table {name!r} backend does not support "
+                    "sketches"
+                )
+            created = add(definition)
+            for ssid in self._available_ssids:
+                table.freeze_sketch(ssid)
+            return created
+        raise MapNotFoundError(name)
+
+    def sketch_maintenance_ops(self) -> int:
+        """Sketch-entry write-path touches across every table
+        (observability rollup)."""
+        total = 0
+        for imap in self._maps.values():
+            registry = imap.sketches
+            if registry is not None:
+                total += registry.maintenance_ops
+        for table in self._snapshot_tables.values():
+            total += getattr(table, "sketch_maintenance_ops", 0)
+        return total
+
     # -- snapshot tables --------------------------------------------------
 
     def register_snapshot_table(self, name: str, table: object) -> None:
@@ -204,6 +249,9 @@ class StateStore:
             freeze = getattr(table, "freeze_index", None)
             if freeze is not None:
                 freeze(ssid)
+            freeze_sketch = getattr(table, "freeze_sketch", None)
+            if freeze_sketch is not None:
+                freeze_sketch(ssid)
         for listener in self._commit_listeners:
             listener(ssid)
 

@@ -56,6 +56,11 @@ class ClusterReport:
     rows_skipped_by_index: int = 0
     index_maintenance_ops: int = 0
     index_maintenance_cost: float = 0.0
+    # approximate query answering (sketch probes and maintenance)
+    sketch_probes: int = 0
+    approx_queries_answered: int = 0
+    sketch_maintenance_ops: int = 0
+    sketch_maintenance_cost: float = 0.0
     # continuous queries (zero when the subsystem is unused)
     active_subscriptions: int = 0
     changes_captured: int = 0
@@ -115,9 +120,16 @@ def collect_report(env: Environment) -> ClusterReport:
         report.index_probes += service.index_probes_total
         report.index_rows_read += service.index_rows_read_total
         report.rows_skipped_by_index += service.rows_skipped_by_index_total
+        report.sketch_probes += service.sketch_probes_total
+        report.approx_queries_answered += \
+            service.approx_queries_answered_total
     report.index_maintenance_ops = env.store.index_maintenance_ops()
     report.index_maintenance_cost = (
         report.index_maintenance_ops * env.costs.index_maintain_entry_ms
+    )
+    report.sketch_maintenance_ops = env.store.sketch_maintenance_ops()
+    report.sketch_maintenance_cost = (
+        report.sketch_maintenance_ops * env.costs.sketch_maintain_entry_ms
     )
     continuous = getattr(env, "continuous", None)
     if continuous is not None:
@@ -173,6 +185,13 @@ def format_report(report: ClusterReport) -> str:
             f"{report.rows_skipped_by_index:,} rows skipped | "
             f"{report.index_maintenance_ops:,} maintenance ops "
             f"({report.index_maintenance_cost:,.1f} ms billed)"
+        )
+    if report.sketch_probes or report.sketch_maintenance_ops:
+        footer += (
+            f"\nsketches: {report.sketch_probes:,} probes answered "
+            f"{report.approx_queries_answered:,} APPROX queries | "
+            f"{report.sketch_maintenance_ops:,} maintenance ops "
+            f"({report.sketch_maintenance_cost:,.1f} ms billed)"
         )
     if report.query_retries or report.query_aborts:
         footer += (

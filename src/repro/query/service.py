@@ -36,6 +36,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable
 
+from ..approx.planning import analyze_approx_select
 from ..config import QueryRetryPolicy
 from ..errors import (
     NoCommittedSnapshotError,
@@ -50,8 +51,9 @@ from ..sql.executor import (
     QueryResult,
     execute_grouped_select,
     execute_select,
+    output_column_name,
 )
-from ..sql.access import choose_access_path
+from ..sql.access import SketchCandidate, choose_access_path
 from ..sql.fragments import (
     DistributedPlan,
     FragmentAccumulator,
@@ -112,6 +114,13 @@ class QueryExecution:
         #: Rows an index-backed scan never touched (scan minus
         #: candidates, summed over indexed shards).
         self.rows_skipped_by_index = 0
+        #: Sketch probes issued by an APPROX aggregate (one per
+        #: partition summarised instead of scanned).
+        self.sketch_probes = 0
+        #: True when the result came from sketches: the answer carries
+        #: ``error_bound`` / ``confidence`` columns instead of touching
+        #: any rows.
+        self.approx_answered = False
         self.entries_scanned = 0
         #: Entries billed to store scan servers (== entries_scanned for
         #: scan queries; point lookups bill a fixed seek instead).
@@ -175,11 +184,28 @@ class _ShardPlan:
     indexed: bool = False
 
 
+@dataclass(frozen=True)
+class _SketchAnswer:
+    """A sketch-answered APPROX aggregate, computed at plan time.
+
+    Live sketches give a fuzzy read-uncommitted view — exactly the
+    isolation a live scan already gives — and snapshot sketches are
+    frozen at commit, so computing the merged estimate once up front is
+    sound; the per-node shards then only bill probe costs and ship a
+    marker payload through the normal retry-aware scan machinery.
+    """
+
+    table: str
+    description: str
+    columns: tuple[str, ...]
+    row: dict
+
+
 class _InFlight:
     """Service-side bookkeeping for one running query."""
 
     __slots__ = ("execution", "select", "table_kinds", "snapshot_id",
-                 "state", "plan")
+                 "state", "plan", "sketch")
 
     def __init__(self, execution: QueryExecution, select: Select,
                  table_kinds: list[tuple[str, str]]) -> None:
@@ -193,6 +219,9 @@ class _InFlight:
         #: Distributed plan (scan fragments + final fragment); ``None``
         #: when pushdown is disabled or the statement is not eligible.
         self.plan: DistributedPlan | None = None
+        #: Sketch answer for an APPROX aggregate; ``None`` on the exact
+        #: path.
+        self.sketch: _SketchAnswer | None = None
 
 
 class QueryService:
@@ -202,7 +231,8 @@ class QueryService:
                  ha_mode: bool = False,
                  retry_policy: QueryRetryPolicy | None = None,
                  pushdown: bool | None = None,
-                 indexes: bool | None = None) -> None:
+                 indexes: bool | None = None,
+                 sketches: bool | None = None) -> None:
         """``repeatable_read`` holds key locks for whole live queries;
         ``ha_mode`` declares that the job runs with active replication
         (§VII-B), upgrading live queries to read committed — state they
@@ -213,7 +243,10 @@ class QueryService:
         baseline that ships every raw row to the entry node.
         ``indexes`` forces index-backed scans on or off the same way
         (``None`` defers to ``CostModel.index_enabled``); off keeps
-        indexes maintained but never read."""
+        indexes maintained but never read.  ``sketches`` forces
+        sketch-answered APPROX aggregates on or off (``None`` defers to
+        ``CostModel.sketch_enabled``); off keeps sketches maintained but
+        falls back to the exact paths."""
         self.env = env
         self.sim = env.sim
         self.cluster = env.cluster
@@ -229,6 +262,9 @@ class QueryService:
         self.index_enabled = (
             self.costs.index_enabled if indexes is None else indexes
         )
+        self.sketch_enabled = (
+            self.costs.sketch_enabled if sketches is None else sketches
+        )
         self._entry_rotation = 0
         self.queries_executed = 0
         #: Rows shipped to entry nodes across all finished queries.
@@ -243,6 +279,10 @@ class QueryService:
         self.index_rows_read_total = 0
         #: Rows index-backed scans never touched, all finished queries.
         self.rows_skipped_by_index_total = 0
+        #: Sketch probes across all finished queries.
+        self.sketch_probes_total = 0
+        #: Queries answered from sketches (APPROX fast path).
+        self.approx_queries_answered_total = 0
         #: Shards rescheduled onto survivors after a node death.
         self.query_retries = 0
         #: Queries failed fast (entry-node death, retry exhaustion,
@@ -374,6 +414,7 @@ class QueryService:
         if not self.pushdown_enabled:
             lines.append("distributed: ship all rows "
                          "(pushdown disabled)")
+            lines.extend(self._explain_approx(select, table_kinds))
             return "\n".join(lines)
         if isinstance(select, Union):
             lines.append("distributed: ship all rows "
@@ -383,6 +424,7 @@ class QueryService:
         lines.append("distributed: pushdown")
         lines.extend(render_distributed(select, plan))
         lines.extend(self._explain_access_paths(plan, table_kinds))
+        lines.extend(self._explain_approx(select, table_kinds))
         return "\n".join(lines)
 
     def _explain_access_paths(self, plan: DistributedPlan,
@@ -435,6 +477,48 @@ class QueryService:
                 surcharge,
             )
             lines.append(prefix + choice.describe())
+            lines.extend(f"    rejected {reason}"
+                         for reason in choice.rejected)
+        return lines
+
+    def _explain_approx(self, select,
+                        table_kinds: list[tuple[str, str]]) -> list[str]:
+        """How an APPROX aggregate would (or would not) be answered
+        from sketches right now, including why every losing access-path
+        candidate was rejected."""
+        if not isinstance(select, Select) or not select.approx:
+            return []
+        if not self.sketch_enabled:
+            return ["  approx: exact fallback (sketches disabled)"]
+        if len(table_kinds) != 1 or select.joins:
+            return ["  approx: exact fallback (multi-table queries are "
+                    "not sketch-answerable)"]
+        aggregate = analyze_approx_select(select)
+        if aggregate is None:
+            return ["  approx: exact fallback (shape not "
+                    "sketch-answerable)"]
+        table_name, kind = table_kinds[0]
+        if kind == "live":
+            snapshot_id = None
+        else:
+            snapshot_id = _extract_ssid_filter(select.where)
+            if snapshot_id is None:
+                snapshot_id = self.store.committed_ssid
+            if snapshot_id is None:
+                return ["  approx: exact fallback (no committed "
+                        "snapshot)"]
+        priced = self._price_sketch(select, table_name, kind,
+                                    snapshot_id, aggregate)
+        if isinstance(priced, str):
+            return [f"  approx: exact fallback ({priced})"]
+        choice, _answer, _output = priced
+        prefix = f"  approx [{table_name}]: "
+        if choice.kind == "sketch":
+            lines = [prefix + choice.describe()]
+        else:
+            lines = [prefix + "exact path (sketch priced out)"]
+        lines.extend(f"    rejected {reason}"
+                     for reason in choice.rejected)
         return lines
 
     def execute(self, sql: str,
@@ -514,6 +598,9 @@ class QueryService:
         self.index_probes_total += execution.index_probes
         self.index_rows_read_total += execution.index_rows_read
         self.rows_skipped_by_index_total += execution.rows_skipped_by_index
+        self.sketch_probes_total += execution.sketch_probes
+        if execution.approx_answered and error is None:
+            self.approx_queries_answered_total += 1
         if error is None:
             self.queries_executed += 1
         execution._finish(self.sim.now, result, error)
@@ -700,6 +787,7 @@ class QueryService:
             state["pending"] = 1
             self._point_attempt(record, attempt=0)
             return
+        record.sketch = self._sketch_plan(record)
         seen: set[str] = set()
         shards: list[tuple[str, str, int]] = []
         for stripe, (table_name, kind) in enumerate(record.table_kinds):
@@ -775,10 +863,137 @@ class QueryService:
 
             server.submit(duration, finish)
 
+    # -- approximate (sketch) answering -------------------------------------
+
+    def _sketch_plan(self, record: _InFlight) -> _SketchAnswer | None:
+        """Sketch answer for an APPROX aggregate, or ``None`` when the
+        query must run on an exact path (the fallback is always sound:
+        anything a sketch cannot answer within its declared bound runs
+        as a normal scan/index query)."""
+        if not self.sketch_enabled:
+            return None
+        execution = record.execution
+        select = record.select
+        if not execution.materialize:
+            return None  # pure-load runs exercise the scan path
+        if not isinstance(select, Select) or not select.approx:
+            return None
+        if isinstance(record.snapshot_id, list):
+            return None  # all-versions scans stay exact
+        if len(record.table_kinds) != 1 or select.joins:
+            return None
+        aggregate = analyze_approx_select(select)
+        if aggregate is None:
+            return None
+        table_name, kind = record.table_kinds[0]
+        priced = self._price_sketch(select, table_name, kind,
+                                    record.snapshot_id, aggregate)
+        if isinstance(priced, str):
+            return None
+        choice, answer, output = priced
+        if choice.kind != "sketch":
+            return None  # an exact path priced cheaper
+        estimate, bound, confidence = answer
+        return _SketchAnswer(
+            table=table_name,
+            description=choice.describe(),
+            columns=(output, "error_bound", "confidence"),
+            row={output: estimate, "error_bound": bound,
+                 "confidence": confidence},
+        )
+
+    def _price_sketch(self, select: Select, table_name: str, kind: str,
+                      snapshot_id, aggregate):
+        """Validate and price one sketch read.
+
+        Returns a rejection reason (str) when the sketch cannot answer,
+        or ``(access path, (estimate, bound, confidence), output column
+        name)`` with the sketch priced against the exact paths."""
+        table = self._table_for(table_name, kind)
+        if not hasattr(table, "approx_estimate"):
+            return "table backend has no sketch support"
+        if kind == "live":
+            if aggregate.ssid_eq is not None:
+                return "ssid filter on a live table"
+            args: tuple = ()
+        else:
+            if aggregate.ssid_eq is not None \
+                    and aggregate.ssid_eq != snapshot_id:
+                return "ssid filter does not match the resolved snapshot"
+            args = (snapshot_id,)
+        if not table.sketch_ready(*args):
+            return ("no sketches (or the version's sketches are not "
+                    "frozen)")
+        if not table.has_sketch(aggregate.column, aggregate.kind):
+            return (f"no {aggregate.kind} sketch on "
+                    f"{aggregate.column!r}")
+        partitions: list[int] = []
+        entries = 0
+        for node_id in self.cluster.surviving_node_ids():
+            for partition in table.partitions_on_node(node_id):
+                partitions.append(partition)
+                entries += table.partition_entry_count(partition, *args)
+        answer = table.approx_estimate(
+            partitions, aggregate.mode, aggregate.column,
+            aggregate.value, *args,
+        )
+        if answer is None:
+            return "sketch cannot answer soundly (degraded partitions)"
+        conjuncts = tuple(split_conjuncts(select.where))
+        fragment = ScanFragment(
+            table=table_name,
+            binding=select.table.binding,
+            pushed=conjuncts,
+        )
+        # The exact alternative pays the aggregation surcharge (and the
+        # pushed-filter surcharge when there is a predicate) per row.
+        surcharge = self.costs.partial_agg_entry_ms
+        if conjuncts:
+            surcharge += self.costs.pushed_filter_entry_ms
+        candidate = SketchCandidate(
+            label=f"{aggregate.kind}({aggregate.column!r})",
+            probes=len(partitions),
+        )
+        choice = choose_access_path(
+            fragment, table, args, partitions, entries, self.costs,
+            surcharge, sketch=candidate, indexes=self.index_enabled,
+        )
+        output = output_column_name(select.items[0], 0)
+        return choice, answer, output
+
+    def _sketch_shard(self, record: _InFlight, table_name: str,
+                      kind: str, node_id: int, attempt: int) -> None:
+        """One node's share of a sketch-answered query: probe the local
+        partition summaries (one probe each, no row touches) and ship a
+        marker through the normal retry-aware result path."""
+        execution = record.execution
+        state = record.state
+        table = self._table_for(table_name, kind)
+        partitions = table.partitions_on_node(node_id)
+        execution.sketch_probes += len(partitions)
+        node = self.cluster.node(node_id)
+        server = node.store_server(
+            state["stripe"].get(table_name, 0) + node_id
+        )
+        duration = len(partitions) * self.costs.sketch_probe_ms
+
+        def finish() -> None:
+            if execution.done or state["attempt"][table_name] != attempt:
+                return
+            payload = [{"sketch": table_name, "node": node_id}]
+            self._ship_when_locked(record, table_name, kind, node_id,
+                                   payload, attempt, lock_rows=[])
+
+        server.submit(duration, finish)
+
     def _scan_shard(self, record: _InFlight, table_name: str, kind: str,
                     node_id: int, attempt: int) -> None:
         execution = record.execution
         state = record.state
+        if record.sketch is not None:
+            self._sketch_shard(record, table_name, kind, node_id,
+                               attempt)
+            return
         try:
             shard = self._scan_selection(
                 record, table_name, kind, node_id
@@ -1202,6 +1417,18 @@ class QueryService:
             return  # aborted while the merge sat in the entry pool
         if not execution.materialize:
             self._finish_execution(execution, None, None)
+            return
+        if record.sketch is not None:
+            # Sketch-answered APPROX: the estimate was computed at plan
+            # time (sound — see _SketchAnswer); the shards only billed
+            # probe costs and shipped markers.
+            execution.approx_answered = True
+            result = QueryResult(
+                columns=list(record.sketch.columns),
+                rows=[dict(record.sketch.row)],
+                scanned=0,
+            )
+            self._finish_execution(execution, result, None)
             return
         state = record.state
         # Point lookups ship complete rows; the full statement (with the

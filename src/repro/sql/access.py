@@ -1,16 +1,21 @@
 """Cost-based access-path selection for scan fragments.
 
 For each scan fragment the query service must decide *how* to read the
-fragment's partitions: sweep them (the pruned full scan of PR 3) or
-resolve candidates through a secondary index and fetch only those rows.
-The decision is priced with the :class:`~repro.config.CostModel`:
+fragment's partitions: sweep them (the pruned full scan of PR 3),
+resolve candidates through a secondary index and fetch only those rows,
+or — for sketch-answerable ``APPROX`` aggregates — skip the rows
+entirely and read one probabilistic summary per partition.  The
+decision is priced with the :class:`~repro.config.CostModel`:
 
 * full scan — every surviving partition entry pays the per-entry scan
   cost plus the pushed-filter (and partial-aggregation) surcharge;
 * index path — each per-partition probe pays ``index_probe_ms``, and
   each *candidate* row pays ``index_entry_ms`` plus the same surcharge
   (candidates still run the full pushed-conjunct filter, so index-on
-  results stay bit-identical to index-off).
+  results stay bit-identical to index-off);
+* sketch path — one ``sketch_probe_ms`` per partition, independent of
+  partition size (the estimate carries an error bound instead of
+  touching rows).
 
 The chooser is strictly conservative: it only considers a column when
 the fragment's pushed conjuncts imply a value restriction on it
@@ -18,11 +23,16 @@ the fragment's pushed conjuncts imply a value restriction on it
 table for exact per-partition candidate counts — a partition that
 cannot be probed soundly (missing columns, mixed types, a degraded
 structure) vetoes the whole index path for this fragment.
+
+Every candidate that loses records *why* in ``AccessPath.rejected``,
+which ``QueryService.explain`` renders — the difference between "the
+index lost on cost" and "the index was never applicable" matters when
+debugging sketch/index/scan selection.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..kvstore.indexes import EqProbe, RangeProbe
 from .fragments import (
@@ -34,25 +44,46 @@ from .fragments import (
 
 
 @dataclass(frozen=True)
+class SketchCandidate:
+    """A priced sketch read: one probe per partition, no row touches."""
+
+    label: str  # e.g. "countmin('state')"
+    probes: int
+
+
+@dataclass(frozen=True)
 class AccessPath:
     """One priced way of reading a fragment's partitions on one node."""
 
-    kind: str  # "scan" | "index-eq" | "index-range"
+    kind: str  # "scan" | "index-eq" | "index-range" | "sketch"
     column: str | None
     probe: EqProbe | RangeProbe | None
-    #: index probes issued (one per partition-and-value / range).
+    #: index probes issued (one per partition-and-value / range), or
+    #: sketch probes (one per partition).
     probes: int
-    #: rows the path touches (== scan_entries for a full scan).
+    #: rows the path touches (== scan_entries for a full scan, 0 for a
+    #: sketch).
     candidates: int
     scan_entries: int
     cost_ms: float
     scan_cost_ms: float
+    #: Display label for sketch paths.
+    label: str | None = None
+    #: Why each losing candidate was not chosen, in evaluation order.
+    rejected: tuple[str, ...] = ()
 
     def describe(self) -> str:
         if self.kind == "scan":
             return (
                 f"full scan ({self.scan_entries} rows, "
                 "no cheaper index)"
+            )
+        if self.kind == "sketch":
+            return (
+                f"sketch {self.label}: {self.probes} probe(s) "
+                f"summarising {self.scan_entries} rows "
+                f"(est. {self.cost_ms:.3f} ms vs scan "
+                f"{self.scan_cost_ms:.3f} ms)"
             )
         shape = (
             "index probe" if self.kind == "index-eq" else "index range"
@@ -99,48 +130,79 @@ def _scan_path(scan_entries: int, scan_cost: float) -> AccessPath:
     )
 
 
+def _candidate_label(path: AccessPath) -> str:
+    if path.kind == "sketch":
+        return f"sketch {path.label}"
+    if path.kind == "scan":
+        return "full scan"
+    return f"index on {path.column!r}"
+
+
 def choose_access_path(fragment: ScanFragment, view, view_args: tuple,
                        partitions: list[int], scan_entries: int,
-                       costs, surcharge_ms: float = 0.0) -> AccessPath:
+                       costs, surcharge_ms: float = 0.0,
+                       sketch: SketchCandidate | None = None,
+                       indexes: bool = True) -> AccessPath:
     """Pick the cheapest way to read ``partitions`` of ``view``.
 
     ``view`` is a live or snapshot table exposing ``index_columns()``
     and ``index_probe_count(partition, column, probe, *view_args)``
     (``view_args`` carries the snapshot id for snapshot tables).  The
-    full scan is the baseline; an index path must be strictly cheaper
-    to win.
+    full scan is the baseline; an index or sketch path must be strictly
+    cheaper to win.  ``sketch`` is an already-validated sketch read the
+    caller wants priced against the exact paths; ``indexes=False``
+    drops index candidates entirely (the service-level ablation knob —
+    a disabled index is not a legal exact path to price against).
     """
+    rejected: list[str] = []
     scan_cost = scan_entries * (costs.scan_entry_ms + surcharge_ms)
     best = _scan_path(scan_entries, scan_cost)
-    columns = view.index_columns()
+    columns = view.index_columns() if indexes else {}
     for column, kind in columns.items():
         extracted = extract_column_filter(
             list(fragment.pushed), column, fragment.binding
         )
         if extracted is None:
+            rejected.append(
+                f"index {kind}({column!r}): no pushed equality/range "
+                "restriction on the column"
+            )
             continue
         key_filter, needs_str = extracted
         probe = probe_for(key_filter, needs_str)
         if isinstance(probe, RangeProbe) and kind == "hash":
+            rejected.append(
+                f"index {kind}({column!r}): range restriction needs a "
+                "sorted index"
+            )
             continue
         probes = 0
         candidates = 0
-        usable = True
+        unsound: int | None = None
         for partition in partitions:
             counted = view.index_probe_count(
                 partition, column, probe, *view_args
             )
             if counted is None:
-                usable = False
+                unsound = partition
                 break
             probes += counted[0]
             candidates += counted[1]
-        if not usable:
+        if unsound is not None:
+            rejected.append(
+                f"index {kind}({column!r}): partition {unsound} not "
+                "probeable (missing or mixed-type values)"
+            )
             continue
         cost = probes * costs.index_probe_ms + candidates * (
             costs.index_entry_ms + surcharge_ms
         )
         if cost < best.cost_ms:
+            if best.kind != "scan":
+                rejected.append(
+                    f"{_candidate_label(best)}: est. "
+                    f"{best.cost_ms:.3f} ms beaten by a cheaper path"
+                )
             best = AccessPath(
                 kind=(
                     "index-eq" if isinstance(probe, EqProbe)
@@ -154,4 +216,38 @@ def choose_access_path(fragment: ScanFragment, view, view_args: tuple,
                 cost_ms=cost,
                 scan_cost_ms=scan_cost,
             )
-    return best
+        else:
+            rejected.append(
+                f"index {kind}({column!r}): est. {cost:.3f} ms >= "
+                f"best {best.cost_ms:.3f} ms"
+            )
+    if sketch is not None:
+        cost = sketch.probes * costs.sketch_probe_ms
+        if cost < best.cost_ms:
+            if best.kind != "scan":
+                rejected.append(
+                    f"{_candidate_label(best)}: est. "
+                    f"{best.cost_ms:.3f} ms beaten by a cheaper path"
+                )
+            best = AccessPath(
+                kind="sketch",
+                column=None,
+                probe=None,
+                probes=sketch.probes,
+                candidates=0,
+                scan_entries=scan_entries,
+                cost_ms=cost,
+                scan_cost_ms=scan_cost,
+                label=sketch.label,
+            )
+        else:
+            rejected.append(
+                f"sketch {sketch.label}: est. {cost:.3f} ms >= "
+                f"best {best.cost_ms:.3f} ms"
+            )
+    if best.kind != "scan":
+        rejected.append(
+            f"full scan: est. {scan_cost:.3f} ms >= chosen "
+            f"{best.cost_ms:.3f} ms"
+        )
+    return replace(best, rejected=tuple(rejected))

@@ -144,6 +144,10 @@ class Select:
     offset: int | None = None
     distinct: bool = False
     select_star: bool = False
+    #: ``SELECT APPROX ...``: aggregate results may be answered from
+    #: sketches; the result always carries ``error_bound`` and
+    #: ``confidence`` columns (0.0 / 1.0 on the exact fallback).
+    approx: bool = False
 
     def table_names(self) -> list[str]:
         """All base table names referenced, in FROM order."""

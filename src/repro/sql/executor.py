@@ -134,7 +134,24 @@ def execute_plan(plan: Plan, context: EvalContext) -> QueryResult:
         out_rows, columns = _execute_projection(select, rows, context)
 
     final = _shape_output(select, out_rows, columns, context)
+    if select.approx:
+        columns, final = _approx_exact_output(columns, final)
     return QueryResult(columns=columns, rows=final, scanned=scanned)
+
+
+def _approx_exact_output(
+    columns: list[str], rows: list[dict]
+) -> tuple[list[str], list[dict]]:
+    """Exact fallback of an ``APPROX`` statement: the answer is exact,
+    so it reports a zero error bound at full confidence — keeping the
+    result shape identical to the sketch fast path."""
+    shaped = []
+    for row in rows:
+        out = dict(row)
+        out["error_bound"] = 0.0
+        out["confidence"] = 1.0
+        shaped.append(out)
+    return columns + ["error_bound", "confidence"], shaped
 
 
 def _shape_output(select: Select, out_rows: list[dict],
@@ -170,6 +187,8 @@ def execute_grouped_select(select: Select, groups: dict,
     unique = unique_aggregates(select)
     out_rows, columns = _finalize_groups(select, unique, groups, context)
     final = _shape_output(select, out_rows, columns, context)
+    if select.approx:
+        columns, final = _approx_exact_output(columns, final)
     return QueryResult(columns=columns, rows=final, scanned=scanned)
 
 

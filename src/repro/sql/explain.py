@@ -71,7 +71,11 @@ def _render_output(select: Select, plan: Plan) -> str:
             (item.alias or render_expr(item.expr))
             for item in select.items
         )
-    prefix = "select distinct" if select.distinct else "select"
+    prefix = "select"
+    if select.approx:
+        prefix += " approx"
+    if select.distinct:
+        prefix += " distinct"
     return f"{prefix}: {shape}"
 
 

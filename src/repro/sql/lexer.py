@@ -11,7 +11,7 @@ KEYWORDS = {
     "OFFSET", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "TRUE",
     "FALSE", "JOIN", "INNER", "LEFT", "OUTER", "ON", "USING", "ASC",
     "DESC", "BETWEEN", "LIKE", "DISTINCT", "LOCALTIMESTAMP", "CASE",
-    "WHEN", "THEN", "ELSE", "END", "UNION", "ALL",
+    "WHEN", "THEN", "ELSE", "END", "UNION", "ALL", "APPROX",
 }
 
 #: Multi- and single-character operators, longest first.

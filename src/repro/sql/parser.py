@@ -116,6 +116,7 @@ class _Parser:
 
     def _parse_select(self) -> Select:
         self._expect_keyword("SELECT")
+        approx = self._match_keyword("APPROX")
         distinct = self._match_keyword("DISTINCT")
         items, select_star = self._parse_select_list()
         self._expect_keyword("FROM")
@@ -157,6 +158,7 @@ class _Parser:
             offset=offset,
             distinct=distinct,
             select_star=select_star,
+            approx=approx,
         )
 
     def _parse_int(self, clause: str) -> int:

@@ -117,6 +117,10 @@ def plan_select(select: Select, catalog: Catalog) -> Plan:
         raise SqlPlanError("HAVING requires GROUP BY or aggregates")
     if is_aggregate and select.select_star:
         raise SqlPlanError("SELECT * cannot be combined with aggregation")
+    if select.approx and not is_aggregate:
+        raise SqlPlanError(
+            "APPROX requires an aggregate query (COUNT/SUM/AVG/...)"
+        )
     return Plan(
         select=select,
         base_source=base_source,

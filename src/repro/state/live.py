@@ -168,6 +168,51 @@ class LiveStateTable:
             return []
         return [live_row(key, value)]
 
+    # -- sketches (approximate query answering) ----------------------------
+    #
+    # Like the live indexes, sketches are maintained synchronously on
+    # the IMap write path, so an estimate at any instant summarises the
+    # partition dicts at that instant — exactly the read-uncommitted
+    # contract live queries already have.
+
+    def add_sketch(self, definition):
+        return self._imap.add_sketch(definition)
+
+    @property
+    def sketch_count(self) -> int:
+        registry = self._imap.sketches
+        return 0 if registry is None else len(registry)
+
+    def sketch_defs(self) -> list:
+        return self._imap.sketch_defs()
+
+    def sketch_ready(self) -> bool:
+        """Live sketches are usable as soon as they exist (no freeze)."""
+        return self.sketch_count > 0
+
+    def has_sketch(self, column: str, kind: str) -> bool:
+        registry = self._imap.sketches
+        return registry is not None and registry.has(column, kind)
+
+    def approx_estimate(self, partitions: list[int], mode: str,
+                        column: str, value: object = None
+                        ) -> tuple[object, float, float] | None:
+        """Merged ``(estimate, bound, confidence)`` or ``None`` when no
+        sound sketch answer exists (degraded or missing sketch)."""
+        registry = self._imap.sketches
+        if registry is None:
+            return None
+        return registry.estimate(partitions, mode, column, value)
+
+    @property
+    def sketch_maintenance_ops(self) -> int:
+        registry = self._imap.sketches
+        return 0 if registry is None else registry.maintenance_ops
+
+    def sketch_coherence_errors(self) -> list[str]:
+        registry = self._imap.sketches
+        return [] if registry is None else registry.coherence_errors()
+
     # -- mutation (called by the S-QUERY backend) --------------------------
 
     def apply_update(self, key: Hashable, value: object | None) -> None:

@@ -105,6 +105,7 @@ class SQueryBackend(VanillaBackend):
             self.snapshot_tables[vertex_name] = table
             self.store.register_snapshot_table(snap_name, table)
         self._create_declared_indexes(vertex_name)
+        self._create_declared_sketches(vertex_name)
 
     def _create_declared_indexes(self, vertex_name: str) -> None:
         """Deploy-time DDL: apply ``config.indexes`` specs naming this
@@ -119,6 +120,23 @@ class SQueryBackend(VanillaBackend):
                     and not self.config.incremental:
                 self.store.create_index(
                     snapshot_table_name(vertex_name), spec.column, spec.kind
+                )
+
+    def _create_declared_sketches(self, vertex_name: str) -> None:
+        """Deploy-time DDL: apply ``config.sketches`` specs naming this
+        vertex (by vertex or sanitised table name)."""
+        table_name = self._vertex_table[vertex_name]
+        for spec in self.config.sketches:
+            if spec.vertex not in (vertex_name, table_name):
+                continue
+            if spec.live and self.config.live_state:
+                self.store.create_sketch(table_name, spec.column,
+                                         spec.kind)
+            if spec.snapshots and self.config.snapshot_state \
+                    and not self.config.incremental:
+                self.store.create_sketch(
+                    snapshot_table_name(vertex_name), spec.column,
+                    spec.kind,
                 )
 
     # -- live state ---------------------------------------------------------
@@ -138,6 +156,10 @@ class SQueryBackend(VanillaBackend):
             # Incremental index maintenance rides the mirror write,
             # under the same key-level lock.
             cost += self._costs.index_maintain_entry_ms * live.index_count
+        if live is not None and live.sketch_count:
+            # Sketch maintenance rides the same write, same lock.
+            cost += self._costs.sketch_maintain_entry_ms * \
+                live.sketch_count
         return cost
 
     def on_state_update(self, vertex_name: str, key: Hashable,
@@ -191,6 +213,9 @@ class SQueryBackend(VanillaBackend):
             per_entry += costs.incremental_entry_overhead_ms
         per_entry += costs.index_maintain_entry_ms * getattr(
             table, "index_count", 0
+        )
+        per_entry += costs.sketch_maintain_entry_ms * getattr(
+            table, "sketch_count", 0
         )
         server = self._cluster.node(node_id).store_server(instance)
 

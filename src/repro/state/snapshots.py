@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Iterator
 
+from ..approx.registry import SketchDef, SketchRegistry
 from ..errors import SnapshotNotFoundError
 from ..kvstore.indexes import IndexDef, IndexRegistry
 from .rows import snapshot_row
@@ -36,6 +37,12 @@ class FullSnapshotTable:
         #: (keeps the observability rollup monotonic).
         self._dropped_index_ops = 0
         self._index_hook: Callable[[str], None] | None = None
+        #: Sketch definitions and per-version registries, same
+        #: copy-on-write/freeze lifecycle as the indexes.
+        self._sketch_defs: dict[tuple[str, str], SketchDef] = {}
+        self._sketches: dict[int, SketchRegistry] = {}
+        self._dropped_sketch_ops = 0
+        self._sketch_hook: Callable[[str], None] | None = None
 
     # -- writes ---------------------------------------------------------
 
@@ -44,12 +51,17 @@ class FullSnapshotTable:
         self._by_ssid.setdefault(ssid, {})[instance] = dict(payload)
         if self._index_defs:
             self._registry_for(ssid).rebuild_partition(instance)
+        if self._sketch_defs:
+            self._sketch_registry_for(ssid).rebuild_partition(instance)
 
     def drop_snapshot(self, ssid: int) -> None:
         self._by_ssid.pop(ssid, None)
         registry = self._indexes.pop(ssid, None)
         if registry is not None:
             self._dropped_index_ops += registry.maintenance_ops
+        sketch_registry = self._sketches.pop(ssid, None)
+        if sketch_registry is not None:
+            self._dropped_sketch_ops += sketch_registry.maintenance_ops
 
     # -- secondary indexes -----------------------------------------------
 
@@ -159,6 +171,92 @@ class FullSnapshotTable:
 
     def index_coherence_errors(self, ssid: int) -> list[str]:
         registry = self._indexes.get(ssid)
+        return [] if registry is None else registry.coherence_errors()
+
+    # -- sketches --------------------------------------------------------
+
+    def _sketch_registry_for(self, ssid: int) -> SketchRegistry:
+        registry = self._sketches.get(ssid)
+        if registry is None:
+            registry = SketchRegistry(
+                self.parallelism,
+                lambda partition: self._by_ssid.get(ssid, {})
+                .get(partition, {}).items(),
+            )
+            registry.on_frozen_mutation = self._sketch_hook
+            for definition in self._sketch_defs.values():
+                registry.add_definition(definition)
+            self._sketches[ssid] = registry
+        return registry
+
+    def add_sketch(self, definition: SketchDef) -> SketchDef:
+        definition.validate()
+        key = (definition.column, definition.kind)
+        existing = self._sketch_defs.get(key)
+        if existing is not None:
+            if existing != definition:
+                from ..errors import StoreError
+
+                raise StoreError(
+                    f"sketch {definition.name} already exists with "
+                    "different parameters"
+                )
+            return existing
+        self._sketch_defs[key] = definition
+        # Retained versions (committed ones are re-frozen by the
+        # store's DDL entry point) get the new sketch backfilled.
+        for ssid in sorted(self._by_ssid):
+            self._sketch_registry_for(ssid).add_definition(definition)
+        return definition
+
+    def freeze_sketch(self, ssid: int) -> None:
+        """Commit time: the version's sketches become immutable."""
+        if not self._sketch_defs:
+            return
+        self._sketch_registry_for(ssid).freeze()
+
+    def sketch_ready(self, ssid: int) -> bool:
+        """Estimates only serve committed (frozen) versions."""
+        if not self._sketch_defs:
+            return False
+        registry = self._sketches.get(ssid)
+        return registry is not None and registry.frozen
+
+    @property
+    def sketch_count(self) -> int:
+        return len(self._sketch_defs)
+
+    def sketch_defs(self) -> list[SketchDef]:
+        return [self._sketch_defs[key] for key in sorted(self._sketch_defs)]
+
+    def has_sketch(self, column: str, kind: str) -> bool:
+        return (column, kind) in self._sketch_defs
+
+    def approx_estimate(self, partitions: list[int], mode: str,
+                        column: str, value: object, ssid: int
+                        ) -> tuple[object, float, float] | None:
+        registry = self._sketches.get(ssid)
+        if registry is None:
+            return None
+        return registry.estimate(partitions, mode, column, value)
+
+    @property
+    def sketch_maintenance_ops(self) -> int:
+        return self._dropped_sketch_ops + sum(
+            registry.maintenance_ops
+            for registry in self._sketches.values()
+        )
+
+    def set_sketch_mutation_hook(
+        self, hook: Callable[[str], None] | None
+    ) -> None:
+        """Observe frozen-registry mutation attempts (sanitizers)."""
+        self._sketch_hook = hook
+        for registry in self._sketches.values():
+            registry.on_frozen_mutation = hook
+
+    def sketch_coherence_errors(self, ssid: int) -> list[str]:
+        registry = self._sketches.get(ssid)
         return [] if registry is None else registry.coherence_errors()
 
     # -- reads ----------------------------------------------------------

@@ -1,0 +1,67 @@
+"""Seeded hash family: determinism, type separation, independence."""
+
+import pytest
+
+from repro.approx.hashing import (
+    DEFAULT_SEED,
+    HashFamily,
+    canonical_bytes,
+    hash64,
+    is_sketchable,
+)
+
+
+def test_hash64_is_deterministic():
+    values = [0, 1, -1, 2**40, 3.5, -0.0, "abc", "", True, False, None]
+    first = [hash64(v) for v in values]
+    second = [hash64(v) for v in values]
+    assert first == second
+
+
+def test_hash64_stays_in_64_bits():
+    for value in (0, "x" * 1000, 2**200, -(2**200), 1e300):
+        h = hash64(value)
+        assert 0 <= h < 2**64
+
+
+def test_type_tags_separate_colliding_reprs():
+    # 1, True, 1.0 and "1" are distinct stream values and must not
+    # collide by construction (only by 2^-64 chance).
+    hashes = {hash64(v) for v in (1, True, 1.0, "1")}
+    assert len(hashes) == 4
+    tags = {canonical_bytes(v)[:1] for v in (1, True, 1.0, "1", None)}
+    assert len(tags) == 5
+
+
+def test_seed_changes_the_function():
+    assert hash64("value", seed=1) != hash64("value", seed=2)
+    assert hash64("value") == hash64("value", seed=DEFAULT_SEED)
+
+
+def test_family_rows_are_distinct_functions():
+    family = HashFamily(depth=4)
+    rows = family.hashes("payload")
+    assert len(rows) == 4
+    assert len(set(rows)) == 4  # astronomically unlikely to collide
+    again = family.hashes("payload")
+    assert rows == again
+
+
+def test_family_rows_spread_uniformly():
+    # Bucket 4096 values into 64 buckets per row; no bucket should be
+    # wildly over-represented if the row functions are decent.
+    family = HashFamily(depth=2, seed=7)
+    counts = [[0] * 64 for _ in range(2)]
+    for value in range(4096):
+        for row, h in enumerate(family.hashes(value)):
+            counts[row][h % 64] += 1
+    for row in counts:
+        assert max(row) < 3 * (4096 // 64)
+
+
+@pytest.mark.parametrize("value,ok", [
+    (1, True), (1.5, True), ("s", True), (True, True),
+    (None, False), ([1], False), ({"a": 1}, False), ((1,), False),
+])
+def test_sketchable_types(value, ok):
+    assert is_sketchable(value) is ok

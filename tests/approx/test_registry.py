@@ -1,0 +1,195 @@
+"""Registry-level tests: maintenance hooks, soundness gating, freeze
+semantics, and the coherence checker that backs the sanitizers."""
+
+import pytest
+
+from repro.approx.registry import SketchDef, SketchRegistry
+from repro.errors import StoreError
+from repro.kvstore.indexes import MISSING as _MISSING
+
+PARTITIONS = 4
+
+
+def make_registry(backing: dict[int, dict]):
+    return SketchRegistry(
+        PARTITIONS,
+        lambda partition: backing.get(partition, {}).items(),
+    )
+
+
+def fill(backing: dict[int, dict], rows: int = 200):
+    for i in range(rows):
+        backing.setdefault(i % PARTITIONS, {})[f"k{i}"] = {
+            "v": i % 10,
+            "x": float(i),
+        }
+
+
+def all_partitions():
+    return list(range(PARTITIONS))
+
+
+class TestDefinitions:
+    def test_validate_rejects_bad_parameters(self):
+        with pytest.raises(StoreError):
+            SketchDef("", "countmin").validate()
+        with pytest.raises(StoreError):
+            SketchDef("key", "countmin").validate()  # reserved
+        with pytest.raises(StoreError):
+            SketchDef("v", "bloom").validate()
+        with pytest.raises(StoreError):
+            SketchDef("v", "hll", registers=100).validate()
+        with pytest.raises(StoreError):
+            SketchDef("v", "reservoir", confidence=0.5).validate()
+
+    def test_add_is_idempotent_but_rejects_mismatch(self):
+        backing: dict[int, dict] = {}
+        registry = make_registry(backing)
+        definition = SketchDef("v", "countmin")
+        assert registry.add_definition(definition) is definition \
+            or registry.add_definition(definition) == definition
+        with pytest.raises(StoreError):
+            registry.add_definition(SketchDef("v", "countmin", width=64))
+
+
+class TestMaintenance:
+    def test_backfill_then_incremental_equals_rebuild(self):
+        backing: dict[int, dict] = {}
+        fill(backing, 100)
+        registry = make_registry(backing)
+        registry.add_definition(SketchDef("v", "countmin"))
+        registry.add_definition(SketchDef("v", "hll"))
+        registry.add_definition(SketchDef("x", "reservoir"))
+        # Mutate through the hooks, mirroring the backing dict exactly
+        # the way IMap.put/delete does.
+        for i in range(100, 160):
+            partition = i % PARTITIONS
+            row = {"v": i % 10, "x": float(i)}
+            old = backing[partition].get(f"k{i}", None)
+            registry.on_put(
+                partition, f"k{i}",
+                old if old is not None else _MISSING, row,
+            )
+            backing[partition][f"k{i}"] = row
+        for i in range(0, 30):
+            partition = i % PARTITIONS
+            registry.on_remove(partition, f"k{i}",
+                               backing[partition].pop(f"k{i}"))
+        assert registry.coherence_errors() == []
+
+    def test_overwrite_with_same_value_is_skipped(self):
+        backing: dict[int, dict] = {}
+        fill(backing, 40)
+        registry = make_registry(backing)
+        registry.add_definition(SketchDef("v", "countmin"))
+        ops = registry.maintenance_ops
+        row = dict(backing[0]["k0"])
+        registry.on_put(0, "k0", backing[0]["k0"], row)
+        assert registry.maintenance_ops == ops  # column untouched
+
+    def test_estimates_track_mutations(self):
+        backing: dict[int, dict] = {}
+        fill(backing, 200)
+        registry = make_registry(backing)
+        registry.add_definition(SketchDef("v", "countmin"))
+        registry.add_definition(SketchDef("v", "hll"))
+        estimate, bound, confidence = registry.estimate(
+            all_partitions(), "count_eq", "v", value=3
+        )
+        exact = sum(
+            1 for p in backing.values()
+            for row in p.values() if row["v"] == 3
+        )
+        assert exact <= estimate <= exact + bound
+        assert confidence > 0.98
+        distinct, d_bound, _ = registry.estimate(
+            all_partitions(), "distinct", "v"
+        )
+        assert abs(distinct - 10) <= max(d_bound, 2)
+
+
+class TestSoundnessGating:
+    def test_missing_column_vetoes_the_partition(self):
+        backing = {0: {"a": {"other": 1}}, 1: {"b": {"v": 2}}}
+        registry = SketchRegistry(2, lambda p: backing.get(p, {}).items())
+        registry.add_definition(SketchDef("v", "countmin"))
+        assert registry.estimate([0, 1], "count_eq", "v", 2) is None
+        # Untouched degraded partitions don't veto other partitions.
+        assert registry.estimate([1], "count_eq", "v", 2) is not None
+
+    def test_unsupported_value_vetoes(self):
+        backing = {0: {"a": {"v": [1, 2]}}}
+        registry = SketchRegistry(1, lambda p: backing.get(p, {}).items())
+        registry.add_definition(SketchDef("v", "countmin"))
+        assert registry.estimate([0], "count_eq", "v", 1) is None
+
+    def test_non_numeric_vetoes_reservoir_only(self):
+        backing = {0: {"a": {"v": "text"}, "b": {"v": "more"}}}
+        registry = SketchRegistry(1, lambda p: backing.get(p, {}).items())
+        registry.add_definition(SketchDef("v", "reservoir"))
+        registry.add_definition(SketchDef("v", "hll"))
+        assert registry.estimate([0], "sum", "v") is None
+        assert registry.estimate([0], "distinct", "v") is not None
+
+    def test_nulls_are_excluded_not_vetoing(self):
+        backing = {0: {"a": {"v": None}, "b": {"v": 5}, "c": {"v": 5}}}
+        registry = SketchRegistry(1, lambda p: backing.get(p, {}).items())
+        registry.add_definition(SketchDef("v", "countmin"))
+        registry.add_definition(SketchDef("v", "hll"))
+        estimate, bound, _ = registry.estimate([0], "count_eq", "v", 5)
+        assert 2 <= estimate <= 2 + bound
+        distinct, _, _ = registry.estimate([0], "distinct", "v")
+        assert distinct == 1
+
+    def test_sum_avg_of_zero_rows_is_sql_null(self):
+        backing = {0: {}}
+        registry = SketchRegistry(1, lambda p: backing.get(p, {}).items())
+        registry.add_definition(SketchDef("x", "reservoir"))
+        estimate, bound, confidence = registry.estimate([0], "sum", "x")
+        assert estimate is None and bound == 0.0
+        assert confidence == 0.95
+
+
+class TestFreeze:
+    def test_frozen_registry_rejects_all_mutation(self):
+        backing: dict[int, dict] = {}
+        fill(backing, 20)
+        registry = make_registry(backing)
+        registry.add_definition(SketchDef("v", "countmin"))
+        registry.freeze()
+        observed = []
+        registry.on_frozen_mutation = observed.append
+        with pytest.raises(StoreError):
+            registry.on_put(0, "k", _MISSING, {"v": 1})
+        with pytest.raises(StoreError):
+            registry.on_remove(0, "k0", backing[0]["k0"])
+        with pytest.raises(StoreError):
+            registry.rebuild_partition(0)
+        with pytest.raises(StoreError):
+            registry.add_definition(SketchDef("v", "hll"))
+        assert len(observed) == 4
+        assert "frozen sketch registry" in observed[0]
+
+    def test_frozen_dirty_sketch_refuses_instead_of_rebuilding(self):
+        backing: dict[int, dict] = {}
+        fill(backing, 40)
+        registry = make_registry(backing)
+        registry.add_definition(SketchDef("x", "reservoir", capacity=4))
+        # Dirty one partition's reservoir, then freeze: the lazy
+        # rebuild is no longer allowed, so estimation must refuse.
+        registry.on_remove(0, "k0", backing[0].pop("k0"))
+        registry.freeze()
+        assert registry.estimate(all_partitions(), "sum", "x") is None
+
+
+class TestCoherence:
+    def test_detects_tampered_counters(self):
+        backing: dict[int, dict] = {}
+        fill(backing, 60)
+        registry = make_registry(backing)
+        registry.add_definition(SketchDef("v", "countmin"))
+        assert registry.coherence_errors() == []
+        # Bypass the API: mutate the backing dict directly.
+        backing[0]["rogue"] = {"v": 3}
+        problems = registry.coherence_errors()
+        assert problems and "countmin(v)" in problems[0]

@@ -1,0 +1,161 @@
+"""Per-sketch unit tests: mutation support, accuracy, determinism.
+
+Each structure is exercised on seeded workloads and its estimate is
+checked against the *guaranteed* bound (count-min is one-sided by
+construction) or the declared-confidence bound (HLL / reservoir — the
+workloads are fixed-seed, so a passing bound is reproducible, not
+flaky).
+"""
+
+import random
+
+from repro.approx.hashing import DEFAULT_SEED, HashFamily
+from repro.approx.sketches import (
+    CountMinSketch,
+    HyperLogLog,
+    ReservoirSample,
+    Z_VALUES,
+    hll_estimate,
+    hll_relative_error,
+)
+
+
+def make_cm(width=512, depth=4, seed=DEFAULT_SEED):
+    return CountMinSketch(width, depth, HashFamily(depth, seed))
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        cm = make_cm()
+        rng = random.Random(11)
+        truth: dict[int, int] = {}
+        for _ in range(5000):
+            v = rng.randrange(0, 300)
+            truth[v] = truth.get(v, 0) + 1
+            cm.insert(v)
+        for value, count in truth.items():
+            assert cm.estimate(value) >= count
+            assert cm.estimate(value) <= count + cm.error_bound()
+
+    def test_deletions_keep_counters_exact_sums(self):
+        cm = make_cm()
+        for _ in range(40):
+            cm.insert("a")
+        for _ in range(25):
+            cm.remove("a")
+        assert cm.total == 15
+        assert cm.estimate("a") >= 15
+        # Removing everything restores the empty sketch exactly.
+        for _ in range(15):
+            cm.remove("a")
+        assert cm.total == 0
+        assert all(c == 0 for row in cm.rows for c in row)
+        assert cm.estimate("a") == 0
+
+    def test_absent_value_bounded_by_collisions(self):
+        cm = make_cm()
+        for v in range(1000):
+            cm.insert(v)
+        assert cm.estimate("never-inserted") <= cm.error_bound()
+
+    def test_confidence_follows_depth(self):
+        assert make_cm(depth=1).confidence < make_cm(depth=4).confidence
+        assert 0.98 < make_cm(depth=4).confidence < 1.0
+
+    def test_deterministic_across_instances(self):
+        a, b = make_cm(), make_cm()
+        for v in range(200):
+            a.insert(v)
+            b.insert(v)
+        assert a.rows == b.rows
+
+
+class TestHyperLogLog:
+    def test_estimate_within_declared_error(self):
+        for true_n in (50, 500, 5000):
+            hll = HyperLogLog(256, DEFAULT_SEED)
+            for v in range(true_n):
+                hll.insert(f"user-{v}")
+            estimate = hll_estimate(hll.registers)
+            bound = Z_VALUES[0.99] * hll_relative_error(256) * estimate
+            assert abs(estimate - true_n) <= max(bound, 3.0), true_n
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(256, DEFAULT_SEED)
+        for _ in range(10):
+            for v in range(100):
+                hll.insert(v)
+        assert hll.distinct_tracked == 100
+        assert abs(hll_estimate(hll.registers) - 100) <= 15
+
+    def test_removal_marks_dirty_and_refresh_rebuilds(self):
+        hll = HyperLogLog(64, DEFAULT_SEED)
+        for v in range(200):
+            hll.insert(v)
+        before = list(hll.registers)
+        hll.remove(7)  # multiplicity 1 -> 0: registers stale
+        assert hll.dirty
+        hll.refresh()
+        assert not hll.dirty
+        # Rebuilding from scratch over the surviving values gives the
+        # identical registers: order independence.
+        fresh = HyperLogLog(64, DEFAULT_SEED)
+        for v in range(200):
+            if v != 7:
+                fresh.insert(v)
+        assert hll.registers == fresh.registers
+        assert before != hll.registers or 7 not in hll.counts()
+
+    def test_removal_of_duplicate_keeps_registers_clean(self):
+        hll = HyperLogLog(64, DEFAULT_SEED)
+        hll.insert("x")
+        hll.insert("x")
+        hll.remove("x")
+        assert not hll.dirty  # multiplicity 2 -> 1: still present
+        assert hll.counts() == {"x": 1}
+
+
+class TestReservoir:
+    def test_small_stream_is_exact(self):
+        res = ReservoirSample(64, seed=3)
+        for v in range(50):
+            res.insert(float(v))
+        k, mean, _var = res.stats()
+        assert k == 50 and res.n == 50
+        assert mean == sum(range(50)) / 50
+
+    def test_sample_is_deterministic(self):
+        a, b = ReservoirSample(16, seed=9), ReservoirSample(16, seed=9)
+        for v in range(1000):
+            a.insert(float(v))
+            b.insert(float(v))
+        assert a.sample == b.sample
+        assert len(a.sample) == 16
+
+    def test_sample_mean_tracks_population(self):
+        res = ReservoirSample(256, seed=5)
+        rng = random.Random(5)
+        values = [rng.uniform(0, 100) for _ in range(20_000)]
+        for v in values:
+            res.insert(v)
+        _k, mean, var = res.stats()
+        true_mean = sum(values) / len(values)
+        # CLT interval at 99% over the sample of 256.
+        half_width = Z_VALUES[0.99] * (var / 256) ** 0.5
+        assert abs(mean - true_mean) <= half_width
+
+    def test_removal_dirties_and_rebuild_restores(self):
+        res = ReservoirSample(8, seed=1)
+        for v in range(100):
+            res.insert(float(v))
+        res.remove(3.0)
+        assert res.dirty and res.n == 99
+        survivors = [float(v) for v in range(100) if v != 3]
+        res.rebuild(survivors)
+        assert not res.dirty and res.n == 99
+        # Identical to a fresh run over the same stream: pure function
+        # of (seed, stream).
+        fresh = ReservoirSample(8, seed=1)
+        for v in survivors:
+            fresh.insert(v)
+        assert res.sample == fresh.sample
