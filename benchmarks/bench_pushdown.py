@@ -61,33 +61,49 @@ def run_bench():
     metrics = {}
     for label, sql in SCENARIOS:
         runs = {}
-        for pushdown in (True, False):
+        # (pushdown, vectorized): the third run keeps pushdown on but
+        # falls back to the interpreted per-row scan path, isolating
+        # the columnar win from the shipping win.
+        for key, pushdown, vectorized in (
+            ("on", True, True),
+            ("off", False, True),
+            ("interp", True, False),
+        ):
             env = build_env()
-            service = QueryService(env, pushdown=pushdown)
+            service = QueryService(env, pushdown=pushdown,
+                                   vectorized=vectorized)
             execution = service.execute(sql)
-            runs[pushdown] = execution
-        on, off = runs[True], runs[False]
+            runs[key] = execution
+        on, off, interp = runs["on"], runs["off"], runs["interp"]
         assert on.result.columns == off.result.columns, label
         assert on.result.rows == off.result.rows, label
+        assert on.result.rows == interp.result.rows, label
+        assert on.bytes_shipped == interp.bytes_shipped, label
+        assert on.rows_shipped == interp.rows_shipped, label
         ratio = off.bytes_shipped / max(on.bytes_shipped, 1)
+        scan_ratio = interp.scan_ms_billed / max(on.scan_ms_billed, 1e-9)
         rows.append([
             label,
             f"{on.bytes_shipped:,}", f"{off.bytes_shipped:,}",
             f"{ratio:.1f}x",
             on.rows_shipped, off.rows_shipped,
             f"{on.latency_ms:.2f}", f"{off.latency_ms:.2f}",
+            f"{scan_ratio:.1f}x",
         ])
         metrics[label] = {
             "bytes_ratio": ratio,
             "latency_on": on.latency_ms,
             "latency_off": off.latency_ms,
+            "scan_ratio": scan_ratio,
         }
     table = format_table(
         ["scenario", "bytes (on)", "bytes (off)", "reduction",
-         "rows (on)", "rows (off)", "latency on ms", "latency off ms"],
+         "rows (on)", "rows (off)", "latency on ms", "latency off ms",
+         "scan speedup"],
         rows,
         title=(f"Distributed pushdown ablation — {KEYS:,} rows, "
-               f"{NODES} nodes (on = pushdown, off = ship-all)"),
+               f"{NODES} nodes (on = pushdown, off = ship-all; scan "
+               "speedup = interpreted scan ms / vectorized scan ms)"),
     )
     return table, metrics
 
@@ -102,6 +118,9 @@ def check(metrics) -> None:
     group = metrics["group by"]
     assert group["bytes_ratio"] >= 5.0, metrics
     assert group["latency_on"] < group["latency_off"], metrics
+    # The vectorized scan path must halve billed scan time everywhere.
+    for label, stats in metrics.items():
+        assert stats["scan_ratio"] >= 2.0, (label, stats)
 
 
 def test_bench_pushdown(benchmark):

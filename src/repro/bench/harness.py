@@ -427,6 +427,9 @@ class QueryLatencyResult:
     paper_keys: int
     latency: LatencyRecorder
     queries: int
+    #: Median virtual ms billed on the scan path per query inside the
+    #: measurement window (isolates scan cost from merge/queueing).
+    scan_ms_median: float = 0.0
 
 
 def run_query_latency_experiment(paper_keys: int, incremental: bool,
@@ -437,6 +440,7 @@ def run_query_latency_experiment(paper_keys: int, incremental: bool,
                                  label: str | None = None,
                                  nodes: int = 7,
                                  incremental_backend: str = "chain",
+                                 vectorized: bool | None = None,
                                  seed: int = 7) -> QueryLatencyResult:
     """One series of Fig. 13: SQL query latency, full vs. incremental.
 
@@ -459,14 +463,19 @@ def run_query_latency_experiment(paper_keys: int, incremental: bool,
         seed=seed,
     )
     env, job = setup.env, setup.job
-    service = QueryService(env)
+    service = QueryService(env, vectorized=vectorized)
     sql = (
         'SELECT COUNT(*), MAX(value) FROM "snapshot_deltastate" '
         "WHERE value >= 0"
     )
+    scan_samples: list[tuple[float, float]] = []
 
     def submit(on_done):
-        return service.submit(sql, on_done=on_done, materialize=False)
+        def done(execution):
+            scan_samples.append((env.sim.now, execution.scan_ms_billed))
+            on_done(execution)
+
+        return service.submit(sql, on_done=done, materialize=False)
 
     client = ClosedLoopClient(env.sim, submit, query_concurrency)
     interval = job.config.checkpoint_interval_ms
@@ -482,11 +491,18 @@ def run_query_latency_experiment(paper_keys: int, incremental: bool,
     # Measure once incremental chains have reached steady depth.
     window_start = interval * min(checkpoints // 2, 25)
     recorder.extend(client.latencies_in(window_start, horizon))
+    windowed_scans = sorted(
+        scan_ms for time, scan_ms in scan_samples
+        if window_start <= time < horizon
+    )
+    scan_median = (windowed_scans[len(windowed_scans) // 2]
+                   if windowed_scans else 0.0)
     return QueryLatencyResult(
         label=recorder.name,
         paper_keys=paper_keys,
         latency=recorder,
         queries=recorder.count,
+        scan_ms_median=scan_median,
     )
 
 

@@ -160,6 +160,32 @@ class CostModel:
     #: Fixed serialisation overhead per shipped row/group under
     #: pushdown (header, key, framing).
     row_overhead_bytes: int = 24
+
+    # --- vectorized columnar scan execution -------------------------------
+    #: Execute scan fragments over columnar chunk batches with
+    #: compile-once predicate/projection/aggregation closures instead of
+    #: per-row AST interpretation.  Results are bit-identical either
+    #: way; off = the interpreted ablation baseline.
+    vectorized_enabled: bool = True
+    #: Per-entry cost of a columnar batch sweep (replaces
+    #: ``scan_entry_ms`` on vectorized non-indexed scans: sequential
+    #: column reads amortize per-entry dispatch).
+    vectorized_scan_entry_ms: float = 0.0003
+    #: Per-entry cost of evaluating compiled predicates / projecting
+    #: columns over a batch (replaces ``pushed_filter_entry_ms``).
+    vectorized_filter_entry_ms: float = 0.00002
+    #: Additional per-entry cost of folding batch survivors into
+    #: partial-aggregate state (replaces ``partial_agg_entry_ms``).
+    vectorized_partial_agg_entry_ms: float = 0.00003
+    #: Fixed cost per scan chunk of assembling its column batch.
+    batch_fixed_ms: float = 0.002
+    #: One-time cost of compiling a fragment's pushed conjuncts into
+    #: specialized closures (billed on compile-cache misses only, with
+    #: the first chunk of the shard that compiled it).
+    predicate_compile_ms: float = 0.05
+    #: Capacity of the process-wide compiled-LIKE pattern cache (LRU
+    #: keyed by pattern; bounds memory under data-derived patterns).
+    like_cache_max_patterns: int = 1024
     #: Bytes per shipped column value under pushdown.  A full-width row
     #: (``row_bytes / column_bytes`` columns) costs about ``row_bytes``,
     #: so the flat legacy billing is the no-projection limit.
@@ -246,6 +272,8 @@ class CostModel:
                 raise ConfigurationError(f"{name} must be non-negative")
         if self.scan_chunk_entries < 1:
             raise ConfigurationError("scan_chunk_entries must be >= 1")
+        if self.like_cache_max_patterns < 1:
+            raise ConfigurationError("like_cache_max_patterns must be >= 1")
         if not 0 < self.direct_batch_exponent <= 1:
             raise ConfigurationError(
                 "direct_batch_exponent must be in (0, 1]"

@@ -61,6 +61,13 @@ class ClusterReport:
     approx_queries_answered: int = 0
     sketch_maintenance_ops: int = 0
     sketch_maintenance_cost: float = 0.0
+    # vectorized columnar scan execution (compile-once fragments)
+    predicates_compiled: int = 0
+    batches_evaluated: int = 0
+    compile_cache_hits: int = 0
+    # compiled-LIKE pattern cache (process-wide, LRU-bounded)
+    like_cache_hits: int = 0
+    like_cache_misses: int = 0
     # continuous queries (zero when the subsystem is unused)
     active_subscriptions: int = 0
     changes_captured: int = 0
@@ -123,6 +130,9 @@ def collect_report(env: Environment) -> ClusterReport:
         report.sketch_probes += service.sketch_probes_total
         report.approx_queries_answered += \
             service.approx_queries_answered_total
+        report.predicates_compiled += service.predicates_compiled_total
+        report.batches_evaluated += service.batches_evaluated_total
+        report.compile_cache_hits += service.compile_cache_hits_total
     report.index_maintenance_ops = env.store.index_maintenance_ops()
     report.index_maintenance_cost = (
         report.index_maintenance_ops * env.costs.index_maintain_entry_ms
@@ -139,6 +149,13 @@ def collect_report(env: Environment) -> ClusterReport:
         report.push_batches_sent = continuous.batches_sent
         report.push_batches_coalesced = continuous.batches_coalesced
         report.subscription_rescans = continuous.rescans_run
+    # Process-wide cache (shared across environments), documented as
+    # such: the counters are cumulative for the process.
+    from .sql.executor import like_cache_stats
+
+    like_hits, like_misses = like_cache_stats()
+    report.like_cache_hits = like_hits
+    report.like_cache_misses = like_misses
     sanitizers = getattr(env, "sanitizers", None)
     if sanitizers is not None:
         report.sanitizer_violations = len(sanitizers.violations)
@@ -192,6 +209,14 @@ def format_report(report: ClusterReport) -> str:
             f"{report.approx_queries_answered:,} APPROX queries | "
             f"{report.sketch_maintenance_ops:,} maintenance ops "
             f"({report.sketch_maintenance_cost:,.1f} ms billed)"
+        )
+    if report.batches_evaluated or report.predicates_compiled:
+        footer += (
+            f"\ncolumnar: {report.batches_evaluated:,} batches, "
+            f"{report.predicates_compiled:,} predicates compiled "
+            f"({report.compile_cache_hits:,} fragment-cache hits) | "
+            f"LIKE cache: {report.like_cache_hits:,} hits, "
+            f"{report.like_cache_misses:,} misses"
         )
     if report.query_retries or report.query_aborts:
         footer += (

@@ -47,6 +47,7 @@ from ..errors import (
 )
 from ..sql import EvalContext, parse
 from ..sql.ast import Binary, Column, Expr, Literal, Select, Union
+from ..sql.batch import run_fragment_batches
 from ..sql.executor import (
     QueryResult,
     execute_grouped_select,
@@ -56,7 +57,6 @@ from ..sql.executor import (
 from ..sql.access import SketchCandidate, choose_access_path
 from ..sql.fragments import (
     DistributedPlan,
-    FragmentAccumulator,
     KeySet,
     PartialGroups,
     ScanFragment,
@@ -121,6 +121,17 @@ class QueryExecution:
         #: ``error_bound`` / ``confidence`` columns instead of touching
         #: any rows.
         self.approx_answered = False
+        #: Pushed conjuncts compiled into specialized closures for this
+        #: query (vectorized scan path, compile-cache misses only).
+        self.predicates_compiled = 0
+        #: Scan chunks evaluated as columnar batches.
+        self.batches_evaluated = 0
+        #: Fragment compilations served by the process-wide cache.
+        self.compile_cache_hits = 0
+        #: Simulated milliseconds billed to store servers for this
+        #: query's scan chunks — the scan-path latency the vectorized
+        #: ablation benchmarks compare.
+        self.scan_ms_billed = 0.0
         self.entries_scanned = 0
         #: Entries billed to store scan servers (== entries_scanned for
         #: scan queries; point lookups bill a fixed seek instead).
@@ -184,6 +195,26 @@ class _ShardPlan:
     indexed: bool = False
 
 
+@dataclass
+class _ShardError:
+    """A scan-side fragment error, shipped like a payload.
+
+    A pushed predicate or partial-aggregate expression can fail mid-scan
+    (mixed-type comparison, division by zero, ...).  Instead of blowing
+    up the storage node's simulated server callback — which would leak
+    locks and crash the driver — the error ships through the normal
+    result path (attempt-token guarded, retry-compatible) and the merge
+    surfaces the error of the minimal ``(table, node id)``.  That choice
+    is timing-independent, and because the central executor sees rows in
+    canonical node-id-sorted order, it is the same first error a fully
+    central evaluation of the pushed conjuncts would raise — so
+    vectorized on/off and pushdown on/off stay bit-identical on erroring
+    workloads too.
+    """
+
+    error: Exception
+
+
 @dataclass(frozen=True)
 class _SketchAnswer:
     """A sketch-answered APPROX aggregate, computed at plan time.
@@ -232,7 +263,8 @@ class QueryService:
                  retry_policy: QueryRetryPolicy | None = None,
                  pushdown: bool | None = None,
                  indexes: bool | None = None,
-                 sketches: bool | None = None) -> None:
+                 sketches: bool | None = None,
+                 vectorized: bool | None = None) -> None:
         """``repeatable_read`` holds key locks for whole live queries;
         ``ha_mode`` declares that the job runs with active replication
         (§VII-B), upgrading live queries to read committed — state they
@@ -246,7 +278,10 @@ class QueryService:
         indexes maintained but never read.  ``sketches`` forces
         sketch-answered APPROX aggregates on or off (``None`` defers to
         ``CostModel.sketch_enabled``); off keeps sketches maintained but
-        falls back to the exact paths."""
+        falls back to the exact paths.  ``vectorized`` forces columnar
+        batch execution of scan fragments on or off (``None`` defers to
+        ``CostModel.vectorized_enabled``); off is the interpreted
+        per-row ablation baseline with bit-identical results."""
         self.env = env
         self.sim = env.sim
         self.cluster = env.cluster
@@ -264,6 +299,10 @@ class QueryService:
         )
         self.sketch_enabled = (
             self.costs.sketch_enabled if sketches is None else sketches
+        )
+        self.vectorized_enabled = (
+            self.costs.vectorized_enabled if vectorized is None
+            else vectorized
         )
         self._entry_rotation = 0
         self.queries_executed = 0
@@ -283,6 +322,12 @@ class QueryService:
         self.sketch_probes_total = 0
         #: Queries answered from sketches (APPROX fast path).
         self.approx_queries_answered_total = 0
+        #: Pushed conjuncts compiled into closures, all finished queries.
+        self.predicates_compiled_total = 0
+        #: Columnar scan batches evaluated, all finished queries.
+        self.batches_evaluated_total = 0
+        #: Fragment compile-cache hits, all finished queries.
+        self.compile_cache_hits_total = 0
         #: Shards rescheduled onto survivors after a node death.
         self.query_retries = 0
         #: Queries failed fast (entry-node death, retry exhaustion,
@@ -411,17 +456,26 @@ class QueryService:
                     f"point lookup: {len(keys)} key(s) on "
                     f"{len(owners)} owner node(s)"
                 )
+        scan_mode = (
+            "scan execution: vectorized (columnar batches, "
+            "compile-once predicates)"
+            if self.vectorized_enabled
+            else "scan execution: interpreted per-row (ablation baseline)"
+        )
         if not self.pushdown_enabled:
             lines.append("distributed: ship all rows "
                          "(pushdown disabled)")
+            lines.append(scan_mode)
             lines.extend(self._explain_approx(select, table_kinds))
             return "\n".join(lines)
         if isinstance(select, Union):
             lines.append("distributed: ship all rows "
                          "(UNION runs centrally)")
+            lines.append(scan_mode)
             return "\n".join(lines)
         plan = split_select(select)
         lines.append("distributed: pushdown")
+        lines.append(scan_mode)
         lines.extend(render_distributed(select, plan))
         lines.extend(self._explain_access_paths(plan, table_kinds))
         lines.extend(self._explain_approx(select, table_kinds))
@@ -599,6 +653,9 @@ class QueryService:
         self.index_rows_read_total += execution.index_rows_read
         self.rows_skipped_by_index_total += execution.rows_skipped_by_index
         self.sketch_probes_total += execution.sketch_probes
+        self.predicates_compiled_total += execution.predicates_compiled
+        self.batches_evaluated_total += execution.batches_evaluated
+        self.compile_cache_hits_total += execution.compile_cache_hits
         if execution.approx_answered and error is None:
             self.approx_queries_answered_total += 1
         if error is None:
@@ -1009,17 +1066,46 @@ class QueryService:
         fragment = shard.fragment
         entries = shard.entries
         fetch = shard.fetch
+        probe_ms = shard.probes * self.costs.index_probe_ms
+        if entries == 0 and probe_ms == 0:
+            # A provably-empty shard (zero stored entries, or a key
+            # filter that eliminated every candidate partition) must not
+            # occupy a store server or bill a chunk: complete it
+            # immediately instead of submitting a zero-entry chunk.
+            self._shard_scanned(record, table_name, kind, node_id,
+                                entries, attempt, fetch, fragment, None)
+            return
+        vectorized = self.vectorized_enabled
         # Pushed predicate / projection / partial-agg work happens while
         # the scan walks the entries, at a small per-entry surcharge.
         # Index-backed shards fetch candidates by key (index_entry_ms)
-        # instead of sweeping partitions (scan_entry_ms).
-        per_entry_ms = (self.costs.index_entry_ms if shard.indexed
-                        else self.costs.scan_entry_ms)
+        # instead of sweeping partitions; a vectorized sweep reads
+        # columns sequentially at the cheaper batch rate, with compiled
+        # closures cutting the per-entry fragment surcharge.
+        if shard.indexed:
+            per_entry_ms = self.costs.index_entry_ms
+        elif vectorized:
+            per_entry_ms = self.costs.vectorized_scan_entry_ms
+        else:
+            per_entry_ms = self.costs.scan_entry_ms
+        compiled = None
+        compile_ms = 0.0
         if fragment is not None:
-            per_entry_ms += self.costs.pushed_filter_entry_ms
-            if fragment.partial is not None:
-                per_entry_ms += self.costs.partial_agg_entry_ms
-        probe_ms = shard.probes * self.costs.index_probe_ms
+            if vectorized:
+                per_entry_ms += self.costs.vectorized_filter_entry_ms
+                if fragment.partial is not None:
+                    per_entry_ms += self.costs.vectorized_partial_agg_entry_ms
+                compiled, cache_hit = fragment.compiled_form()
+                if cache_hit:
+                    execution.compile_cache_hits += 1
+                else:
+                    execution.predicates_compiled += len(fragment.pushed)
+                    compile_ms = self.costs.predicate_compile_ms
+            else:
+                per_entry_ms += self.costs.pushed_filter_entry_ms
+                if fragment.partial is not None:
+                    per_entry_ms += self.costs.partial_agg_entry_ms
+        chunk_fixed_ms = self.costs.batch_fixed_ms if vectorized else 0.0
         chunk = self.costs.scan_chunk_entries
         chunks = max(1, -(-entries // chunk))
         node = self.cluster.node(node_id)
@@ -1030,16 +1116,25 @@ class QueryService:
                 return  # query finished, or this shard's node died
             if remaining == 0:
                 self._shard_scanned(record, table_name, kind, node_id,
-                                    entries, attempt, fetch, fragment)
+                                    entries, attempt, fetch, fragment,
+                                    compiled)
                 return
             # The final chunk is partial: bill only the entries left.
             done_entries = (chunks - remaining) * chunk
             entries_in_chunk = max(0, min(chunk, entries - done_entries))
             execution.entries_billed += entries_in_chunk
             duration = entries_in_chunk * per_entry_ms
+            if entries_in_chunk:
+                # Probe-only chunks (index probes with zero candidates)
+                # assemble no batch and bill no batch overhead.
+                duration += chunk_fixed_ms
+                if vectorized:
+                    execution.batches_evaluated += 1
             if remaining == chunks:
-                # Index probes run before the first candidate fetch.
-                duration += probe_ms
+                # Index probes run before the first candidate fetch;
+                # fragment compilation (cache misses only) with them.
+                duration += probe_ms + compile_ms
+            execution.scan_ms_billed += duration
             # Successive chunks visit successive store partitions, so a
             # scan spreads over (and contends on) all partition threads.
             server = node.store_server(stripe + remaining)
@@ -1246,26 +1341,35 @@ class QueryService:
 
     def _shard_scanned(self, record: _InFlight, table_name: str, kind: str,
                        node_id: int, entries: int, attempt: int,
-                       fetch, fragment) -> None:
+                       fetch, fragment, compiled=None) -> None:
         """Materialise this shard's rows *now*, run the pushed fragment
-        against them, and ship only what survives."""
+        against them, and ship only what survives.
+
+        ``compiled`` is the fragment's compiled closure form on the
+        vectorized path (``None`` runs the interpreted baseline)."""
         execution = record.execution
         state = record.state
         lock_rows: list[dict] | None = None
         if not execution.materialize:
-            payload: list[dict] | int | PartialGroups = self._row_count(
-                table_name, kind, node_id, record.snapshot_id
+            payload: list[dict] | int | PartialGroups | _ShardError = (
+                self._row_count(
+                    table_name, kind, node_id, record.snapshot_id
+                )
             )
         else:
             raws = fetch()
             if fragment is not None:
-                accumulator = FragmentAccumulator(
-                    fragment, EvalContext(now_ms=self.sim.now)
-                )
-                # Repeatable read locks exactly the rows the query
-                # observes: the survivors of the pushed predicates.
-                lock_rows = [raw for raw in raws if accumulator.add(raw)]
-                payload = accumulator.payload()
+                try:
+                    # Repeatable read locks exactly the rows the query
+                    # observes: the survivors of the pushed predicates.
+                    lock_rows, payload, _batches = run_fragment_batches(
+                        fragment, compiled, raws,
+                        EvalContext(now_ms=self.sim.now),
+                        self.costs.scan_chunk_entries,
+                    )
+                except Exception as exc:  # ship the error, don't crash
+                    payload = _ShardError(exc)
+                    lock_rows = []
             else:
                 payload = raws
                 lock_rows = raws
@@ -1307,6 +1411,9 @@ class QueryService:
         costs = self.costs
         if isinstance(payload, int):
             return payload * costs.row_bytes
+        if isinstance(payload, _ShardError):
+            # An error marker ships like one framed header-only row.
+            return costs.row_overhead_bytes
         if isinstance(payload, PartialGroups):
             per_group = (costs.row_overhead_bytes
                          + payload.width() * costs.column_bytes)
@@ -1393,7 +1500,8 @@ class QueryService:
             execution.rows_shipped += payload
         else:
             state["rows"][table_name][node_id] = payload
-            execution.rows_shipped += len(payload)
+            if not isinstance(payload, _ShardError):
+                execution.rows_shipped += len(payload)
         execution.bytes_shipped += nbytes
         state["nodes"][table_name].discard(node_id)
         state["pending"] -= 1
@@ -1431,6 +1539,10 @@ class QueryService:
             self._finish_execution(execution, result, None)
             return
         state = record.state
+        shard_error = self._first_shard_error(record)
+        if shard_error is not None:
+            self._finish_execution(execution, None, shard_error)
+            return
         # Point lookups ship complete rows; the full statement (with the
         # key predicate) runs centrally as before.
         plan = record.plan if not state["point"] else None
@@ -1464,6 +1576,22 @@ class QueryService:
             self._finish_execution(execution, None, exc)
             return
         self._finish_execution(execution, result, None)
+
+    def _first_shard_error(self, record: _InFlight) -> Exception | None:
+        """The canonical scan-side error among collected payloads.
+
+        Tables in FROM order, nodes sorted: the same order the merge
+        concatenates rows in, so the surfaced error is the first one a
+        central evaluation of the canonical row stream would hit —
+        independent of shard completion timing."""
+        state = record.state
+        for table_name, _ in record.table_kinds:
+            per_node = state["rows"].get(table_name, {})
+            for node_id in sorted(per_node):
+                payload = per_node[node_id]
+                if isinstance(payload, _ShardError):
+                    return payload.error
+        return None
 
     def _release_locks(self, execution: QueryExecution) -> None:
         if self.repeatable_read:

@@ -1,0 +1,371 @@
+"""Compile-once expression evaluation for scan fragments.
+
+:func:`compile_expr` turns one AST expression into a specialized Python
+closure ``fn(raw, context) -> value`` that evaluates the expression
+against a *raw* stored row exactly as the interpreted executor evaluates
+it against ``bind_row(raw, binding)`` — the same three-valued logic,
+short-circuiting, error messages, and column resolution — without
+re-walking the AST or building the bound-row copy per evaluation.  The
+scan hot path compiles each fragment's pushed conjuncts once (see
+:mod:`repro.sql.batch`) and then evaluates whole chunks through the
+closures; results are bit-identical to the interpreted path, which stays
+available as the ``vectorized=False`` ablation baseline.
+
+Column resolution mirrors ``bind_row``'s key layout precisely: the bound
+row is ``dict(raw)`` overlaid with ``{binding}.{column}`` aliases, so a
+``binding``-qualified reference prefers the unqualified raw value (the
+overlay overwrites any literal ``"binding.column"`` raw key), and a
+reference qualified with any other table only ever sees literal
+dotted raw keys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SqlExecutionError
+from .ast import (
+    AGGREGATE_FUNCTIONS,
+    Between,
+    Binary,
+    CaseWhen,
+    Column,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    LocalTimestamp,
+    Star,
+    Unary,
+)
+from .executor import (
+    EvalContext,
+    compare_values,
+    like_regex,
+    match_like,
+    truthy,
+)
+from .functions import SCALAR_FUNCTIONS
+
+#: A compiled expression: evaluate against a raw stored row.
+CompiledExpr = Callable[[dict, EvalContext], object]
+
+#: Sentinel distinguishing "key absent" from a stored ``None`` (SQL NULL).
+_MISSING = object()
+
+_COMPARISONS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+
+
+def compile_predicate(expr: Expr, binding: str) -> CompiledExpr:
+    """Compile a WHERE conjunct; the closure returns the ``eval_predicate``
+    truth value (only TRUE passes, NULL does not)."""
+    fn = compile_expr(expr, binding)
+
+    def predicate(raw: dict, context: EvalContext) -> bool:
+        return truthy(fn(raw, context))
+
+    return predicate
+
+
+def compile_projection(columns: tuple[str, ...] | None) -> Callable[[dict], dict]:
+    """Compile a fragment projection: returns the shipped row for one raw
+    row, matching ``FragmentAccumulator``'s column strip exactly."""
+    if columns is None:
+        return lambda raw: raw
+    keep = frozenset(columns)
+
+    def project(raw: dict) -> dict:
+        return {key: value for key, value in raw.items() if key in keep}
+
+    return project
+
+
+def compile_expr(expr: Expr, binding: str) -> CompiledExpr:
+    """Compile one expression into a closure over ``(raw, context)``."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda raw, context: value
+    if isinstance(expr, LocalTimestamp):
+        return lambda raw, context: context.now_ms
+    if isinstance(expr, Column):
+        return _compile_column(expr, binding)
+    if isinstance(expr, FuncCall):
+        return _compile_call(expr, binding)
+    if isinstance(expr, Unary):
+        return _compile_unary(expr, binding)
+    if isinstance(expr, Binary):
+        return _compile_binary(expr, binding)
+    if isinstance(expr, InList):
+        return _compile_in(expr, binding)
+    if isinstance(expr, Between):
+        return _compile_between(expr, binding)
+    if isinstance(expr, Like):
+        return _compile_like(expr, binding)
+    if isinstance(expr, IsNull):
+        operand = compile_expr(expr.operand, binding)
+        if expr.negated:
+            return lambda raw, context: operand(raw, context) is not None
+        return lambda raw, context: operand(raw, context) is None
+    if isinstance(expr, CaseWhen):
+        return _compile_case(expr, binding)
+    if isinstance(expr, Star):
+        return _raiser("* is only valid in COUNT(*) or SELECT *")
+    return _raiser(f"cannot evaluate {type(expr).__name__}")
+
+
+def _raiser(message: str) -> CompiledExpr:
+    def fail(raw: dict, context: EvalContext) -> object:
+        raise SqlExecutionError(message)
+
+    return fail
+
+
+def _compile_column(column: Column, binding: str) -> CompiledExpr:
+    name = column.name
+    message = f"unknown column {column.display()!r}"
+    if column.table is None:
+        def unqualified(raw: dict, context: EvalContext) -> object:
+            value = raw.get(name, _MISSING)
+            if value is _MISSING:
+                raise SqlExecutionError(message)
+            return value
+
+        return unqualified
+    dotted = f"{column.table}.{name}"
+    if column.table == binding:
+        # The bind_row overlay writes binding-qualified aliases after
+        # dict(raw), so the unqualified raw value shadows any literal
+        # dotted raw key of the same name.
+        def qualified(raw: dict, context: EvalContext) -> object:
+            value = raw.get(name, _MISSING)
+            if value is _MISSING:
+                value = raw.get(dotted, _MISSING)
+            if value is _MISSING:
+                raise SqlExecutionError(message)
+            return value
+
+        return qualified
+
+    def foreign(raw: dict, context: EvalContext) -> object:
+        value = raw.get(dotted, _MISSING)
+        if value is _MISSING:
+            raise SqlExecutionError(message)
+        return value
+
+    return foreign
+
+
+def _compile_call(call: FuncCall, binding: str) -> CompiledExpr:
+    # Scan fragments never carry aggregates (split_select keeps them in
+    # the merge half), but the compiled form must still fail with the
+    # interpreted path's message if one slips through.
+    if call.name in AGGREGATE_FUNCTIONS:
+        return _raiser(f"aggregate {call.name} used outside aggregation")
+    func = SCALAR_FUNCTIONS.get(call.name)
+    if func is None:
+        return _raiser(f"unknown function {call.name}")
+    args = tuple(compile_expr(arg, binding) for arg in call.args)
+
+    def scalar(raw: dict, context: EvalContext) -> object:
+        return func([fn(raw, context) for fn in args])
+
+    return scalar
+
+
+def _compile_unary(expr: Unary, binding: str) -> CompiledExpr:
+    operand = compile_expr(expr.operand, binding)
+    if expr.op == "NOT":
+        def negate(raw: dict, context: EvalContext) -> object:
+            value = operand(raw, context)
+            if value is None:
+                return None
+            return not truthy(value)
+
+        return negate
+    if expr.op == "-":
+        def minus(raw: dict, context: EvalContext) -> object:
+            value = operand(raw, context)
+            if value is None:
+                return None
+            return -value
+
+        return minus
+
+    def plus(raw: dict, context: EvalContext) -> object:
+        value = operand(raw, context)
+        if value is None:
+            return None
+        return +value
+
+    return plus
+
+
+def _compile_binary(expr: Binary, binding: str) -> CompiledExpr:
+    op = expr.op
+    left = compile_expr(expr.left, binding)
+    right = compile_expr(expr.right, binding)
+    if op == "AND":
+        def logical_and(raw: dict, context: EvalContext) -> object:
+            lhs = left(raw, context)
+            if lhs is False or (lhs is not None and not truthy(lhs)):
+                return False
+            rhs = right(raw, context)
+            if rhs is False or (rhs is not None and not truthy(rhs)):
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+
+        return logical_and
+    if op == "OR":
+        def logical_or(raw: dict, context: EvalContext) -> object:
+            lhs = left(raw, context)
+            if lhs is not None and truthy(lhs):
+                return True
+            rhs = right(raw, context)
+            if rhs is not None and truthy(rhs):
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+
+        return logical_or
+    if op in _COMPARISONS:
+        def comparison(raw: dict, context: EvalContext) -> object:
+            lhs = left(raw, context)
+            rhs = right(raw, context)
+            if lhs is None or rhs is None:
+                return None
+            return compare_values(op, lhs, rhs)
+
+        return comparison
+    if op in ("+", "-", "*"):
+        def arithmetic(raw: dict, context: EvalContext) -> object:
+            lhs = left(raw, context)
+            rhs = right(raw, context)
+            if lhs is None or rhs is None:
+                return None
+            if op == "+":
+                return lhs + rhs
+            if op == "-":
+                return lhs - rhs
+            return lhs * rhs
+
+        return arithmetic
+    if op in ("/", "%"):
+        message = "division by zero" if op == "/" else "modulo by zero"
+
+        def division(raw: dict, context: EvalContext) -> object:
+            lhs = left(raw, context)
+            rhs = right(raw, context)
+            if lhs is None or rhs is None:
+                return None
+            if rhs == 0:
+                raise SqlExecutionError(message)
+            return lhs / rhs if op == "/" else lhs % rhs
+
+        return division
+
+    # The interpreted path evaluates both operands (surfacing their
+    # errors first) and NULL-propagates before rejecting the operator.
+    def unknown_operator(raw: dict, context: EvalContext) -> object:
+        lhs = left(raw, context)
+        rhs = right(raw, context)
+        if lhs is None or rhs is None:
+            return None
+        raise SqlExecutionError(f"unknown operator {op}")
+
+    return unknown_operator
+
+
+def _compile_in(expr: InList, binding: str) -> CompiledExpr:
+    operand = compile_expr(expr.operand, binding)
+    items = tuple(compile_expr(item, binding) for item in expr.items)
+    negated = expr.negated
+
+    def in_list(raw: dict, context: EvalContext) -> object:
+        value = operand(raw, context)
+        if value is None:
+            return None
+        saw_null = False
+        for item in items:
+            candidate = item(raw, context)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return not negated
+        if saw_null:
+            return None
+        return negated
+
+    return in_list
+
+
+def _compile_between(expr: Between, binding: str) -> CompiledExpr:
+    operand = compile_expr(expr.operand, binding)
+    low = compile_expr(expr.low, binding)
+    high = compile_expr(expr.high, binding)
+    negated = expr.negated
+
+    def between(raw: dict, context: EvalContext) -> object:
+        value = operand(raw, context)
+        low_value = low(raw, context)
+        high_value = high(raw, context)
+        if value is None or low_value is None or high_value is None:
+            return None
+        result = low_value <= value <= high_value
+        return (not result) if negated else result
+
+    return between
+
+
+def _compile_like(expr: Like, binding: str) -> CompiledExpr:
+    operand = compile_expr(expr.operand, binding)
+    negated = expr.negated
+    if isinstance(expr.pattern, Literal) and isinstance(expr.pattern.value, str):
+        # The common case: a literal pattern compiles to a regex once,
+        # here, instead of a cache lookup per row.
+        regex = like_regex(expr.pattern.value)
+
+        def like_literal(raw: dict, context: EvalContext) -> object:
+            value = operand(raw, context)
+            if value is None:
+                return None
+            result = regex.fullmatch(str(value)) is not None
+            return (not result) if negated else result
+
+        return like_literal
+    pattern = compile_expr(expr.pattern, binding)
+
+    def like_dynamic(raw: dict, context: EvalContext) -> object:
+        value = operand(raw, context)
+        pattern_value = pattern(raw, context)
+        if value is None or pattern_value is None:
+            return None
+        result = match_like(str(value), str(pattern_value))
+        return (not result) if negated else result
+
+    return like_dynamic
+
+
+def _compile_case(expr: CaseWhen, binding: str) -> CompiledExpr:
+    branches = tuple(
+        (compile_expr(condition, binding), compile_expr(result, binding))
+        for condition, result in expr.branches
+    )
+    default = (
+        compile_expr(expr.default, binding)
+        if expr.default is not None else None
+    )
+
+    def case_when(raw: dict, context: EvalContext) -> object:
+        for condition, result in branches:
+            if truthy(condition(raw, context)):
+                return result(raw, context)
+        if default is not None:
+            return default(raw, context)
+        return None
+
+    return case_when

@@ -27,6 +27,7 @@ from .ast import (
     collect_aggregates,
 )
 from .functions import SCALAR_FUNCTIONS, make_aggregate
+from .lru import LruCache
 from .planner import Catalog, JoinStep, Plan, plan_select
 
 
@@ -713,10 +714,22 @@ def _eval_like(expr: Like, row: dict, context: EvalContext,
 #: literal prefix (the characters before the first wildcard — what the
 #: planner turns into a sorted-index range probe).  Patterns are almost
 #: always literals, so the same handful recurs for every row of a scan;
-#: the bound guards against unbounded growth from data-derived patterns
-#: (``x LIKE y``).
-_LIKE_CACHE: dict[str, tuple["re.Pattern[str]", str]] = {}
-_LIKE_CACHE_MAX = 1024
+#: the LRU bound guards against unbounded growth from data-derived
+#: patterns (``x LIKE y``) while keeping the hot patterns resident —
+#: the capacity follows ``CostModel.like_cache_max_patterns`` (applied
+#: by :class:`~repro.env.Environment`), and hit/miss counts roll into
+#: :class:`~repro.observability.ClusterReport`.
+_LIKE_CACHE: LruCache[str, tuple["re.Pattern[str]", str]] = LruCache(1024)
+
+
+def set_like_cache_capacity(capacity: int) -> None:
+    """Apply the configured LIKE-cache bound (process-wide)."""
+    _LIKE_CACHE.set_capacity(capacity)
+
+
+def like_cache_stats() -> tuple[int, int]:
+    """Process-wide ``(hits, misses)`` of the compiled-LIKE cache."""
+    return _LIKE_CACHE.hits, _LIKE_CACHE.misses
 
 
 def _compiled_like(pattern: str) -> tuple["re.Pattern[str]", str]:
@@ -736,9 +749,7 @@ def _compiled_like(pattern: str) -> tuple["re.Pattern[str]", str]:
         compiled = (
             re.compile("".join(regex_parts)), pattern[:prefix_len]
         )
-        if len(_LIKE_CACHE) >= _LIKE_CACHE_MAX:
-            _LIKE_CACHE.clear()
-        _LIKE_CACHE[pattern] = compiled
+        _LIKE_CACHE.put(pattern, compiled)
     return compiled
 
 
@@ -788,6 +799,27 @@ def eval_having(expr: Expr, row: dict, context: EvalContext,
                 agg_values: dict) -> bool:
     """HAVING semantics over a group's aggregate values."""
     return _truthy(_eval(expr, row, context, agg_values))
+
+
+def truthy(value: object) -> bool:
+    """WHERE truth of an evaluated value (only TRUE passes)."""
+    return _truthy(value)
+
+
+def compare_values(op: str, left: object, right: object) -> bool:
+    """SQL comparison of two non-NULL values, with the executor's
+    mixed-type :class:`SqlExecutionError`."""
+    return _compare(op, left, right)
+
+
+def match_like(text: str, pattern: str) -> bool:
+    """SQL LIKE matching through the compiled-pattern cache."""
+    return _like_match(text, pattern)
+
+
+def like_regex(pattern: str) -> "re.Pattern[str]":
+    """The compiled regex of a LIKE pattern (cached)."""
+    return _like_regex(pattern)
 
 
 def hashable_key(value: object) -> object:

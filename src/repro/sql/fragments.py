@@ -273,11 +273,20 @@ def _prefix_upper_bound(prefix: str) -> str | None:
     """Smallest string above every string starting with ``prefix``.
 
     Increments the last incrementable code point; ``None`` when every
-    character is U+10FFFF (no finite upper bound exists)."""
+    character is U+10FFFF (no finite upper bound exists).  Incrementing
+    must skip the UTF-16 surrogate block (U+D800–U+DFFF): a lone
+    surrogate (e.g. ``chr(0xD7FF + 1)``) is not a valid character, is
+    unencodable by any UTF-8 serialization of the plan/explain output,
+    and compares inconsistently with real text.  ``chr(0xE000)`` — the
+    first character after the block — is still above every surrogate
+    and every character below it, so the bound stays correct."""
     for position in reversed(range(len(prefix))):
         point = ord(prefix[position])
         if point < 0x10FFFF:
-            return prefix[:position] + chr(point + 1)
+            next_point = point + 1
+            if 0xD800 <= next_point <= 0xDFFF:
+                next_point = 0xE000
+            return prefix[:position] + chr(next_point)
     return None
 
 
@@ -366,6 +375,14 @@ class ScanFragment:
             and self.projection is None
             and self.partial is None
         )
+
+    def compiled_form(self):
+        """This fragment compiled to batch closures, plus whether the
+        process-wide compile cache already held it — see
+        :func:`repro.sql.batch.compile_fragment`."""
+        from .batch import compile_fragment
+
+        return compile_fragment(self)
 
 
 @dataclass(frozen=True)
@@ -646,7 +663,8 @@ class FragmentAccumulator:
         if fragment.pushed:
             bound = bind_row(raw, fragment.binding)
             for conjunct in fragment.pushed:
-                if not eval_predicate(conjunct, bound, self.context):
+                # Interpreted ablation baseline for the vectorized path.
+                if not eval_predicate(conjunct, bound, self.context):  # lint: allow(compiled-scan)
                     return False
         self.survived += 1
         partial = fragment.partial
@@ -654,7 +672,7 @@ class FragmentAccumulator:
             if bound is None:
                 bound = bind_row(raw, fragment.binding)
             key = tuple(
-                hashable_key(eval_expr(expr, bound, self.context))
+                hashable_key(eval_expr(expr, bound, self.context))  # lint: allow(compiled-scan)
                 for expr in partial.group_by
             )
             group = self.groups.get(key)

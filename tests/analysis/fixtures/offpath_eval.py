@@ -1,0 +1,14 @@
+"""Fixture: per-row eval in a loop, but not on the scan path.
+
+No ``repro/query/`` or ``repro/sql/`` path segment and no
+``scanpath_`` prefix, so the compiled-scan rule must ignore it:
+central and continuous execution evaluate per row by design.
+"""
+
+
+def notify_subscribers(rows, predicate, context):
+    matched = []
+    for row in rows:
+        if eval_predicate(predicate, row, context):  # noqa: F821
+            matched.append(row)
+    return matched

@@ -1,0 +1,26 @@
+"""Fixture: per-row interpreter calls inside scan-path loops.
+
+The ``scanpath_`` filename prefix puts this file in the compiled-scan
+rule's scope.  Three violations: a call in a ``for`` loop, one in a
+``while`` loop, and one in a list comprehension.
+"""
+
+
+def scan_rows(rows, predicate, context):
+    kept = []
+    for row in rows:
+        if eval_predicate(predicate, row, context):  # noqa: F821
+            kept.append(row)
+    return kept
+
+
+def drain(queue, expr, context):
+    values = []
+    while queue:
+        row = queue.pop(0)
+        values.append(eval_expr(expr, row, context))  # noqa: F821
+    return values
+
+
+def project(rows, expr, executor):
+    return [executor.eval_expr(expr, row, None) for row in rows]

@@ -1,0 +1,24 @@
+"""Fixture: scan-path code the compiled-scan rule must accept.
+
+Compiled closures in loops are fine; a one-off interpreter call
+outside any loop is fine; the deliberate interpreted ablation
+baseline carries an inline suppression.
+"""
+
+
+def scan_rows(rows, compiled, context):
+    return [row for row in rows if compiled(row, context)]
+
+
+def check_one(predicate, row, context):
+    # Not in a loop: a single evaluation does not re-walk per row.
+    return eval_predicate(predicate, row, context)  # noqa: F821
+
+
+def scan_rows_interpreted(rows, predicate, context):
+    kept = []
+    for row in rows:
+        # Interpreted ablation baseline, gated behind vectorized=False.
+        if eval_predicate(predicate, row, context):  # noqa: F821  # lint: allow(compiled-scan) deliberate baseline
+            kept.append(row)
+    return kept

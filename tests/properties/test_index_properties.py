@@ -125,7 +125,8 @@ def test_writes_between_queries_keep_results_equivalent():
 #: Slow scans widen the mid-scan window failure injection lands in —
 #: and make every selective index path a clear win, so the chaos run
 #: exercises index-resolved fragments under kills.
-SLOW_SCANS = CostModel(scan_entry_ms=0.05)
+SLOW_SCANS = CostModel(scan_entry_ms=0.05,
+                       vectorized_scan_entry_ms=0.05)
 TIMEOUT_MS = 2_000.0
 
 

@@ -23,7 +23,9 @@ from ..conftest import build_average_job, make_squery_backend
 
 #: Slow per-entry scans: a 250-key table takes several virtual ms per
 #: node, giving failure injection a wide mid-scan window to land in.
-SLOW_SCANS = CostModel(scan_entry_ms=0.05)
+#: Both scan paths are slowed so the window holds under either gate.
+SLOW_SCANS = CostModel(scan_entry_ms=0.05,
+                       vectorized_scan_entry_ms=0.05)
 
 
 @pytest.fixture

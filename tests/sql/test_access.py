@@ -44,6 +44,31 @@ def test_prefix_upper_bound():
     assert _prefix_upper_bound(top * 3) is None
 
 
+def test_prefix_upper_bound_skips_surrogate_block():
+    # Regression: a prefix ending in U+D7FF used to increment straight
+    # into the surrogate block, producing a lone surrogate bound that
+    # no UTF-8 serialization of the plan could encode.  The increment
+    # must skip to U+E000, the first character after the block.
+    bound = _prefix_upper_bound("a퟿")
+    assert bound == "a"
+    assert bound is not None and not any(
+        0xD800 <= ord(ch) <= 0xDFFF for ch in bound
+    )
+    bound.encode("utf-8")  # must be a valid, encodable string
+    # The bound is still correct: above the prefix and above every
+    # real string that starts with it.
+    assert "a퟿" < bound
+    assert "a퟿￿" < bound
+    # A LIKE over such a prefix builds the same surrogate-free range.
+    like_range = column_filter_of(
+        "SELECT * FROM \"t\" WHERE v LIKE 'a퟿%'", "v"
+    )
+    assert like_range == (
+        KeyRange(low="a퟿", high="a", high_inclusive=False),
+        True,  # the LIKE itself still re-checks each candidate
+    )
+
+
 # -- column filter extraction ------------------------------------------------
 
 

@@ -1,0 +1,327 @@
+"""Unit tests for the predicate/expression compiler (repro.sql.compiled).
+
+Every ``Expr`` node kind is compiled and checked against the interpreted
+executor on the same rows — values, three-valued logic, and error
+messages must match exactly, because the vectorized scan path promises
+bit-identical results to the ``vectorized=False`` baseline.
+"""
+
+import pytest
+
+from repro.errors import SqlExecutionError
+from repro.sql import EvalContext, parse
+from repro.sql.ast import (
+    Between,
+    Binary,
+    CaseWhen,
+    Column,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    LocalTimestamp,
+    Star,
+    Unary,
+)
+from repro.sql.compiled import (
+    compile_expr,
+    compile_predicate,
+    compile_projection,
+)
+from repro.sql.executor import bind_row, eval_expr, eval_predicate
+
+CTX = EvalContext(now_ms=123.0)
+BINDING = "t"
+
+
+def outcome_interpreted(expr, raw):
+    try:
+        value = eval_expr(expr, bind_row(raw, BINDING), CTX)
+        return ("value", type(value), value)
+    except SqlExecutionError as exc:
+        return ("error", str(exc))
+
+
+def outcome_compiled(expr, raw):
+    fn = compile_expr(expr, BINDING)
+    try:
+        value = fn(raw, CTX)
+        return ("value", type(value), value)
+    except SqlExecutionError as exc:
+        return ("error", str(exc))
+
+
+def assert_equivalent(expr, raw):
+    expected = outcome_interpreted(expr, raw)
+    actual = outcome_compiled(expr, raw)
+    assert actual == expected, (expr, raw)
+    return actual
+
+
+# -- literals, clock, and columns -------------------------------------------
+
+
+def test_literal_and_localtimestamp():
+    assert_equivalent(Literal(7), {})
+    assert_equivalent(Literal("abc"), {})
+    assert_equivalent(Literal(None), {})
+    assert assert_equivalent(LocalTimestamp(), {}) == \
+        ("value", float, 123.0)
+
+
+def test_unqualified_column_resolution():
+    assert_equivalent(Column("v"), {"v": 9})
+    assert_equivalent(Column("v"), {"v": None})  # stored NULL, not missing
+    missing = assert_equivalent(Column("nope"), {"v": 9})
+    assert missing == ("error", "unknown column 'nope'")
+
+
+def test_binding_qualified_column_prefers_raw_value():
+    # bind_row overlays {binding}.{col} aliases after dict(raw), so the
+    # unqualified raw value shadows a literal dotted raw key.
+    raw = {"v": 1, "t.v": 2}
+    assert assert_equivalent(Column("v", table="t"), raw) == \
+        ("value", int, 1)
+    # Falls back to the literal dotted key when unqualified is absent.
+    assert assert_equivalent(Column("w", table="t"), {"t.w": 3}) == \
+        ("value", int, 3)
+    assert assert_equivalent(Column("x", table="t"), raw) == \
+        ("error", "unknown column 't.x'")
+
+
+def test_foreign_qualified_column_sees_only_dotted_keys():
+    raw = {"v": 1, "u.v": 5}
+    assert assert_equivalent(Column("v", table="u"), raw) == \
+        ("value", int, 5)
+    assert assert_equivalent(Column("v", table="u"), {"v": 1}) == \
+        ("error", "unknown column 'u.v'")
+
+
+# -- function calls ----------------------------------------------------------
+
+
+def test_scalar_functions():
+    raw = {"s": "abc", "v": -4, "n": None}
+    assert_equivalent(FuncCall("UPPER", (Column("s"),)), raw)
+    assert_equivalent(FuncCall("ABS", (Column("v"),)), raw)
+    assert_equivalent(
+        FuncCall("COALESCE", (Column("n"), Literal(9))), raw
+    )
+    assert_equivalent(FuncCall("LENGTH", (Column("s"),)), raw)
+
+
+def test_unknown_function_and_aggregate_errors():
+    assert assert_equivalent(FuncCall("FROBNICATE", ()), {}) == \
+        ("error", "unknown function FROBNICATE")
+    assert assert_equivalent(FuncCall("SUM", (Column("v"),)), {"v": 1}) \
+        == ("error", "aggregate SUM used outside aggregation")
+    assert_equivalent(FuncCall("COUNT", (Star(),)), {})
+
+
+# -- unary and binary operators ---------------------------------------------
+
+
+def test_unary_operators_and_null_propagation():
+    for value in (True, False, 0, 1, None, 3.5):
+        raw = {"v": value}
+        assert_equivalent(Unary("NOT", Column("v")), raw)
+        if not isinstance(value, bool):
+            assert_equivalent(Unary("-", Column("v")), raw)
+            assert_equivalent(Unary("+", Column("v")), raw)
+
+
+TRILEAN = (Literal(True), Literal(False), Literal(None))
+
+
+def test_and_or_three_valued_logic_full_table():
+    for left in TRILEAN:
+        for right in TRILEAN:
+            assert_equivalent(Binary("AND", left, right), {})
+            assert_equivalent(Binary("OR", left, right), {})
+
+
+def test_and_or_short_circuit_skips_right_errors():
+    # FALSE AND <error> short-circuits identically on both paths.
+    boom = Column("nope")
+    assert assert_equivalent(
+        Binary("AND", Literal(False), boom), {}
+    ) == ("value", bool, False)
+    assert assert_equivalent(
+        Binary("OR", Literal(True), boom), {}
+    ) == ("value", bool, True)
+    assert assert_equivalent(
+        Binary("AND", Literal(True), boom), {}
+    ) == ("error", "unknown column 'nope'")
+
+
+def test_comparisons_and_mixed_type_error():
+    raw = {"a": 3, "b": 7, "s": "x"}
+    for op in ("=", "<>", "<", "<=", ">", ">="):
+        assert_equivalent(Binary(op, Column("a"), Column("b")), raw)
+        assert_equivalent(Binary(op, Column("a"), Literal(None)), raw)
+    mixed = assert_equivalent(Binary("<", Column("a"), Column("s")), raw)
+    assert mixed == ("error", "cannot compare int with str")
+    # = and <> never raise on mixed types (Python equality is total).
+    assert_equivalent(Binary("=", Column("a"), Column("s")), raw)
+
+
+def test_arithmetic_division_and_modulo():
+    raw = {"a": 7, "b": 2, "z": 0, "n": None}
+    for op in ("+", "-", "*", "/", "%"):
+        assert_equivalent(Binary(op, Column("a"), Column("b")), raw)
+        assert_equivalent(Binary(op, Column("a"), Column("n")), raw)
+    assert assert_equivalent(
+        Binary("/", Column("a"), Column("z")), raw
+    ) == ("error", "division by zero")
+    assert assert_equivalent(
+        Binary("%", Column("a"), Column("z")), raw
+    ) == ("error", "modulo by zero")
+
+
+def test_unknown_operator_evaluates_operands_first():
+    # The interpreted path evaluates both operands and NULL-propagates
+    # before rejecting the operator; the compiled closure must too.
+    assert assert_equivalent(
+        Binary("^", Literal(1), Literal(2)), {}
+    ) == ("error", "unknown operator ^")
+    assert assert_equivalent(
+        Binary("^", Literal(None), Literal(2)), {}
+    ) == ("value", type(None), None)
+    assert assert_equivalent(
+        Binary("^", Column("nope"), Literal(2)), {}
+    ) == ("error", "unknown column 'nope'")
+
+
+# -- IN, BETWEEN, LIKE, IS NULL, CASE ---------------------------------------
+
+
+def test_in_list_with_null_sentinel():
+    items = (Literal(1), Literal(None), Literal(3))
+    for value in (1, 3, 5, None):
+        raw = {"v": value}
+        assert_equivalent(InList(Column("v"), items), raw)
+        assert_equivalent(InList(Column("v"), items, negated=True), raw)
+    # Without a NULL item, a miss is plain FALSE (TRUE when negated).
+    plain = (Literal(1), Literal(3))
+    assert_equivalent(InList(Column("v"), plain), {"v": 5})
+    assert_equivalent(InList(Column("v"), plain, negated=True), {"v": 5})
+
+
+def test_between_and_negation():
+    for value in (1, 5, 9, None):
+        raw = {"v": value}
+        expr = Between(Column("v"), Literal(2), Literal(8))
+        assert_equivalent(expr, raw)
+        assert_equivalent(
+            Between(Column("v"), Literal(2), Literal(8), negated=True),
+            raw,
+        )
+    # NULL bounds propagate; all three sub-expressions evaluate first.
+    assert_equivalent(
+        Between(Column("v"), Literal(None), Literal(8)), {"v": 5}
+    )
+    assert_equivalent(
+        Between(Column("v"), Literal(2), Column("nope")), {"v": 5}
+    )
+
+
+def test_like_literal_and_dynamic_patterns():
+    rows = [{"s": "alpha", "p": "a%"}, {"s": "beta", "p": "a%"},
+            {"s": None, "p": "a%"}, {"s": "aXc", "p": None}]
+    literal = Like(Column("s"), Literal("a%"))
+    dynamic = Like(Column("s"), Column("p"))
+    underscore = Like(Column("s"), Literal("a_c"))
+    for raw in rows:
+        assert_equivalent(literal, raw)
+        assert_equivalent(Like(Column("s"), Literal("a%"),
+                               negated=True), raw)
+        assert_equivalent(dynamic, raw)
+        assert_equivalent(underscore, raw)
+    # Non-string operands stringify on both paths.
+    assert_equivalent(Like(Column("s"), Literal("1%")), {"s": 123})
+
+
+def test_is_null_and_is_not_null():
+    for value in (None, 0, "x"):
+        raw = {"v": value}
+        assert_equivalent(IsNull(Column("v")), raw)
+        assert_equivalent(IsNull(Column("v"), negated=True), raw)
+
+
+def test_case_when_branch_dispatch_and_default():
+    expr = CaseWhen(
+        branches=(
+            (Binary("<", Column("v"), Literal(3)), Literal("low")),
+            (Binary("<", Column("v"), Literal(7)), Literal("mid")),
+        ),
+        default=Literal("high"),
+    )
+    no_default = CaseWhen(
+        branches=((Binary("<", Column("v"), Literal(3)), Literal("low")),)
+    )
+    for value in (1, 5, 9, None):
+        raw = {"v": value}
+        assert_equivalent(expr, raw)
+        assert_equivalent(no_default, raw)
+
+
+def test_star_and_unknown_node_errors():
+    assert assert_equivalent(Star(), {}) == \
+        ("error", "* is only valid in COUNT(*) or SELECT *")
+
+    class Mystery(Expr):
+        pass
+
+    assert assert_equivalent(Mystery(), {}) == \
+        ("error", "cannot evaluate Mystery")
+
+
+# -- predicate and projection wrappers --------------------------------------
+
+
+def test_compile_predicate_matches_eval_predicate():
+    cases = [
+        'SELECT * FROM "t" WHERE v < 5',
+        'SELECT * FROM "t" WHERE v IS NULL OR g = 2',
+        'SELECT * FROM "t" WHERE s LIKE \'a%\' AND v % 2 = 0',
+        'SELECT * FROM "t" WHERE v IN (1, 2, NULL)',
+        'SELECT * FROM "t" WHERE NOT (v > 3)',
+    ]
+    rows = [
+        {"v": 1, "g": 2, "s": "abc"},
+        {"v": None, "g": None, "s": None},
+        {"v": 8, "g": 5, "s": "zzz"},
+        {"v": 4, "g": 2, "s": "aX"},
+    ]
+    for sql in cases:
+        where = parse(sql).where
+        predicate = compile_predicate(where, BINDING)
+        for raw in rows:
+            assert predicate(raw, CTX) == eval_predicate(
+                where, bind_row(raw, BINDING), CTX
+            ), (sql, raw)
+
+
+def test_compile_projection_identity_and_strip():
+    raw = {"key": 1, "v": 2, "pad": 3}
+    assert compile_projection(None)(raw) is raw
+    projected = compile_projection(("key", "v"))(raw)
+    assert projected == {"key": 1, "v": 2}
+    # Missing projected columns are simply absent, never errors.
+    assert compile_projection(("key", "nope"))(raw) == {"key": 1}
+
+
+def test_predicate_null_is_not_true():
+    where = parse('SELECT * FROM "t" WHERE v < 5').where
+    predicate = compile_predicate(where, BINDING)
+    assert predicate({"v": None}, CTX) is False
+
+
+def test_error_raised_not_swallowed():
+    predicate = compile_predicate(
+        parse('SELECT * FROM "t" WHERE v < 5').where, BINDING
+    )
+    with pytest.raises(SqlExecutionError, match="cannot compare"):
+        predicate({"v": "str"}, CTX)
