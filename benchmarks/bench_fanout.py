@@ -1,0 +1,155 @@
+"""Massive fan-out ablation: shared plans vs per-subscriber plans.
+
+N dashboards subscribe to the same standing query shape, each watching
+its own slice (``WHERE user_id = <k>``).  With plan deduplication ON,
+all of them collapse onto ONE maintained plan: each state update is
+applied once and hash-routed to the matching subscribers.  The ablation
+(``shared_plans=False``) maintains one private plan per subscriber —
+every update is applied N times, which is how the pre-dedup service
+behaved.
+
+The sweep takes subscriber count through {100, 1k, 10k, 100k} (cap
+with ``FANOUT_MAX_SUBSCRIBERS`` for CI) and reports store-side plan
+maintenance per state update.  Win conditions:
+
+* >=20x cost-per-update reduction at 10k subscribers vs the ablation;
+* plan-apply work per update stays flat (exactly one application per
+  update) however many subscribers attach;
+* bit-identical subscriber views with sharing on and off.
+"""
+
+import os
+
+from repro.bench.report import format_table
+from repro.config import ClusterConfig
+from repro.env import Environment
+from repro.query.service import QueryService
+from repro.state.live import LiveStateTable
+
+try:
+    from .conftest import record_result
+except ImportError:  # direct execution: python -m benchmarks.bench_fanout
+    from conftest import record_result  # type: ignore
+
+NODES = 5
+KEYS = 100           # rows in the watched table
+GROUPS = 50          # distinct user_id residual values
+UPDATES = 100        # state updates applied after subscriptions attach
+SWEEP = (100, 1_000, 10_000, 100_000)
+ABLATION_AT = 10_000  # the N the >=20x win condition is asserted at
+
+
+def sweep_counts():
+    cap = int(os.environ.get("FANOUT_MAX_SUBSCRIBERS", SWEEP[-1]))
+    return tuple(n for n in SWEEP if n <= cap) or (SWEEP[0],)
+
+
+def build_env():
+    env = Environment(ClusterConfig(nodes=NODES,
+                                    processing_workers_per_node=1))
+    imap = env.store.create_map("metrics")
+    table = LiveStateTable(imap)
+    env.store.register_live_table("metrics", table)
+    for key in range(KEYS):
+        imap.put(key, {"value": 0, "user_id": key % GROUPS})
+    return env, table
+
+
+def run_mode(n_subs: int, shared: bool) -> dict:
+    env, table = build_env()
+    service = QueryService(env, shared_plans=shared)
+    subs = [
+        service.subscribe(
+            f'SELECT * FROM "metrics" WHERE user_id = {i % GROUPS}'
+        )
+        for i in range(n_subs)
+    ]
+    env.run_for(50)  # drain the initial snapshots
+    for update in range(UPDATES):
+        key = update % KEYS
+        table.apply_update(
+            key, {"value": update + 1, "user_id": key % GROUPS}
+        )
+    env.run_for(200)  # drain the delta stream
+    continuous = env.continuous
+    updates = continuous.arrangements["metrics"].updates_applied
+    assert updates == UPDATES
+    return {
+        "plans": continuous.shared_plan_count,
+        "per_update_ms": continuous.plan_maintenance_ms / updates,
+        "applies_per_update": continuous.plan_maintenance_ops / updates,
+        "routed": continuous.router.deltas_routed,
+        "drops": continuous.router.residual_filter_drops,
+        "views": sorted(
+            (sub.sql, sorted(map(repr, sub.rows()))) for sub in subs
+        ),
+    }
+
+
+def run_bench():
+    counts = sweep_counts()
+    metrics = {}
+    rows = []
+    for n_subs in counts:
+        on = run_mode(n_subs, shared=True)
+        off = run_mode(n_subs, shared=False) if n_subs <= ABLATION_AT \
+            else None
+        ratio = (off["per_update_ms"] / on["per_update_ms"]
+                 if off is not None else None)
+        metrics[n_subs] = {"on": on, "off": off, "ratio": ratio}
+        rows.append([
+            f"{n_subs:,}",
+            on["plans"],
+            f"{off['plans']:,}" if off else "-",
+            f"{on['per_update_ms']:.4f}",
+            f"{off['per_update_ms']:.4f}" if off else "-",
+            f"{ratio:.0f}x" if ratio else "-",
+            f"{on['applies_per_update']:.0f}",
+            f"{on['routed']:,}",
+            f"{on['drops']:,}",
+        ])
+    table = format_table(
+        ["subscribers", "plans (on)", "plans (off)",
+         "ms/update (on)", "ms/update (off)", "reduction",
+         "applies/update (on)", "routed (on)", "drops (on)"],
+        rows,
+        title=(f"Fan-out ablation — {UPDATES} updates over {KEYS} rows, "
+               f"{GROUPS} residual groups, {NODES} nodes "
+               "(on = shared plans, off = per-subscriber plans)"),
+    )
+    return table, metrics
+
+
+def check(metrics) -> None:
+    smallest = min(metrics)
+    # Bit-identical delivered views, sharing on and off.
+    small = metrics[smallest]
+    assert small["off"] is not None
+    assert small["on"]["views"] == small["off"]["views"]
+    # The dedup engaged: one maintained plan serves everyone.
+    for n_subs, stats in metrics.items():
+        assert stats["on"]["plans"] == 1, (n_subs, stats["on"])
+        if stats["off"] is not None:
+            assert stats["off"]["plans"] == n_subs
+        # Near-flat maintenance: each update is applied to exactly one
+        # shared plan however many subscribers attached.
+        assert stats["on"]["applies_per_update"] == 1.0, (n_subs, stats)
+    # THE win condition: >=20x cheaper per update at 10k subscribers.
+    target = ABLATION_AT if ABLATION_AT in metrics else max(
+        n for n, stats in metrics.items() if stats["off"] is not None
+    )
+    assert metrics[target]["ratio"] >= 20.0, metrics[target]
+
+
+def test_bench_fanout(benchmark):
+    table, metrics = benchmark.pedantic(run_bench, rounds=1,
+                                        iterations=1)
+    record_result("fanout", table)
+    check(metrics)
+
+
+if __name__ == "__main__":
+    bench_table, bench_metrics = run_bench()
+    record_result("fanout", bench_table)
+    check(bench_metrics)
+    print("fanout ablation OK")

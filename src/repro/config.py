@@ -252,6 +252,33 @@ class CostModel:
     #: Subscriber-side cost of consuming one batch (the ack delay that
     #: drives the flow-control window).
     subscriber_consume_ms: float = 0.02
+    #: Collapse structurally identical standing plans (after residual
+    #: extraction) into ONE shared maintained instance fanned out by the
+    #: subscription router.  Off = the ablation baseline where every
+    #: subscription maintains a private StandingQuery, so maintenance
+    #: cost scales linearly with subscribers.
+    shared_plans_enabled: bool = True
+    #: Applying one captured state update to a standing plan's
+    #: maintained result — charged once per update *per shared plan*,
+    #: however many subscribers read it.
+    standing_apply_ms: float = 0.002
+    #: Routing one result delta to one subscriber (residual hash lookup
+    #: plus queue append) — the per-subscriber cost that remains.
+    router_entry_ms: float = 0.00005
+    #: Default flush interval for ``tier="coalesced"`` subscriptions
+    #: (pending deltas merge per result key until the flush).
+    push_coalesce_interval_ms: float = 25.0
+    #: ``tier="digest"`` period: at most one residual-filtered snapshot
+    #: per interval while the result is dirty.
+    push_digest_interval_ms: float = 200.0
+    #: Bound on one subscriber's queued (pending) deltas; reaching it
+    #: degrades the subscriber to a coalesced snapshot (slow-consumer
+    #: ladder step 1) instead of growing the queue.
+    push_max_pending_deltas: int = 1024
+    #: A subscriber whose flow-control window stays full this long is
+    #: evicted with a terminal ``BATCH_EVICTED`` batch (ladder step 2),
+    #: so one dead client can't pin router state forever.
+    push_evict_stalled_after_ms: float = 2000.0
 
     # --- TSpoon baseline ---------------------------------------------------
     #: TSpoon treats every query as a read-only transaction flowing
@@ -274,6 +301,14 @@ class CostModel:
             raise ConfigurationError("scan_chunk_entries must be >= 1")
         if self.like_cache_max_patterns < 1:
             raise ConfigurationError("like_cache_max_patterns must be >= 1")
+        if self.push_max_pending_deltas < 1:
+            raise ConfigurationError(
+                "push_max_pending_deltas must be >= 1"
+            )
+        if self.push_evict_stalled_after_ms <= 0:
+            raise ConfigurationError(
+                "push_evict_stalled_after_ms must be positive"
+            )
         if not 0 < self.direct_batch_exponent <= 1:
             raise ConfigurationError(
                 "direct_batch_exponent must be in (0, 1]"

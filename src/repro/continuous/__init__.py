@@ -2,11 +2,16 @@
 
 The pull interface (``QueryService.execute``) answers one question once;
 this package keeps the answer current.  Change capture at the live-state
-mutation chokepoint feeds shared per-table arrangements; standing
+mutation chokepoint feeds shared per-table arrangements; structurally
+identical subscription plans are canonicalized (subscriber-specific
+equality predicates fold out into residual filters) and collapse into
+ONE shared maintained standing query, whose delta stream a subscription
+router fans out through per-subscriber residual filters; standing
 queries are maintained per-delta where the plan allows (filter/project,
 grouped COUNT/SUM/AVG/MIN/MAX with add/retract accounting) and by
 re-scan otherwise; result deltas are batched and pushed to simulated
-subscribers with flow control and rollback-consistent recovery
+subscribers with tiered delivery (realtime / coalesced / digest), flow
+control with slow-consumer eviction, and rollback-consistent recovery
 notifications.
 """
 
@@ -23,11 +28,18 @@ from .changelog import (
 )
 from .delivery import (
     BATCH_DELTA,
+    BATCH_EVICTED,
     BATCH_ROLLBACK,
     BATCH_SNAPSHOT,
+    TIER_COALESCED,
+    TIER_DIGEST,
+    TIER_REALTIME,
+    TIERS,
     DeltaBatch,
     Subscription,
 )
+from .plans import CanonicalPlan, canonicalize
+from .router import SharedPlan, SubscriptionRouter
 from .service import ContinuousQueryService
 from .standing import (
     PATH_FILTER_PROJECT,
@@ -40,9 +52,11 @@ from .standing import (
 __all__ = [
     "Arrangement",
     "BATCH_DELTA",
+    "BATCH_EVICTED",
     "BATCH_ROLLBACK",
     "BATCH_SNAPSHOT",
     "COMMIT",
+    "CanonicalPlan",
     "ChangeEvent",
     "ChangeLog",
     "ChangeRecorder",
@@ -54,8 +68,15 @@ __all__ = [
     "PATH_RESCAN",
     "PUT",
     "ROLLBACK",
+    "SharedPlan",
     "StandingQuery",
     "Subscription",
+    "SubscriptionRouter",
+    "TIERS",
+    "TIER_COALESCED",
+    "TIER_DIGEST",
+    "TIER_REALTIME",
     "UPDATE",
+    "canonicalize",
     "classify",
 ]

@@ -35,6 +35,10 @@ class Arrangement:
         }
         self._readers: list[Reader] = []
         self._rollback_readers: list[Callable[[ChangeEvent], None]] = []
+        #: The change event currently fanning out to readers — readers
+        #: that bill follow-on work (plan maintenance) read its
+        #: node/partition so the charge lands on the owning store thread.
+        self.current_event: ChangeEvent | None = None
         self.updates_applied = 0
         self.cost_charges = 0
         self.charged_ms = 0.0
@@ -78,7 +82,8 @@ class Arrangement:
             self.rows[event.key] = new_row
         self._charge(event.node_id, event.partition,
                      self.env.costs.arrangement_update_ms)
-        for reader in self._readers:
+        self.current_event = event
+        for reader in list(self._readers):
             reader(event.key, old_row, new_row)
 
     def _apply_rollback(self, event: ChangeEvent) -> None:

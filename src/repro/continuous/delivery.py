@@ -1,15 +1,27 @@
-"""Push delivery: batches, subscriptions, and the client-side view.
+"""Push delivery: batches, tiers, subscriptions, and the client view.
 
 Result deltas flow to simulated subscriber clients as
 :class:`DeltaBatch` messages over the cluster network model.  Each
-:class:`Subscription` tracks the number of batches in flight
-(``outstanding``): a subscriber acknowledges a batch only after paying
-its consume cost, and once ``outstanding`` reaches the subscription's
-window the service stops shipping deltas and *coalesces* — pending
-deltas are discarded and replaced by one full-snapshot batch sent when
-the subscriber catches up.  A slow consumer therefore degrades to
-periodic snapshots instead of growing an unbounded queue (the
-continuous-query analogue of Hazelcast's bounded listener queues).
+:class:`Subscription` picks a **delivery tier**:
+
+* ``realtime`` — deltas ship on the ordinary batch interval;
+* ``coalesced`` — pending deltas are merged per result key at flush
+  time (last write wins) on a longer interval, so a hot key costs one
+  entry per flush however often it changed;
+* ``digest`` — the subscriber never receives deltas at all: it gets a
+  residual-filtered snapshot at most once per digest interval while the
+  result is dirty.
+
+Flow control is layered (the slow-consumer ladder): the in-flight
+window (``outstanding`` vs ``max_outstanding``) coalesces pending
+deltas into one snapshot when full; the pending queue itself is bounded
+(``CostModel.push_max_pending_deltas``), degrading to a snapshot before
+memory grows; and a subscriber whose window stays full past
+``CostModel.push_evict_stalled_after_ms`` is **evicted** with a
+terminal :data:`BATCH_EVICTED` batch so it can't pin the router's
+state.  Batches bound for the same ``(entry node, subscriber node)``
+pair ship in one network message (see the service's outbox), keeping
+channel count O(nodes²) rather than O(subscriptions).
 """
 
 from __future__ import annotations
@@ -21,6 +33,13 @@ from typing import Callable
 BATCH_DELTA = "delta"        # incremental entries (upsert/delete)
 BATCH_SNAPSHOT = "snapshot"  # full current result (coalesced / rescan)
 BATCH_ROLLBACK = "rollback"  # full post-recovery result (Fig. 5c replay)
+BATCH_EVICTED = "evicted"    # terminal: slow consumer dropped by service
+
+#: Delivery tiers.
+TIER_REALTIME = "realtime"
+TIER_COALESCED = "coalesced"
+TIER_DIGEST = "digest"
+TIERS = (TIER_REALTIME, TIER_COALESCED, TIER_DIGEST)
 
 
 @dataclass
@@ -29,7 +48,7 @@ class DeltaBatch:
 
     subscription_id: int
     seq: int
-    kind: str                      # BATCH_DELTA | BATCH_SNAPSHOT | BATCH_ROLLBACK
+    kind: str                      # one of the BATCH_* kinds
     entries: list[dict]            # delta: {action,key,row}; else {key,row}
     sent_ms: float
     ssid: int | None = None        # rollback: the restored snapshot id
@@ -44,15 +63,28 @@ class Subscription:
 
     id: int
     sql: str
-    standing: object               # StandingQuery
+    standing: object               # StandingQuery (shared across the plan)
     entry_node: int                # node that batches and ships deltas
     subscriber_node: int           # node the client is attached to
     max_outstanding: int = 4
     batch_interval_ms: float = 5.0
     consume_ms: float | None = None  # override: slow/fast subscriber
     on_batch: Callable[["Subscription", DeltaBatch], None] | None = None
+    tier: str = TIER_REALTIME
+
+    #: The shared plan this subscription reads
+    #: (:class:`~repro.continuous.router.SharedPlan`).
+    plan: object | None = None
+    #: The canonicalization decision
+    #: (:class:`~repro.continuous.plans.CanonicalPlan`).
+    canonical: object | None = None
+    #: Compiled residual predicate over ``(row, context)`` for
+    #: snapshot/digest filtering; ``None`` when there is no residual.
+    residual_predicate: Callable | None = None
 
     active: bool = True
+    #: True once the service dropped this subscriber as a slow consumer.
+    evicted: bool = False
     #: Deltas accumulated since the last flush (server side).
     pending: list[dict] = field(default_factory=list)
     #: Batches shipped but not yet acknowledged.
@@ -63,7 +95,12 @@ class Subscription:
     #: the flow-control window so every live subscriber hears about it).
     needs_rollback_ssid: int | None = None
     flush_scheduled: bool = False
-    rescan_in_flight: bool = False
+    #: Digest tier: result changed since the last digest snapshot.
+    digest_dirty: bool = False
+    digest_scheduled: bool = False
+    #: Sim time the flow-control window filled (cleared on every ack);
+    #: staying stalled past the eviction deadline drops the subscriber.
+    stalled_since: float | None = None
     #: Re-evaluate on checkpoint commit (snapshot tables referenced).
     refresh_on_commit: bool = False
 
@@ -78,6 +115,8 @@ class Subscription:
     rollbacks_received: int = 0
     batches_coalesced: int = 0
     deltas_dropped: int = 0
+    #: Coalesced tier: pending entries merged away at flush time.
+    entries_merged: int = 0
     last_batch_ms: float | None = None
     last_rollback_ssid: int | None = None
 
@@ -85,8 +124,24 @@ class Subscription:
     def path(self) -> str:
         return self.standing.path
 
+    @property
+    def rescan_in_flight(self) -> bool:
+        return self.plan is not None and self.plan.rescan_in_flight
+
     def explain(self) -> str:
-        return self.standing.explain()
+        lines = [self.standing.explain()]
+        if self.plan is not None:
+            lines.append(
+                f"  shared plan: {self.plan.fingerprint} "
+                f"({self.plan.subscriber_count} subscriber"
+                f"{'s' if self.plan.subscriber_count != 1 else ''})"
+            )
+        if self.canonical is not None:
+            residual = (self.canonical.residual_display
+                        if self.canonical.has_residual else "none")
+            lines.append(f"  residual filter: {residual}")
+        lines.append(f"  delivery tier: {self.tier}")
+        return "\n".join(lines)
 
     def rows(self) -> list[dict]:
         """The client-side view as plain rows."""
@@ -104,6 +159,10 @@ class Subscription:
                     self.view.pop(entry["key"], None)
                 else:
                     self.view[entry["key"]] = entry["row"]
+        elif batch.kind == BATCH_EVICTED:
+            # Terminal: the view keeps its last consistent contents; the
+            # client knows it is no longer being maintained.
+            pass
         else:
             # Snapshot and rollback batches replace the view wholesale.
             self.view = {

@@ -1,0 +1,200 @@
+"""The subscription router: one shared plan's delta stream, N readers.
+
+A :class:`SharedPlan` is one maintained :class:`~repro.continuous.standing.StandingQuery`
+serving every subscription whose canonicalized statement fingerprints
+the same (see :mod:`~repro.continuous.plans`).  The
+:class:`SubscriptionRouter` fans the plan's result deltas out to its
+subscribers:
+
+* **unfiltered** subscribers (no residual) receive every entry
+  verbatim;
+* subscribers with a residual equality filter are held in a **hash
+  index** keyed by their residual column set and value tuple, so
+  routing one delta is a dict lookup on the row's column values —
+  O(matching subscribers), not O(subscribers).  Dict lookup uses the
+  same ``==`` the SQL executor's ``=`` comparison uses, so hash routing
+  and predicate evaluation agree (``1``/``1.0``/``True`` coalesce into
+  one bucket exactly as ``_compare`` treats them as equal).
+
+Residual routing handles *moves*: when an update changes a row's
+residual column value, the subscribers who previously published it
+receive a synthesized delete while the new bucket receives the upsert —
+per subscriber the routed stream is exactly what its own private
+:class:`StandingQuery` over the original statement would have emitted.
+Snapshot-shaped payloads (seed/coalesce/rollback/digest) are instead
+filtered with the subscriber's compiled residual predicate
+(:mod:`repro.sql.compiled`) swept over the plan's published rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from ..sql.executor import hashable_key
+from .plans import CanonicalPlan
+
+
+class _ResidualGroup:
+    """Subscribers sharing one residual column set, indexed by value."""
+
+    __slots__ = ("columns", "by_value", "total")
+
+    def __init__(self, columns: tuple[str, ...]) -> None:
+        self.columns = columns
+        #: residual value tuple -> subscriptions registered for it.
+        self.by_value: dict[tuple, list] = {}
+        self.total = 0
+
+    def bucket(self, values: tuple) -> list:
+        return self.by_value.get(values, ())
+
+    def add(self, values: tuple, subscription) -> None:
+        self.by_value.setdefault(values, []).append(subscription)
+        self.total += 1
+
+    def remove(self, values: tuple, subscription) -> None:
+        bucket = self.by_value.get(values)
+        if bucket is None or subscription not in bucket:
+            return
+        bucket.remove(subscription)
+        self.total -= 1
+        if not bucket:
+            del self.by_value[values]
+
+    def row_values(self, row: dict) -> tuple:
+        """The row's residual-column value tuple (the hash-route key)."""
+        return tuple(
+            hashable_key(row.get(column)) for column in self.columns
+        )
+
+
+class SharedPlan:
+    """One maintained standing query and its subscriber registry."""
+
+    def __init__(self, key: str, canonical: CanonicalPlan, sql: str,
+                 standing) -> None:
+        #: Registry key in ``ContinuousQueryService.plans`` (the bare
+        #: fingerprint when sharing is on; suffixed per subscription in
+        #: the ablation so every subscription gets a private plan).
+        self.key = key
+        self.fingerprint = canonical.fingerprint
+        self.statement = canonical.statement
+        #: SQL text evaluated for full rescans.  Residual extraction
+        #: never fires on the rescan path, so the first subscriber's
+        #: original SQL is exactly the shared statement.
+        self.sql = sql
+        self.standing = standing
+        self.subscribers: dict[int, object] = {}
+        #: ``(table, reader, rollback_cb)`` hooks into arrangements,
+        #: detached when the last subscriber leaves.
+        self.readers: list[tuple[str, Callable, Callable | None]] = []
+        self.refresh_on_commit = False
+        self.rescan_in_flight = False
+        #: Subscribers with no residual: receive every entry verbatim.
+        self.unfiltered: list = []
+        #: residual column set -> hash-routing group.
+        self.groups: dict[tuple[str, ...], _ResidualGroup] = {}
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self.subscribers)
+
+
+class SubscriptionRouter:
+    """Fans shared-plan delta streams out to their subscribers."""
+
+    def __init__(self, deliver: Callable) -> None:
+        #: ``deliver(subscription, entry)`` — appends the entry to the
+        #: subscription's pending stream (tier- and flow-control-aware;
+        #: provided by the continuous-query service).
+        self._deliver = deliver
+        #: Entries handed to subscribers (one per matching subscriber
+        #: per delta — the residual work that remains per-subscriber).
+        self.deltas_routed = 0
+        #: Group subscribers a delta was *not* routed to because their
+        #: residual value didn't match — each one a delta the ablation
+        #: would have evaluated (and discarded) a full predicate for.
+        self.residual_filter_drops = 0
+
+    # -- registry ----------------------------------------------------------
+
+    def attach(self, plan: SharedPlan, subscription,
+               canonical: CanonicalPlan) -> None:
+        plan.subscribers[subscription.id] = subscription
+        if not canonical.has_residual:
+            plan.unfiltered.append(subscription)
+            return
+        group = plan.groups.get(canonical.residual_columns)
+        if group is None:
+            group = _ResidualGroup(canonical.residual_columns)
+            plan.groups[canonical.residual_columns] = group
+        group.add(canonical.residual_values, subscription)
+
+    def detach(self, plan: SharedPlan, subscription,
+               canonical: CanonicalPlan) -> None:
+        plan.subscribers.pop(subscription.id, None)
+        if not canonical.has_residual:
+            if subscription in plan.unfiltered:
+                plan.unfiltered.remove(subscription)
+            return
+        group = plan.groups.get(canonical.residual_columns)
+        if group is None:
+            return
+        group.remove(canonical.residual_values, subscription)
+        if not group.total:
+            del plan.groups[canonical.residual_columns]
+
+    # -- delta routing -----------------------------------------------------
+
+    def route(self, plan: SharedPlan, entries: list[dict],
+              prev_row: dict | None) -> None:
+        """Fan one delta's result entries out to the plan's subscribers.
+
+        ``prev_row`` is the row the plan published under the delta's out
+        key *before* the delta was applied (``None`` if absent) — it is
+        what residual-group subscribers may need to retract when the
+        update moved the row out of their bucket.
+        """
+        for entry in entries:
+            for subscription in plan.unfiltered:
+                self._deliver(subscription, entry)
+                self.deltas_routed += 1
+            if not plan.groups:
+                continue
+            row = entry["row"]
+            for group in plan.groups.values():
+                old_bucket: list = ()
+                if prev_row is not None:
+                    old_bucket = group.bucket(group.row_values(prev_row))
+                matched = 0
+                if entry["action"] == "upsert":
+                    new_bucket = group.bucket(group.row_values(row))
+                    for subscription in new_bucket:
+                        self._deliver(subscription, entry)
+                        self.deltas_routed += 1
+                        matched += 1
+                    if old_bucket is not new_bucket:
+                        # The update moved the row out of these
+                        # subscribers' residual value: retract it.
+                        retraction = {
+                            "action": "delete",
+                            "key": entry["key"], "row": None,
+                        }
+                        for subscription in old_bucket:
+                            self._deliver(subscription, retraction)
+                            self.deltas_routed += 1
+                            matched += 1
+                else:
+                    for subscription in old_bucket:
+                        self._deliver(subscription, entry)
+                        self.deltas_routed += 1
+                        matched += 1
+                self.residual_filter_drops += group.total - matched
+
+    def route_all(self, plan: SharedPlan, entries: list[dict]) -> None:
+        """Route entries verbatim to every subscriber (aggregate and
+        rescan plans never carry residuals)."""
+        for entry in entries:
+            for subscription in plan.subscribers.values():
+                self._deliver(subscription, entry)
+                self.deltas_routed += 1

@@ -5,15 +5,29 @@ Glues the subsystem together:
 * owns the :class:`~repro.continuous.changelog.ChangeRecorder` and
   attaches it to every live table a subscription touches;
 * owns one shared :class:`~repro.continuous.arrangements.Arrangement`
-  per table — N subscriptions, one maintained index, one cost charge
-  per state update;
-* classifies each subscription into a maintenance path (see
-  :mod:`~repro.continuous.standing`), seeds it, and keeps it current;
+  per table *with at least one reader* — the arrangement (and its
+  change-capture hookup) is torn down when the last subscription
+  leaves, so cancelled dashboards don't leak maintained indexes;
+* **deduplicates plans**: each subscription's statement is
+  canonicalized (:mod:`~repro.continuous.plans`) and structurally
+  identical plans collapse into one shared
+  :class:`~repro.continuous.router.SharedPlan` whose maintenance is
+  charged once per state update however many subscribers attached —
+  the :class:`~repro.continuous.router.SubscriptionRouter` fans the
+  plan's delta stream out through per-subscriber residual filters;
 * batches result deltas and pushes them to simulated subscribers over
-  the network model, with flow control (bounded in-flight window,
-  coalescing to snapshots under backpressure) and cancellation;
+  the network model with tiered delivery (realtime / coalesced /
+  digest), destination-coalesced messages (one network send per
+  ``(entry, subscriber)`` node pair per tick), and the slow-consumer
+  ladder: bounded pending queue → coalesce-to-snapshot → eviction with
+  a terminal batch;
 * replays a consistent rollback notification to every live subscriber
   after node-failure recovery (the push analogue of Fig. 5c).
+
+``shared_plans=False`` (or ``CostModel.shared_plans_enabled = False``)
+is the ablation baseline: every subscription gets a private plan with
+no residual extraction — exactly the pre-dedup per-subscriber
+maintenance, with bit-identical delivered results.
 
 Usage goes through :meth:`repro.query.service.QueryService.subscribe`,
 which lazily creates one ``ContinuousQueryService`` per environment at
@@ -26,47 +40,85 @@ from typing import Callable
 
 from ..errors import QueryError
 from ..sql import parse
+from ..sql.compiled import compile_predicate
+from ..sql.executor import EvalContext, hashable_key
 from .arrangements import Arrangement
 from .changelog import ChangeRecorder
 from .delivery import (
     BATCH_DELTA,
+    BATCH_EVICTED,
     BATCH_ROLLBACK,
     BATCH_SNAPSHOT,
     DeltaBatch,
     Subscription,
+    TIER_COALESCED,
+    TIER_DIGEST,
+    TIER_REALTIME,
+    TIERS,
 )
-from .standing import INCREMENTAL_PATHS, PATH_RESCAN, StandingQuery, classify
+from .plans import CanonicalPlan, canonicalize
+from .router import SharedPlan, SubscriptionRouter
+from .standing import (
+    INCREMENTAL_PATHS,
+    PATH_FILTER_PROJECT,
+    PATH_RESCAN,
+    StandingQuery,
+    classify,
+)
 
 
 class ContinuousQueryService:
     """Standing SQL subscriptions over one environment's state store."""
 
-    def __init__(self, env, query_service=None) -> None:
+    def __init__(self, env, query_service=None,
+                 shared_plans: bool | None = None) -> None:
         self.env = env
         self.sim = env.sim
         self.cluster = env.cluster
         self.store = env.store
         self.costs = env.costs
         self._query_service = query_service
+        #: Plan-dedup gate; ``None`` defers to the cost model.  Off is
+        #: the per-subscription ablation baseline.
+        self.shared_plans = (
+            env.costs.shared_plans_enabled
+            if shared_plans is None else shared_plans
+        )
         self.recorder = ChangeRecorder(
             clock=lambda: env.sim.now,
             node_count=len(env.cluster.nodes),
         )
         self.store.add_commit_listener(self._on_commit)
         env.cluster.on_node_failure(self._on_node_failure)
-        #: table name -> shared arrangement (one per table, ever).
+        #: table name -> shared arrangement (live while it has readers).
         self.arrangements: dict[str, Arrangement] = {}
+        #: plan key -> shared plan.  With sharing on the key is the
+        #: canonical fingerprint; the ablation suffixes the subscription
+        #: id so every subscription gets a private plan.
+        self.plans: dict[str, SharedPlan] = {}
         self.subscriptions: dict[int, Subscription] = {}
+        self.router = SubscriptionRouter(self._route_deliver)
         self._next_id = 1
         self._entry_rotation = 0
-        #: subscription id -> (table, reader, rollback_cb) for detaching.
-        self._readers: dict[int, list[tuple[str, Callable, Callable | None]]] = {}
+        #: Batches awaiting the destination-coalescing drain: every
+        #: batch sent in one sim tick to the same (entry, subscriber)
+        #: node pair ships as ONE network message.
+        self._outbox: list[tuple[Subscription, DeltaBatch]] = []
+        self._outbox_scheduled = False
+        self._ship_seq = 0
         # service-level counters (surfaced by observability)
         self.deltas_pushed = 0
         self.batches_sent = 0
         self.batches_coalesced = 0
         self.rescans_run = 0
         self.rollback_notifications = 0
+        #: Batches merged into a shared network message by the outbox.
+        self.coalesced_batches = 0
+        self.slow_consumers_evicted = 0
+        #: Standing-plan maintenance billed to store servers (charged
+        #: once per update per plan — the quantity bench_fanout sweeps).
+        self.plan_maintenance_ms = 0.0
+        self.plan_maintenance_ops = 0
 
     # -- public API --------------------------------------------------------
 
@@ -74,73 +126,100 @@ class ContinuousQueryService:
     def active_subscriptions(self) -> int:
         return len(self.subscriptions)
 
+    @property
+    def shared_plan_count(self) -> int:
+        return len(self.plans)
+
     def explain_subscription(self, sql: str) -> str:
-        """Which maintenance path would ``subscribe(sql)`` choose, and why."""
+        """Which maintenance path ``subscribe(sql)`` would choose, and
+        the shared-plan decision it would make."""
         statement = parse(sql)
         self._validate_tables(statement)
         path, reason = classify(statement, self.store)
-        return f"path: {path}\nreason: {reason}"
+        canonical = canonicalize(statement, self.store,
+                                 extract_residual=self.shared_plans)
+        residual = (canonical.residual_display
+                    if canonical.has_residual else "none")
+        lines = [
+            f"path: {path}",
+            f"reason: {reason}",
+            f"shared plans: {'on' if self.shared_plans else 'off'}",
+            f"plan fingerprint: {canonical.fingerprint}",
+            f"residual filter: {residual}",
+        ]
+        if self.shared_plans:
+            existing = self.plans.get(canonical.fingerprint)
+            if existing is not None:
+                lines.append(
+                    f"plan: joins shared plan {canonical.fingerprint} "
+                    f"({existing.subscriber_count} subscriber"
+                    f"{'s' if existing.subscriber_count != 1 else ''})"
+                )
+            else:
+                lines.append("plan: creates a new shared plan")
+        else:
+            lines.append("plan: private (ablation: dedup disabled)")
+        return "\n".join(lines)
 
     def subscribe(self, sql: str,
                   on_batch: Callable[[Subscription, DeltaBatch], None] | None = None,
                   subscriber_node: int | None = None,
                   max_outstanding: int = 4,
-                  batch_interval_ms: float = 5.0,
-                  consume_ms: float | None = None) -> Subscription:
+                  batch_interval_ms: float | None = None,
+                  consume_ms: float | None = None,
+                  tier: str = TIER_REALTIME) -> Subscription:
         """Register a standing query; returns its subscription handle.
 
         The subscriber immediately receives one snapshot batch seeding
         its view, then deltas (or coalesced snapshots under
-        backpressure) as state changes.
+        backpressure) as state changes.  ``tier`` picks the delivery
+        tier; ``batch_interval_ms=None`` uses the tier default (5 ms
+        realtime, ``CostModel.push_coalesce_interval_ms`` coalesced).
         """
+        if tier not in TIERS:
+            raise QueryError(
+                f"unknown delivery tier {tier!r} (expected one of {TIERS})"
+            )
         statement = parse(sql)
         self._validate_tables(statement)
-        standing = StandingQuery(sql, statement, self.store,
-                                 now=lambda: self.sim.now)
+        canonical = canonicalize(statement, self.store,
+                                 extract_residual=self.shared_plans)
         entry_node = self._next_entry_node()
         if subscriber_node is None:
             subscriber_node = entry_node
+        if batch_interval_ms is None:
+            batch_interval_ms = (self.costs.push_coalesce_interval_ms
+                                 if tier == TIER_COALESCED else 5.0)
+        plan = self._plan_for(canonical, sql)
         subscription = Subscription(
-            id=self._next_id, sql=sql, standing=standing,
+            id=self._next_id, sql=sql, standing=plan.standing,
             entry_node=entry_node, subscriber_node=subscriber_node,
             max_outstanding=max_outstanding,
             batch_interval_ms=batch_interval_ms,
-            consume_ms=consume_ms, on_batch=on_batch,
+            consume_ms=consume_ms, on_batch=on_batch, tier=tier,
+            plan=plan, canonical=canonical,
         )
+        if canonical.has_residual:
+            subscription.residual_predicate = compile_predicate(
+                canonical.residual, statement.table.binding
+            )
         self._next_id += 1
         self.subscriptions[subscription.id] = subscription
-        self._readers[subscription.id] = []
-        subscription.refresh_on_commit = any(
-            self.store.has_snapshot_table(name)
-            for name in statement.table_names()
-        )
-        for name in statement.table_names():
-            if self.store.has_live_table(name):
-                self._attach(subscription, name)
-        if standing.path in INCREMENTAL_PATHS:
-            arrangement = self.arrangements[standing.table_name]
-            standing.seed(arrangement.rows)
+        subscription.refresh_on_commit = plan.refresh_on_commit
+        self.router.attach(plan, subscription, canonical)
+        if plan.standing.path in INCREMENTAL_PATHS \
+                or not (plan.standing.dirty or plan.rescan_in_flight):
+            # Incremental plans are seeded; clean rescan plans already
+            # hold a published result — snapshot the newcomer directly.
             subscription.needs_snapshot = True
-        else:
-            standing.dirty = True
         self._schedule_flush(subscription, delay=0.0)
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
-        """Cancel: detach from arrangements, stop all deliveries."""
+        """Cancel: detach from the plan, stop all deliveries; the last
+        subscriber of a table tears its arrangement down."""
         subscription.active = False
-        self.subscriptions.pop(subscription.id, None)
-        for table, reader, rollback_cb in self._readers.pop(
-            subscription.id, ()
-        ):
-            arrangement = self.arrangements.get(table)
-            if arrangement is not None:
-                arrangement.remove_reader(reader, rollback_cb)
-        # Release the push channel's FIFO floor: without this, every
-        # subscription ever cancelled would leave a row in the network's
-        # channel table, and a future subscription reusing the id would
-        # inherit a stale ordering floor.
-        self.cluster.network.close_channel(("push", subscription.id))
+        self._detach_subscription(subscription)
 
     def on_rollback_recovery(self, committed_ssid: int | None) -> None:
         """Called by recovery after every instance's state is restored:
@@ -151,19 +230,21 @@ class ContinuousQueryService:
         post-recovery result, bypassing the flow-control window so no
         live subscriber misses it (Fig. 5c for push clients).
         """
-        for subscription in list(self.subscriptions.values()):
-            standing = subscription.standing
-            subscription.pending.clear()
-            subscription.needs_snapshot = False
-            subscription.needs_rollback_ssid = (
-                committed_ssid if committed_ssid is not None else -1
-            )
+        for plan in list(self.plans.values()):
+            standing = plan.standing
             if standing.path in INCREMENTAL_PATHS:
                 arrangement = self.arrangements[standing.table_name]
                 standing.rebuild(arrangement.rows)
             else:
                 standing.dirty = True
-            self._schedule_flush(subscription, delay=0.0)
+            for subscription in list(plan.subscribers.values()):
+                subscription.pending.clear()
+                subscription.needs_snapshot = False
+                subscription.digest_dirty = False
+                subscription.needs_rollback_ssid = (
+                    committed_ssid if committed_ssid is not None else -1
+                )
+                self._schedule_flush(subscription, delay=0.0)
 
     # -- wiring ------------------------------------------------------------
 
@@ -179,6 +260,30 @@ class ContinuousQueryService:
         self._entry_rotation += 1
         return node
 
+    def _plan_for(self, canonical: CanonicalPlan, sql: str) -> SharedPlan:
+        key = (canonical.fingerprint if self.shared_plans
+               else f"{canonical.fingerprint}/{self._next_id}")
+        plan = self.plans.get(key)
+        if plan is not None:
+            return plan
+        standing = StandingQuery(sql, canonical.statement, self.store,
+                                 now=lambda: self.sim.now)
+        plan = SharedPlan(key, canonical, sql, standing)
+        plan.refresh_on_commit = any(
+            self.store.has_snapshot_table(name)
+            for name in canonical.statement.table_names()
+        )
+        self.plans[key] = plan
+        for name in canonical.statement.table_names():
+            if self.store.has_live_table(name):
+                self._attach_plan(plan, name)
+        if standing.path in INCREMENTAL_PATHS:
+            arrangement = self.arrangements[standing.table_name]
+            standing.seed(arrangement.rows)
+        else:
+            standing.dirty = True
+        return plan
+
     def _arrangement_for(self, table_name: str) -> Arrangement:
         arrangement = self.arrangements.get(table_name)
         if arrangement is None:
@@ -189,44 +294,89 @@ class ContinuousQueryService:
             self.arrangements[table_name] = arrangement
         return arrangement
 
-    def _attach(self, subscription: Subscription, table_name: str) -> None:
+    def _attach_plan(self, plan: SharedPlan, table_name: str) -> None:
         arrangement = self._arrangement_for(table_name)
-        standing = subscription.standing
+        standing = plan.standing
         if standing.path in INCREMENTAL_PATHS and \
                 table_name == standing.table_name:
+            filter_project = standing.path == PATH_FILTER_PROJECT
 
-            def reader(key, old_row, new_row,
-                       subscription=subscription) -> None:
-                entries = subscription.standing.on_delta(
-                    key, old_row, new_row
-                )
-                if not entries or not subscription.active:
-                    return
-                if subscription.needs_snapshot:
-                    # Already coalesced: the snapshot will carry these.
-                    subscription.deltas_dropped += len(entries)
-                    return
-                subscription.pending.extend(entries)
-                self._schedule_flush(subscription)
+            def reader(key, old_row, new_row, plan=plan,
+                       arrangement=arrangement) -> None:
+                standing = plan.standing
+                prev = None
+                if filter_project and plan.groups:
+                    # The row this plan published under the delta's out
+                    # key, captured before the delta lands: residual
+                    # routing retracts it from subscribers the update
+                    # moved the row away from.
+                    prev = standing.published.get(hashable_key(key))
+                entries = standing.on_delta(key, old_row, new_row)
+                routed = 0
+                if entries:
+                    before = self.router.deltas_routed
+                    if filter_project:
+                        self.router.route(plan, entries, prev)
+                    else:
+                        self.router.route_all(plan, entries)
+                    routed = self.router.deltas_routed - before
+                self._charge_plan_maintenance(arrangement, routed)
         else:
-            # Rescan-path reader: any change just marks the result stale.
-            def reader(key, old_row, new_row,
-                       subscription=subscription) -> None:
-                subscription.standing.dirty = True
-                subscription.standing.deltas_applied += 1
-                if subscription.active:
-                    self._schedule_flush(subscription)
+            # Rescan-path reader: any change just marks the plan stale.
+            def reader(key, old_row, new_row, plan=plan,
+                       arrangement=arrangement) -> None:
+                plan.standing.dirty = True
+                plan.standing.deltas_applied += 1
+                self._charge_plan_maintenance(arrangement, 0)
+                for subscription in plan.subscribers.values():
+                    if subscription.active:
+                        self._schedule_flush(subscription)
 
-        def on_rollback(event, subscription=subscription) -> None:
+        def on_rollback(event, plan=plan) -> None:
             # Partition bulk-replaced mid-recovery: suppress ordinary
             # delivery until on_rollback_recovery() replays consistently.
-            subscription.standing.on_rollback()
-            subscription.pending.clear()
+            plan.standing.on_rollback()
+            for subscription in plan.subscribers.values():
+                subscription.pending.clear()
 
         arrangement.add_reader(reader, on_rollback)
-        self._readers[subscription.id].append(
-            (table_name, reader, on_rollback)
-        )
+        plan.readers.append((table_name, reader, on_rollback))
+
+    def _charge_plan_maintenance(self, arrangement: Arrangement,
+                                 routed: int) -> None:
+        """Bill applying one update to one plan — once per *plan*, plus
+        a per-routed-delta term (the work that stays per-subscriber)."""
+        cost = (self.costs.standing_apply_ms
+                + routed * self.costs.router_entry_ms)
+        event = arrangement.current_event
+        node = self.cluster.node(event.node_id)
+        node.store_server(max(event.partition, 0)).submit(cost)
+        self.plan_maintenance_ms += cost
+        self.plan_maintenance_ops += 1
+
+    def _detach_subscription(self, subscription: Subscription) -> None:
+        self.subscriptions.pop(subscription.id, None)
+        plan = subscription.plan
+        if plan is None:
+            return
+        self.router.detach(plan, subscription, subscription.canonical)
+        if not plan.subscribers:
+            self._release_plan(plan)
+
+    def _release_plan(self, plan: SharedPlan) -> None:
+        """Last subscriber left: drop the plan; a table whose last
+        reader detached also loses its arrangement and change capture
+        (the mutation fast path is restored)."""
+        self.plans.pop(plan.key, None)
+        for table, reader, rollback_cb in plan.readers:
+            arrangement = self.arrangements.get(table)
+            if arrangement is None:
+                continue
+            if arrangement.remove_reader(reader, rollback_cb):
+                self.recorder.remove_listener(table, arrangement.on_event)
+                arrangement.table.attach_change_capture(None)
+                del self.arrangements[table]
+        plan.readers.clear()
 
     def _on_node_failure(self, node_id: int) -> None:
         """Migrate push endpoints off the dead node.
@@ -246,10 +396,61 @@ class ContinuousQueryService:
 
     def _on_commit(self, ssid: int) -> None:
         self.recorder.record_commit(ssid)
-        for subscription in self.subscriptions.values():
-            if subscription.refresh_on_commit:
-                subscription.standing.dirty = True
-                self._schedule_flush(subscription)
+        for plan in self.plans.values():
+            if plan.refresh_on_commit:
+                plan.standing.dirty = True
+                for subscription in plan.subscribers.values():
+                    self._schedule_flush(subscription)
+
+    # -- routing / tiers ---------------------------------------------------
+
+    def _route_deliver(self, subscription: Subscription,
+                       entry: dict) -> None:
+        """Router sink: queue one result entry for one subscriber,
+        honouring its tier and the pending-queue bound."""
+        if not subscription.active:
+            return
+        if subscription.tier == TIER_DIGEST:
+            subscription.digest_dirty = True
+            self._schedule_digest(subscription)
+            return
+        if subscription.needs_snapshot:
+            # Already coalesced: the snapshot will carry this.
+            subscription.deltas_dropped += 1
+            return
+        if len(subscription.pending) >= self.costs.push_max_pending_deltas:
+            # Slow-consumer ladder step 1: the pending queue is full —
+            # degrade to one snapshot instead of growing it.
+            subscription.deltas_dropped += len(subscription.pending) + 1
+            subscription.pending.clear()
+            subscription.needs_snapshot = True
+            subscription.batches_coalesced += 1
+            self.batches_coalesced += 1
+            self._schedule_flush(subscription)
+            return
+        subscription.pending.append(entry)
+        self._schedule_flush(subscription)
+
+    def _schedule_digest(self, subscription: Subscription) -> None:
+        if subscription.digest_scheduled or not subscription.active:
+            return
+        subscription.digest_scheduled = True
+        self.sim.schedule(self.costs.push_digest_interval_ms,
+                          self._digest_flush, subscription)
+
+    def _digest_flush(self, subscription: Subscription) -> None:
+        subscription.digest_scheduled = False
+        if not subscription.active or not subscription.digest_dirty:
+            return
+        if subscription.needs_rollback_ssid is not None:
+            return  # the recovery flush owns delivery now
+        if subscription.outstanding >= subscription.max_outstanding:
+            self._note_stalled(subscription)
+            self._schedule_digest(subscription)
+            return
+        subscription.digest_dirty = False
+        self._send(subscription, BATCH_SNAPSHOT,
+                   self._snapshot_entries(subscription))
 
     # -- flush / delivery --------------------------------------------------
 
@@ -266,37 +467,45 @@ class ContinuousQueryService:
         subscription.flush_scheduled = False
         if not subscription.active:
             return
-        standing = subscription.standing
+        plan = subscription.plan
+        standing = plan.standing
+
+        if standing.needs_rebuild:
+            self._rebuild_plan(plan)
 
         if subscription.needs_rollback_ssid is not None:
             if standing.path == PATH_RESCAN:
-                self._start_rescan(subscription)
+                self._start_rescan(plan)
             else:
                 ssid = subscription.needs_rollback_ssid
                 subscription.needs_rollback_ssid = None
                 self.rollback_notifications += 1
                 self._send(subscription, BATCH_ROLLBACK,
-                           self._snapshot_entries(standing), ssid=ssid)
+                           self._snapshot_entries(subscription), ssid=ssid)
             return
 
         if standing.path == PATH_RESCAN:
-            if standing.dirty and not subscription.rescan_in_flight:
-                self._start_rescan(subscription)
+            if standing.dirty:
+                if not plan.rescan_in_flight:
+                    self._start_rescan(plan)
+                return
+            if subscription.needs_snapshot:
+                if subscription.outstanding >= subscription.max_outstanding:
+                    self._note_stalled(subscription)
+                    return  # still backpressured; retried on ack
+                subscription.needs_snapshot = False
+                self._send(subscription, BATCH_SNAPSHOT,
+                           self._snapshot_entries(subscription))
             return
-
-        if standing.needs_rebuild:
-            arrangement = self.arrangements[standing.table_name]
-            standing.rebuild(arrangement.rows)
-            subscription.pending.clear()
-            subscription.needs_snapshot = True
 
         if subscription.needs_snapshot:
             if subscription.outstanding >= subscription.max_outstanding:
+                self._note_stalled(subscription)
                 return  # still backpressured; retried on ack
             subscription.needs_snapshot = False
             subscription.pending.clear()
             self._send(subscription, BATCH_SNAPSHOT,
-                       self._snapshot_entries(standing))
+                       self._snapshot_entries(subscription))
             return
 
         if not subscription.pending:
@@ -308,17 +517,73 @@ class ContinuousQueryService:
             subscription.needs_snapshot = True
             subscription.batches_coalesced += 1
             self.batches_coalesced += 1
+            self._note_stalled(subscription)
             return
         entries = subscription.pending
         subscription.pending = []
+        if subscription.tier == TIER_COALESCED and len(entries) > 1:
+            # Merge per result key, last write wins (first-seen order).
+            merged: dict = {}
+            for entry in entries:
+                merged[entry["key"]] = entry
+            subscription.entries_merged += len(entries) - len(merged)
+            entries = list(merged.values())
         self._send(subscription, BATCH_DELTA, entries)
 
-    @staticmethod
-    def _snapshot_entries(standing: StandingQuery) -> list[dict]:
+    def _rebuild_plan(self, plan: SharedPlan) -> None:
+        """Rebuild after a rollback event — once per plan; every
+        subscriber resyncs from a fresh snapshot."""
+        arrangement = self.arrangements[plan.standing.table_name]
+        plan.standing.rebuild(arrangement.rows)
+        for subscription in plan.subscribers.values():
+            subscription.pending.clear()
+            subscription.needs_snapshot = True
+            self._schedule_flush(subscription)
+
+    def _snapshot_entries(self, subscription: Subscription) -> list[dict]:
+        """The subscriber's full current result: the plan's published
+        rows swept through the compiled residual predicate (if any)."""
+        published = subscription.plan.standing.published
+        predicate = subscription.residual_predicate
+        if predicate is None:
+            return [
+                {"key": key, "row": dict(row)}
+                for key, row in published.items()
+            ]
+        context = EvalContext(now_ms=self.sim.now)
         return [
             {"key": key, "row": dict(row)}
-            for key, row in standing.published.items()
+            for key, row in published.items()
+            if predicate(row, context)
         ]
+
+    # -- slow-consumer eviction --------------------------------------------
+
+    def _note_stalled(self, subscription: Subscription) -> None:
+        """The flow-control window is full; start (or keep) the
+        eviction countdown.  Any ack clears it."""
+        if subscription.stalled_since is not None:
+            return
+        subscription.stalled_since = self.sim.now
+        self.sim.schedule(self.costs.push_evict_stalled_after_ms,
+                          self._maybe_evict, subscription,
+                          subscription.stalled_since)
+
+    def _maybe_evict(self, subscription: Subscription,
+                     since: float) -> None:
+        if not subscription.active or subscription.stalled_since != since:
+            return
+        # Slow-consumer ladder step 2: the subscriber never drained its
+        # window for the whole countdown — drop it with a terminal
+        # batch so it can't pin plan/router state forever.
+        self.slow_consumers_evicted += 1
+        subscription.evicted = True
+        subscription.pending.clear()
+        subscription.needs_snapshot = False
+        subscription.digest_dirty = False
+        self._send(subscription, BATCH_EVICTED, [])
+        subscription.active = False
+        self._detach_subscription(subscription)
 
     def _send(self, subscription: Subscription, kind: str,
               entries: list[dict], ssid: int | None = None) -> None:
@@ -331,32 +596,68 @@ class ContinuousQueryService:
         self.batches_sent += 1
         if kind == BATCH_DELTA:
             self.deltas_pushed += len(entries)
-        cost = (self.costs.push_batch_fixed_ms
-                + len(entries) * self.costs.push_delta_row_ms)
-        pool = self.cluster.node(subscription.entry_node).query_pool
-        pool.submit(("push", subscription.id, batch.seq), cost,
-                    self._ship, subscription, batch)
+        self._outbox.append((subscription, batch))
+        if not self._outbox_scheduled:
+            self._outbox_scheduled = True
+            # Delay 0 runs after every already-queued same-time flush,
+            # so one tick's batches to one destination merge here.
+            self.sim.schedule(0.0, self._drain_outbox)
 
-    def _ship(self, subscription: Subscription, batch: DeltaBatch) -> None:
-        nbytes = max(1, len(batch.entries)) * self.costs.row_bytes
+    def _drain_outbox(self) -> None:
+        self._outbox_scheduled = False
+        pending, self._outbox = self._outbox, []
+        alive = set(self.cluster.surviving_node_ids())
+        if not alive:
+            return
+        groups: dict[tuple[int, int], list] = {}
+        for subscription, batch in pending:
+            # Nodes can die between enqueue and drain: re-home first.
+            if subscription.entry_node not in alive:
+                subscription.entry_node = self._next_entry_node()
+            if subscription.subscriber_node not in alive:
+                subscription.subscriber_node = subscription.entry_node
+            key = (subscription.entry_node, subscription.subscriber_node)
+            groups.setdefault(key, []).append((subscription, batch))
+        for (entry_node, dest_node), batches in groups.items():
+            if len(batches) > 1:
+                self.coalesced_batches += len(batches) - 1
+            cost = (self.costs.push_batch_fixed_ms
+                    + sum(len(batch.entries) for _sub, batch in batches)
+                    * self.costs.push_delta_row_ms)
+            self._ship_seq += 1
+            pool = self.cluster.node(entry_node).query_pool
+            pool.submit(("push", entry_node, dest_node, self._ship_seq),
+                        cost, self._ship, entry_node, dest_node, batches)
+
+    def _ship(self, entry_node: int, dest_node: int,
+              batches: list[tuple[Subscription, DeltaBatch]]) -> None:
+        nbytes = sum(
+            max(1, len(batch.entries)) for _sub, batch in batches
+        ) * self.costs.row_bytes
         self.cluster.network.send(
-            subscription.entry_node, subscription.subscriber_node,
-            self._deliver, subscription, batch,
-            nbytes=nbytes, channel=("push", subscription.id),
+            entry_node, dest_node, self._deliver, batches,
+            nbytes=nbytes, channel=("push", entry_node, dest_node),
         )
 
-    def _deliver(self, subscription: Subscription,
-                 batch: DeltaBatch) -> None:
-        batch.delivered_ms = self.sim.now
-        consume = (subscription.consume_ms
-                   if subscription.consume_ms is not None
-                   else self.costs.subscriber_consume_ms)
-        self.sim.schedule(consume, self._consumed, subscription, batch)
+    def _deliver(self,
+                 batches: list[tuple[Subscription, DeltaBatch]]) -> None:
+        for subscription, batch in batches:
+            batch.delivered_ms = self.sim.now
+            consume = (subscription.consume_ms
+                       if subscription.consume_ms is not None
+                       else self.costs.subscriber_consume_ms)
+            self.sim.schedule(consume, self._consumed, subscription, batch)
 
     def _consumed(self, subscription: Subscription,
                   batch: DeltaBatch) -> None:
         batch.consumed_ms = self.sim.now
         subscription.outstanding -= 1
+        subscription.stalled_since = None
+        if batch.kind == BATCH_EVICTED:
+            # Terminal notification: delivered even though the service
+            # already dropped the subscription.
+            subscription.apply_batch(batch)
+            return
         if not subscription.active:
             return
         subscription.apply_batch(batch)
@@ -364,6 +665,8 @@ class ContinuousQueryService:
                 or subscription.needs_rollback_ssid is not None
                 or subscription.standing.dirty):
             self._schedule_flush(subscription)
+        if subscription.digest_dirty:
+            self._schedule_digest(subscription)
 
     # -- rescan path ---------------------------------------------------------
 
@@ -373,43 +676,50 @@ class ContinuousQueryService:
             self._query_service = QueryService(self.env)
         return self._query_service
 
-    def _start_rescan(self, subscription: Subscription) -> None:
-        if subscription.rescan_in_flight:
+    def _start_rescan(self, plan: SharedPlan) -> None:
+        if plan.rescan_in_flight:
             return
-        subscription.rescan_in_flight = True
-        subscription.standing.dirty = False
-        subscription.standing.rescans += 1
+        plan.rescan_in_flight = True
+        plan.standing.dirty = False
+        plan.standing.rescans += 1
         self.rescans_run += 1
         service = self._ensure_query_service()
         service.submit(
-            subscription.sql,
-            on_done=lambda execution: self._rescan_done(
-                subscription, execution
-            ),
+            plan.sql,
+            on_done=lambda execution: self._rescan_done(plan, execution),
         )
 
-    def _rescan_done(self, subscription: Subscription, execution) -> None:
-        subscription.rescan_in_flight = False
-        if not subscription.active:
+    def _rescan_done(self, plan: SharedPlan, execution) -> None:
+        plan.rescan_in_flight = False
+        if not plan.subscribers:
             return
-        standing = subscription.standing
+        standing = plan.standing
         if execution.error is not None:
             # e.g. no committed snapshot yet — retry on the next change
-            # or commit rather than failing the subscription.
+            # or commit rather than failing the plan.
             standing.dirty = True
             return
         standing.set_published_rows(execution.result.rows)
-        if subscription.needs_rollback_ssid is not None:
-            ssid = subscription.needs_rollback_ssid
-            subscription.needs_rollback_ssid = None
-            self.rollback_notifications += 1
-            self._send(subscription, BATCH_ROLLBACK,
-                       self._snapshot_entries(standing), ssid=ssid)
-        else:
-            if subscription.outstanding >= subscription.max_outstanding:
+        for subscription in list(plan.subscribers.values()):
+            if not subscription.active:
+                continue
+            if subscription.needs_rollback_ssid is not None:
+                ssid = subscription.needs_rollback_ssid
+                subscription.needs_rollback_ssid = None
+                self.rollback_notifications += 1
+                self._send(subscription, BATCH_ROLLBACK,
+                           self._snapshot_entries(subscription), ssid=ssid)
+            elif subscription.tier == TIER_DIGEST \
+                    and not subscription.needs_snapshot:
+                subscription.digest_dirty = True
+                self._schedule_digest(subscription)
+            elif subscription.outstanding >= subscription.max_outstanding:
                 subscription.needs_snapshot = True
-                return
-            self._send(subscription, BATCH_SNAPSHOT,
-                       self._snapshot_entries(standing))
+                self._note_stalled(subscription)
+            else:
+                subscription.needs_snapshot = False
+                self._send(subscription, BATCH_SNAPSHOT,
+                           self._snapshot_entries(subscription))
         if standing.dirty:
-            self._schedule_flush(subscription)
+            for subscription in plan.subscribers.values():
+                self._schedule_flush(subscription)

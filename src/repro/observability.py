@@ -75,6 +75,16 @@ class ClusterReport:
     push_batches_sent: int = 0
     push_batches_coalesced: int = 0
     subscription_rescans: int = 0
+    # continuous-query fan-out (plan dedup + router + tiered delivery)
+    shared_plans: int = 0
+    subscriptions_per_plan_max: int = 0
+    subscriptions_per_plan_mean: float = 0.0
+    router_deltas_routed: int = 0
+    residual_filter_drops: int = 0
+    coalesced_batches: int = 0
+    slow_consumers_evicted: int = 0
+    plan_maintenance_ops: int = 0
+    plan_maintenance_cost: float = 0.0
     # runtime sanitizers (zero unless armed via SanitizerConfig)
     sanitizer_violations: int = 0
 
@@ -149,6 +159,21 @@ def collect_report(env: Environment) -> ClusterReport:
         report.push_batches_sent = continuous.batches_sent
         report.push_batches_coalesced = continuous.batches_coalesced
         report.subscription_rescans = continuous.rescans_run
+        report.shared_plans = len(continuous.plans)
+        sizes = [
+            plan.subscriber_count
+            for plan in continuous.plans.values()
+        ]
+        if sizes:
+            report.subscriptions_per_plan_max = max(sizes)
+            report.subscriptions_per_plan_mean = sum(sizes) / len(sizes)
+        report.router_deltas_routed = continuous.router.deltas_routed
+        report.residual_filter_drops = \
+            continuous.router.residual_filter_drops
+        report.coalesced_batches = continuous.coalesced_batches
+        report.slow_consumers_evicted = continuous.slow_consumers_evicted
+        report.plan_maintenance_ops = continuous.plan_maintenance_ops
+        report.plan_maintenance_cost = continuous.plan_maintenance_ms
     # Process-wide cache (shared across environments), documented as
     # such: the counters are cumulative for the process.
     from .sql.executor import like_cache_stats
@@ -232,6 +257,16 @@ def format_report(report: ClusterReport) -> str:
             f"{report.push_batches_sent:,} batches "
             f"({report.push_batches_coalesced:,} coalesced), "
             f"{report.subscription_rescans:,} rescans"
+        )
+    if report.shared_plans or report.router_deltas_routed:
+        footer += (
+            f"\nfan-out: {report.shared_plans:,} shared plans "
+            f"(max {report.subscriptions_per_plan_max:,} / mean "
+            f"{report.subscriptions_per_plan_mean:,.1f} subscribers), "
+            f"{report.router_deltas_routed:,} deltas routed, "
+            f"{report.residual_filter_drops:,} residual drops, "
+            f"{report.coalesced_batches:,} batches coalesced, "
+            f"{report.slow_consumers_evicted:,} slow consumers evicted"
         )
     if report.sanitizer_violations:
         footer += (

@@ -264,7 +264,8 @@ class QueryService:
                  pushdown: bool | None = None,
                  indexes: bool | None = None,
                  sketches: bool | None = None,
-                 vectorized: bool | None = None) -> None:
+                 vectorized: bool | None = None,
+                 shared_plans: bool | None = None) -> None:
         """``repeatable_read`` holds key locks for whole live queries;
         ``ha_mode`` declares that the job runs with active replication
         (§VII-B), upgrading live queries to read committed — state they
@@ -281,7 +282,12 @@ class QueryService:
         falls back to the exact paths.  ``vectorized`` forces columnar
         batch execution of scan fragments on or off (``None`` defers to
         ``CostModel.vectorized_enabled``); off is the interpreted
-        per-row ablation baseline with bit-identical results."""
+        per-row ablation baseline with bit-identical results.
+        ``shared_plans`` forces continuous-query plan deduplication on
+        or off (``None`` defers to ``CostModel.shared_plans_enabled``);
+        off gives every subscription a private standing plan — the
+        fan-out ablation baseline with bit-identical delivered
+        results."""
         self.env = env
         self.sim = env.sim
         self.cluster = env.cluster
@@ -303,6 +309,10 @@ class QueryService:
         self.vectorized_enabled = (
             self.costs.vectorized_enabled if vectorized is None
             else vectorized
+        )
+        self.shared_plans_enabled = (
+            self.costs.shared_plans_enabled if shared_plans is None
+            else shared_plans
         )
         self._entry_rotation = 0
         self.queries_executed = 0
@@ -426,7 +436,8 @@ class QueryService:
         if self.env.continuous is None:
             from ..continuous.service import ContinuousQueryService
             self.env.continuous = ContinuousQueryService(
-                self.env, query_service=self
+                self.env, query_service=self,
+                shared_plans=self.shared_plans_enabled,
             )
         return self.env.continuous
 

@@ -115,18 +115,28 @@ def test_cancellation_stops_delivery(env):
     assert env.continuous.active_subscriptions == 0
 
 
-def test_unsubscribe_closes_push_channel(env):
+def test_push_channels_bounded_by_node_pairs(env):
+    """Push traffic shares one FIFO channel per (entry, subscriber)
+    node pair: the channel table stays O(nodes²) however many
+    subscriptions come and go, so cancellation needs no close."""
     backend = make_squery_backend(env)
     job = build_average_job(env, backend=backend, rate=1000)
     service = QueryService(env)
     job.start()
     env.run_for(100)
-    sub = service.subscribe(SQL)
+    subs = [service.subscribe(SQL) for _ in range(12)]
     env.run_for(500)
     network = env.cluster.network
-    assert ("push", sub.id) in network._last_delivery
-    env.continuous.unsubscribe(sub)
-    # The channel's FIFO floor is released at cancellation, so the
-    # table does not grow with every subscription ever cancelled and a
-    # reused id cannot inherit a stale floor.
-    assert ("push", sub.id) not in network._last_delivery
+    push_channels = [
+        channel for channel in network._last_delivery
+        if isinstance(channel, tuple) and channel[0] == "push"
+    ]
+    assert push_channels  # traffic flowed
+    nodes = len(env.cluster.nodes)
+    assert len(push_channels) <= nodes * nodes
+    # No channel is keyed by subscription id: cancelling all of them
+    # leaves the (bounded) destination channels untouched.
+    for sub in subs:
+        assert ("push", sub.id) not in network._last_delivery
+        env.continuous.unsubscribe(sub)
+    assert env.continuous.active_subscriptions == 0

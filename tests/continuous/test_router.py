@@ -1,0 +1,171 @@
+"""The subscription router: hash-routed residual fan-out.
+
+Acceptance: one shared plan's delta stream reaches exactly the
+subscribers whose residual matches — O(matching) deliveries per delta,
+with synthesized retractions when an update moves a row across residual
+buckets, and drops counted for every non-matching group subscriber.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.continuous.plans import canonicalize
+from repro.continuous.router import SharedPlan, SubscriptionRouter
+from repro.sql import parse
+
+from .test_plans import FakeStore
+
+
+@dataclass
+class FakeSubscription:
+    id: int
+    received: list = field(default_factory=list)
+
+
+def make_plan(sql='SELECT * FROM "orders"'):
+    canonical = canonicalize(parse(sql), FakeStore(),
+                             extract_residual=False)
+    return SharedPlan(canonical.fingerprint, canonical, sql, standing=None)
+
+
+def attach(router, plan, sub_id, sql):
+    canonical = canonicalize(parse(sql), FakeStore())
+    subscription = FakeSubscription(sub_id)
+    router.attach(plan, subscription, canonical)
+    return subscription, canonical
+
+
+def make_router():
+    log = []
+    router = SubscriptionRouter(
+        lambda subscription, entry: subscription.received.append(entry)
+    )
+    return router, log
+
+
+def upsert(key, row):
+    return {"action": "upsert", "key": key, "row": row}
+
+
+def delete(key):
+    return {"action": "delete", "key": key, "row": None}
+
+
+def test_unfiltered_subscribers_receive_everything():
+    router, _ = make_router()
+    plan = make_plan()
+    a, _ = attach(router, plan, 1, 'SELECT * FROM "orders"')
+    b, _ = attach(router, plan, 2, 'SELECT * FROM "orders"')
+    entry = upsert("k", {"zone": "n", "amount": 5})
+    router.route(plan, [entry], prev_row=None)
+    assert a.received == [entry]
+    assert b.received == [entry]
+    assert router.deltas_routed == 2
+    assert router.residual_filter_drops == 0
+
+
+def test_residual_routes_to_matching_bucket_only():
+    router, _ = make_router()
+    plan = make_plan()
+    north, _ = attach(router, plan, 1,
+                      'SELECT * FROM "orders" WHERE zone = \'n\'')
+    south, _ = attach(router, plan, 2,
+                      'SELECT * FROM "orders" WHERE zone = \'s\'')
+    entry = upsert("k", {"zone": "n", "amount": 5})
+    router.route(plan, [entry], prev_row=None)
+    assert north.received == [entry]
+    assert south.received == []
+    assert router.deltas_routed == 1
+    # south's group membership was skipped without evaluating anything.
+    assert router.residual_filter_drops == 1
+
+
+def test_move_synthesizes_retraction_for_old_bucket():
+    router, _ = make_router()
+    plan = make_plan()
+    north, _ = attach(router, plan, 1,
+                      'SELECT * FROM "orders" WHERE zone = \'n\'')
+    south, _ = attach(router, plan, 2,
+                      'SELECT * FROM "orders" WHERE zone = \'s\'')
+    old_row = {"zone": "n", "amount": 5}
+    new_row = {"zone": "s", "amount": 5}
+    router.route(plan, [upsert("k", new_row)], prev_row=old_row)
+    # south gains the row; north retracts it — exactly what their
+    # private standing queries over the original WHERE would emit.
+    assert south.received == [upsert("k", new_row)]
+    assert north.received == [delete("k")]
+    assert router.deltas_routed == 2
+
+
+def test_update_within_bucket_does_not_retract():
+    router, _ = make_router()
+    plan = make_plan()
+    north, _ = attach(router, plan, 1,
+                      'SELECT * FROM "orders" WHERE zone = \'n\'')
+    old_row = {"zone": "n", "amount": 5}
+    new_row = {"zone": "n", "amount": 9}
+    router.route(plan, [upsert("k", new_row)], prev_row=old_row)
+    assert north.received == [upsert("k", new_row)]
+
+
+def test_delete_routes_to_previous_owner():
+    router, _ = make_router()
+    plan = make_plan()
+    north, _ = attach(router, plan, 1,
+                      'SELECT * FROM "orders" WHERE zone = \'n\'')
+    south, _ = attach(router, plan, 2,
+                      'SELECT * FROM "orders" WHERE zone = \'s\'')
+    prev = {"zone": "n", "amount": 5}
+    router.route(plan, [delete("k")], prev_row=prev)
+    assert north.received == [delete("k")]
+    assert south.received == []
+
+
+def test_multi_column_residual_requires_all_values():
+    router, _ = make_router()
+    plan = make_plan()
+    both, _ = attach(
+        router, plan, 1,
+        'SELECT * FROM "orders" WHERE zone = \'n\' AND amount = 5')
+    router.route(plan, [upsert("a", {"zone": "n", "amount": 5})],
+                 prev_row=None)
+    router.route(plan, [upsert("b", {"zone": "n", "amount": 6})],
+                 prev_row=None)
+    assert [e["key"] for e in both.received] == ["a"]
+
+
+def test_numeric_bucket_coalescing_matches_sql_equality():
+    router, _ = make_router()
+    plan = make_plan()
+    ints, _ = attach(router, plan, 1,
+                     'SELECT * FROM "orders" WHERE amount = 1')
+    # A float row value hash-routes into the integer bucket, exactly as
+    # SQL `=` would compare them equal.
+    router.route(plan, [upsert("k", {"zone": "n", "amount": 1.0})],
+                 prev_row=None)
+    assert len(ints.received) == 1
+
+
+def test_detach_removes_subscriber_and_empty_groups():
+    router, _ = make_router()
+    plan = make_plan()
+    north, canonical = attach(router, plan, 1,
+                              'SELECT * FROM "orders" WHERE zone = \'n\'')
+    assert plan.subscriber_count == 1
+    assert plan.groups
+    router.detach(plan, north, canonical)
+    assert plan.subscriber_count == 0
+    assert not plan.groups
+    router.route(plan, [upsert("k", {"zone": "n"})], prev_row=None)
+    assert north.received == []
+
+
+def test_route_all_reaches_every_subscriber():
+    router, _ = make_router()
+    plan = make_plan()
+    subs = [attach(router, plan, i, 'SELECT * FROM "orders"')[0]
+            for i in range(3)]
+    entry = upsert("k", {"zone": "n"})
+    router.route_all(plan, [entry])
+    for subscription in subs:
+        assert subscription.received == [entry]
+    assert router.deltas_routed == 3
