@@ -17,6 +17,7 @@ CI as the blocking ``analysis`` job.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -55,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this rule (repeatable; default: all rules)",
     )
     lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule names to run (merged with --rule)",
+    )
+    lint.add_argument(
         "--path", action="append", default=None,
         help="file or directory to scan (repeatable; default: "
              + ", ".join(DEFAULT_SCAN_PATHS) + ")",
@@ -71,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="accept the current violations as the new baseline",
     )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON output (for CI annotations)",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="rebuild the whole-program model even when a cached "
+             "build matches the source digests",
+    )
 
     smoke = sub.add_parser(
         "smoke",
@@ -81,6 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _selected_rule_names(args) -> list[str] | None:
+    """Merge ``--rule`` (repeatable) and ``--rules a,b,c``."""
+    names = list(args.rule or [])
+    if args.rules:
+        names.extend(
+            part.strip() for part in args.rules.split(",")
+            if part.strip()
+        )
+    return names or None
+
+
 def cmd_lint(args) -> int:
     root = repo_root()
     if args.path:
@@ -88,8 +113,15 @@ def cmd_lint(args) -> int:
     else:
         paths = [root / p for p in DEFAULT_SCAN_PATHS
                  if (root / p).exists()]
-    rules = rules_by_name(args.rule)
-    violations = lint_paths(paths, rules)
+    try:
+        rules = rules_by_name(_selected_rule_names(args))
+    except ValueError as exc:
+        print(f"repro.analysis lint: {exc}", file=sys.stderr)
+        return 2
+    timings: dict[str, float] = {}
+    cache_dir = None if args.no_cache else root / ".analysis-cache"
+    violations = lint_paths(paths, rules, timings=timings,
+                            cache_dir=cache_dir)
     baseline_path = Path(args.baseline) if args.baseline \
         else root / DEFAULT_BASELINE
     if args.write_baseline:
@@ -103,14 +135,32 @@ def cmd_lint(args) -> int:
         violations, suppressed = filter_baselined(
             violations, load_baseline(baseline_path)
         )
+    scanned = ", ".join(str(p) for p in paths)
+    if args.json:
+        print(json.dumps({
+            "violations": [
+                {"rule": v.rule, "path": v.path, "line": v.line,
+                 "message": v.message}
+                for v in violations
+            ],
+            "baselined": suppressed,
+            "rules": [rule.name for rule in rules],
+            "scanned": [str(p) for p in paths],
+            "timings_ms": {name: round(ms, 3)
+                           for name, ms in sorted(timings.items())},
+        }, indent=2))
+        return 1 if violations else 0
     for violation in violations:
         print(violation.format())
-    scanned = ", ".join(str(p) for p in paths)
     summary = (f"{len(violations)} violation"
                f"{'' if len(violations) == 1 else 's'}")
     if suppressed:
         summary += f" ({suppressed} baselined)"
     print(f"repro.analysis lint: {summary} in {scanned}")
+    if timings:
+        spent = " ".join(f"{name}={ms:.0f}ms"
+                         for name, ms in sorted(timings.items()))
+        print(f"rule wall time: {spent}")
     return 1 if violations else 0
 
 
@@ -176,6 +226,8 @@ def cmd_smoke(args) -> int:
           f"retries={report.query_retries}, "
           f"locks held={report.locks_held}, "
           f"sanitizer violations={len(runtime.violations)}")
+    print(f"lockdep: {report.lock_order_edges_observed} lock-order "
+          f"edges observed, {report.lockdep_violations} inversions")
     if runtime.violations:
         for violation in runtime.violations:
             print(f"  {violation.kind}: {violation.message}")

@@ -1,0 +1,621 @@
+"""Interprocedural call-graph construction for the analysis suite.
+
+The per-file rules in :mod:`repro.analysis.rules` are deliberately
+lexical — they see one ``ast.Module`` at a time.  The concurrency rules
+(lock-order, blocking-under-lock, shared-state-audit) cannot work that
+way: a lock acquired in ``query/service.py`` and a second lock acquired
+three calls deeper in ``kvstore/store.py`` only form an ordering edge
+when the *whole-program* call structure is visible.  This module builds
+that view:
+
+* every analysed file becomes a :class:`ModuleInfo` (its import edges,
+  top-level functions/classes, and module-level mutable globals);
+* every function and method becomes a :class:`FunctionNode`;
+* a resolution pass turns call expressions into edges between nodes,
+  understanding — within the analysed file set —
+
+  - plain calls to module-level and nested functions,
+  - ``from m import f`` / ``import m`` (including relative imports),
+  - ``self.method()`` dispatch through the enclosing class and its
+    bases (class attribution),
+  - ``self.attr.method()`` where ``attr``'s class is evident from an
+    ``__init__`` assignment or a class-body annotation,
+  - ``var.method()`` where ``var``'s class is evident from a parameter
+    annotation or a local ``var = ClassName(...)`` assignment, and
+  - ``ClassName(...)`` constructor calls (resolved to ``__init__``).
+
+Calls whose receiver type cannot be attributed are left unresolved —
+the analysis under-approximates the call graph rather than inventing
+edges, so every reported witness path is a chain of real call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bound on inheritance / symbol chasing so odd inputs cannot loop.
+_RESOLVE_DEPTH = 16
+
+#: Mutable-global value shapes that start empty and accumulate: the
+#: cross-service caches the shared-state-audit rule exists for.
+#: Populated literal tables (``KEYWORDS = {...}``) are read-only by
+#: convention and deliberately not matched.
+_EMPTY_MUTABLE_CALLS = {
+    "dict", "list", "set", "deque", "defaultdict", "Counter",
+    "OrderedDict", "bytearray",
+}
+#: Constructor-name fragments that mark a value as a shared cache or
+#: registry regardless of arguments.
+_CACHE_NAME_FRAGMENTS = ("Cache", "LRU", "Lru", "Registry")
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, bases, and attributed fields."""
+
+    qualname: str
+    module: str
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, str] = field(default_factory=dict)
+    #: ``self.<attr>`` -> dotted type text as written (resolved lazily).
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionNode:
+    """One function or method, with its resolved outgoing calls."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    lineno: int
+    node: ast.AST
+    class_qualname: str | None = None
+    #: ``id(ast.Call)`` -> callee qualname, filled by the link pass.
+    calls_by_node: dict[int, str] = field(default_factory=dict)
+
+    def calls(self) -> list[tuple[str, int]]:
+        """Sorted ``(callee, line)`` pairs of resolved call sites."""
+        pairs = []
+        for call_id, callee in self.calls_by_node.items():
+            del call_id
+            pairs.append(callee)
+        del pairs
+        out = [(callee, node.lineno)
+               for node, callee in self._call_nodes()]
+        out.sort(key=lambda pair: (pair[1], pair[0]))
+        return out
+
+    def _call_nodes(self) -> list[tuple[ast.Call, str]]:
+        resolved = []
+        for sub in ast.walk(self.node):
+            if isinstance(sub, ast.Call) and id(sub) in self.calls_by_node:
+                resolved.append((sub, self.calls_by_node[id(sub)]))
+        return resolved
+
+
+@dataclass
+class ModuleInfo:
+    """Module-level facts: imports, definitions, mutable globals."""
+
+    name: str
+    path: str
+    #: Local binding -> dotted target ("pkg.mod" or "pkg.mod.symbol").
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: Candidate imported dotted names (resolved against the program's
+    #: module table when the import graph is queried).
+    import_targets: list[str] = field(default_factory=list)
+    functions: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, str] = field(default_factory=dict)
+    #: ``(name, line, value description)`` of module-level mutable
+    #: accumulators (empty containers and cache/registry constructors).
+    mutable_globals: list[tuple[str, int, str]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class Program:
+    """The whole-program view the concurrency passes consume."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    def import_edges(self) -> dict[str, list[str]]:
+        """Module -> imported modules, restricted to analysed modules."""
+        known = self.modules
+        edges: dict[str, list[str]] = {}
+        for name in sorted(known):
+            targets: set[str] = set()
+            for dotted in known[name].import_targets:
+                resolved = _longest_module_prefix(known, dotted)
+                if resolved is not None and resolved != name:
+                    targets.add(resolved)
+            edges[name] = sorted(targets)
+        return edges
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from package structure on disk.
+
+    Walks up while ``__init__.py`` exists, so ``src/repro/sql/ast.py``
+    becomes ``repro.sql.ast`` and a loose fixture file becomes its
+    stem.
+    """
+    path = Path(path)
+    parts: list[str] = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    for _ in range(_RESOLVE_DEPTH):
+        if not (parent / "__init__.py").exists():
+            break
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+def build_program(sources: list[tuple[str, ast.Module]]) -> Program:
+    """Build the call graph over ``(display_path, tree)`` pairs."""
+    program = Program()
+    # Pass 1: index every module's definitions.
+    for display, tree in sources:
+        module = module_name_for(Path(display))
+        info = ModuleInfo(name=module, path=display)
+        program.modules[module] = info
+        _index_module(program, info, tree, display)
+    # Pass 2: resolve every function's call expressions.
+    for qualname in sorted(program.functions):
+        _link_function(program, program.functions[qualname])
+    return program
+
+
+# -- indexing --------------------------------------------------------------
+
+
+def _index_module(program: Program, info: ModuleInfo, tree: ast.Module,
+                  display: str) -> None:
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{info.name}.{stmt.name}"
+            info.functions[stmt.name] = qual
+            _register_function(program, info, display, stmt, qual, None)
+        elif isinstance(stmt, ast.ClassDef):
+            _index_class(program, info, display, stmt)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            _index_global(info, stmt)
+    _index_imports(info, tree)
+
+
+def _index_class(program: Program, info: ModuleInfo, display: str,
+                 node: ast.ClassDef) -> None:
+    qual = f"{info.name}.{node.name}"
+    info.classes[node.name] = qual
+    cls = ClassInfo(qualname=qual, module=info.name)
+    program.classes[qual] = cls
+    for base in node.bases:
+        dotted = _dotted_text(base)
+        if dotted is not None:
+            cls.bases.append(dotted)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            method_qual = f"{qual}.{stmt.name}"
+            cls.methods[stmt.name] = method_qual
+            _register_function(
+                program, info, display, stmt, method_qual, qual
+            )
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            annotated = _annotation_text(stmt.annotation)
+            if annotated is not None:
+                cls.attr_types.setdefault(stmt.target.id, annotated)
+    # Attribute the types of ``self.<attr>`` fields from assignments in
+    # any method body (``__init__`` first, so it wins ties).
+    for stmt in node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.AnnAssign):
+                target, value = sub.target, sub.value
+                annotated = _annotation_text(sub.annotation)
+                if _is_self_attr(target) and annotated is not None:
+                    cls.attr_types.setdefault(target.attr, annotated)
+                continue
+            if not isinstance(sub, ast.Assign) or \
+                    not isinstance(sub.value, ast.Call):
+                continue
+            ctor = _dotted_text(sub.value.func)
+            if ctor is None:
+                continue
+            for target in sub.targets:
+                if _is_self_attr(target):
+                    cls.attr_types.setdefault(target.attr, ctor)
+
+
+def _is_self_attr(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self")
+
+
+def _register_function(program: Program, info: ModuleInfo, display: str,
+                       node: ast.AST, qualname: str,
+                       class_qualname: str | None) -> None:
+    fn = FunctionNode(
+        qualname=qualname, module=info.name, path=display,
+        name=node.name, lineno=node.lineno, node=node,
+        class_qualname=class_qualname,
+    )
+    program.functions[qualname] = fn
+    # Nested defs become their own nodes, addressable from the parent.
+    for stmt in ast.walk(node):
+        if stmt is node:
+            continue
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested_qual = f"{qualname}.{stmt.name}"
+            if nested_qual not in program.functions:
+                program.functions[nested_qual] = FunctionNode(
+                    qualname=nested_qual, module=info.name, path=display,
+                    name=stmt.name, lineno=stmt.lineno, node=stmt,
+                    class_qualname=class_qualname,
+                )
+
+
+def _index_imports(info: ModuleInfo, tree: ast.Module) -> None:
+    """Collect imports module-wide, skipping TYPE_CHECKING blocks.
+
+    Function-local imports are registered as module-wide aliases — an
+    over-approximation that matches how this codebase uses them (lazy
+    imports of fixed modules).
+    """
+    skip: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_type_checking(node.test):
+            for sub in node.body:
+                for inner in ast.walk(sub):
+                    skip.add(id(inner))
+    for node in ast.walk(tree):
+        if id(node) in skip:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.name
+                binding = alias.asname or target.split(".")[0]
+                info.aliases.setdefault(
+                    binding,
+                    target if alias.asname else target.split(".")[0],
+                )
+                info.import_targets.append(target)
+        elif isinstance(node, ast.ImportFrom):
+            base = _relative_base(info.name, node.level, node.module)
+            if base is None:
+                continue
+            info.import_targets.append(base)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                info.aliases.setdefault(alias.asname or alias.name,
+                                        target)
+                info.import_targets.append(target)
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    dotted = _dotted_text(test)
+    return dotted is not None and dotted.endswith("TYPE_CHECKING")
+
+
+def _relative_base(module: str, level: int, target: str | None
+                   ) -> str | None:
+    if level == 0:
+        return target
+    parts = module.split(".")
+    if level > len(parts):
+        return None
+    base_parts = parts[:-level] if level < len(parts) else []
+    if target:
+        base_parts = base_parts + target.split(".")
+    return ".".join(base_parts) if base_parts else None
+
+
+def _index_global(info: ModuleInfo, stmt: ast.stmt) -> None:
+    if isinstance(stmt, ast.Assign):
+        targets, value = stmt.targets, stmt.value
+    else:
+        targets, value = [stmt.target], stmt.value
+    if value is None:
+        return
+    kind = _mutable_value_kind(value)
+    if kind is None:
+        return
+    for target in targets:
+        if not isinstance(target, ast.Name):
+            continue
+        name = target.id
+        if name.startswith("__") and name.endswith("__"):
+            continue
+        info.mutable_globals.append((name, stmt.lineno, kind))
+
+
+def _mutable_value_kind(value: ast.expr) -> str | None:
+    """Describe ``value`` when it is an accumulating mutable; else None."""
+    if isinstance(value, (ast.Dict, ast.Set)) and not _literal_entries(
+        value
+    ):
+        return "{}" if isinstance(value, ast.Dict) else "set literal"
+    if isinstance(value, ast.List) and not value.elts:
+        return "[]"
+    if isinstance(value, ast.Call):
+        name = _dotted_text(value.func)
+        if name is None:
+            return None
+        tail = name.split(".")[-1]
+        if tail in _EMPTY_MUTABLE_CALLS and not value.args:
+            return f"{tail}()"
+        if tail in _EMPTY_MUTABLE_CALLS and tail == "defaultdict":
+            return f"{tail}(...)"
+        if any(fragment in tail for fragment in _CACHE_NAME_FRAGMENTS):
+            return f"{tail}(...)"
+    return None
+
+
+def _literal_entries(value: ast.expr) -> bool:
+    if isinstance(value, ast.Dict):
+        return bool(value.keys)
+    if isinstance(value, ast.Set):
+        return bool(value.elts)
+    return False
+
+
+# -- call resolution -------------------------------------------------------
+
+
+def _link_function(program: Program, fn: FunctionNode) -> None:
+    info = program.modules[fn.module]
+    cls = (program.classes.get(fn.class_qualname)
+           if fn.class_qualname else None)
+    local_types = _infer_local_types(program, info, cls, fn)
+    for stmt in _own_statements(fn.node):
+        if not isinstance(stmt, ast.Call):
+            continue
+        callee = _resolve_call(program, info, cls, fn, local_types,
+                               stmt.func)
+        if callee is not None:
+            fn.calls_by_node[id(stmt)] = callee
+
+
+def _own_statements(node: ast.AST):
+    """Walk a function body excluding nested def/class subtrees."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.ClassDef)):
+            continue
+        yield sub
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+def _infer_local_types(program: Program, info: ModuleInfo,
+                       cls: ClassInfo | None,
+                       fn: FunctionNode) -> dict[str, str]:
+    """Map local names to class qualnames where statically evident."""
+    types: dict[str, str] = {}
+    args = getattr(fn.node, "args", None)
+    if args is not None:
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None:
+                continue
+            annotated = _annotation_text(arg.annotation)
+            if annotated is None:
+                continue
+            resolved = _resolve_class_name(program, info, annotated)
+            if resolved is not None:
+                types[arg.arg] = resolved
+    for stmt in _own_statements(fn.node):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Call):
+            ctor = _dotted_text(value.func)
+            if ctor is None:
+                continue
+            resolved = _resolve_class_name(program, info, ctor)
+            if resolved is not None:
+                types[target.id] = resolved
+        elif _is_self_attr(value) and cls is not None:
+            attributed = _attr_type(program, cls.qualname, value.attr)
+            if attributed is not None:
+                types[target.id] = attributed
+    return types
+
+
+def _resolve_call(program: Program, info: ModuleInfo,
+                  cls: ClassInfo | None, fn: FunctionNode,
+                  local_types: dict[str, str],
+                  func: ast.expr) -> str | None:
+    dotted = _dotted_text(func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    head = parts[0]
+    if head == "self" and cls is not None:
+        if len(parts) == 2:
+            return _resolve_method(program, cls.qualname, parts[1])
+        if len(parts) == 3:
+            attributed = _attr_type(program, cls.qualname, parts[1])
+            if attributed is not None:
+                return _resolve_method(program, attributed, parts[2])
+        return None
+    if len(parts) == 1:
+        nested = f"{fn.qualname}.{head}"
+        if nested in program.functions:
+            return nested
+        if head in info.functions:
+            return info.functions[head]
+        if head in info.classes:
+            return _resolve_method(program, info.classes[head],
+                                   "__init__")
+        target = info.aliases.get(head)
+        if target is not None:
+            return _resolve_symbol(program, target)
+        return None
+    receiver_type = local_types.get(head)
+    if receiver_type is not None:
+        if len(parts) == 2:
+            return _resolve_method(program, receiver_type, parts[1])
+        if len(parts) == 3:
+            attributed = _attr_type(program, receiver_type, parts[1])
+            if attributed is not None:
+                return _resolve_method(program, attributed, parts[2])
+        return None
+    if head in info.classes and len(parts) == 2:
+        return _resolve_method(program, info.classes[head], parts[1])
+    target = info.aliases.get(head)
+    if target is not None:
+        return _resolve_symbol(program,
+                               ".".join([target] + parts[1:]))
+    return None
+
+
+def _resolve_symbol(program: Program, dotted: str) -> str | None:
+    """Resolve a dotted name to a function node across modules."""
+    if dotted in program.functions:
+        return dotted
+    prefix = _longest_module_prefix(program.modules, dotted)
+    if prefix is None:
+        return None
+    rest = dotted[len(prefix):].lstrip(".").split(".") if \
+        len(dotted) > len(prefix) else []
+    info = program.modules[prefix]
+    if len(rest) == 1:
+        name = rest[0]
+        if name in info.functions:
+            return info.functions[name]
+        if name in info.classes:
+            return _resolve_method(program, info.classes[name],
+                                   "__init__")
+        # One more alias hop (``from .a import f`` re-exports).
+        target = info.aliases.get(name)
+        if target is not None and target != dotted:
+            return _resolve_symbol(program, target)
+    elif len(rest) == 2 and rest[0] in info.classes:
+        return _resolve_method(program, info.classes[rest[0]], rest[1])
+    return None
+
+
+def _longest_module_prefix(modules: dict[str, ModuleInfo],
+                           dotted: str) -> str | None:
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:cut])
+        if candidate in modules:
+            return candidate
+    return None
+
+
+def _resolve_method(program: Program, class_qualname: str,
+                    method: str, depth: int = 0) -> str | None:
+    """Look ``method`` up on the class, then its bases (linearised)."""
+    if depth > _RESOLVE_DEPTH:
+        return None
+    cls = program.classes.get(class_qualname)
+    if cls is None:
+        return None
+    if method in cls.methods:
+        return cls.methods[method]
+    info = program.modules.get(cls.module)
+    for base in cls.bases:
+        base_qual = (_resolve_class_name(program, info, base)
+                     if info is not None else None)
+        if base_qual is None:
+            continue
+        found = _resolve_method(program, base_qual, method, depth + 1)
+        if found is not None:
+            return found
+    return None
+
+
+def _resolve_class_name(program: Program, info: ModuleInfo,
+                        dotted: str) -> str | None:
+    """Resolve a dotted class reference in ``info``'s namespace."""
+    parts = dotted.split(".")
+    head = parts[0]
+    if len(parts) == 1 and head in info.classes:
+        return info.classes[head]
+    target = info.aliases.get(head)
+    if target is not None:
+        full = ".".join([target] + parts[1:])
+        if full in program.classes:
+            return full
+        prefix = _longest_module_prefix(program.modules, full)
+        if prefix is not None:
+            rest = full[len(prefix):].lstrip(".")
+            owner = program.modules[prefix]
+            if rest in owner.classes:
+                return owner.classes[rest]
+    if dotted in program.classes:
+        return dotted
+    return None
+
+
+def _attr_type(program: Program, class_qualname: str,
+               attr: str) -> str | None:
+    """Class qualname of ``self.<attr>`` on ``class_qualname``, if
+    attributed."""
+    for _ in range(_RESOLVE_DEPTH):
+        cls = program.classes.get(class_qualname)
+        if cls is None:
+            return None
+        raw = cls.attr_types.get(attr)
+        if raw is not None:
+            info = program.modules.get(cls.module)
+            if info is None:
+                return None
+            return _resolve_class_name(program, info, raw)
+        # Walk single-inheritance chains for inherited attributes.
+        if not cls.bases:
+            return None
+        info = program.modules.get(cls.module)
+        if info is None:
+            return None
+        base = _resolve_class_name(program, info, cls.bases[0])
+        if base is None:
+            return None
+        class_qualname = base
+    return None
+
+
+def _dotted_text(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_text(node: ast.expr) -> str | None:
+    """The dotted class text of an annotation (``Foo``, ``m.Foo``,
+    ``"Foo"``, ``Foo | None``)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_text(node.left)
+        if left is not None:
+            return left
+        return _annotation_text(node.right)
+    if isinstance(node, ast.Subscript):
+        return None  # generics name containers, not lockable receivers
+    return _dotted_text(node)

@@ -59,10 +59,29 @@ class FileContext:
         self.tree = tree
 
     def allowed_rules_on_line(self, line: int) -> set[str]:
-        """Rules suppressed by an inline comment on ``line`` (1-based)."""
+        """Rules suppressed by an ``allow`` comment at ``line`` (1-based).
+
+        Honours the inline form (trailing comment on the violating
+        line) and the preceding-comment form: an ``# lint: allow(...)``
+        in the contiguous block of pure comment lines directly above —
+        the place for multi-line justifications and for statements too
+        long to carry a trailing comment.
+        """
         if not 1 <= line <= len(self.lines):
             return set()
-        match = _ALLOW_RE.search(self.lines[line - 1])
+        allowed = self._allows_in(self.lines[line - 1])
+        cursor = line - 1
+        while cursor >= 1:
+            candidate = self.lines[cursor - 1].strip()
+            if not candidate.startswith("#"):
+                break
+            allowed |= self._allows_in(candidate)
+            cursor -= 1
+        return allowed
+
+    @staticmethod
+    def _allows_in(text: str) -> set[str]:
+        match = _ALLOW_RE.search(text)
         if match is None:
             return set()
         return {part.strip() for part in match.group(1).split(",")}
@@ -95,22 +114,47 @@ def _display_path(path: Path) -> str:
         return path.as_posix()
 
 
-def lint_file(path: Path, rules: Sequence) -> list[Violation]:
-    """Run ``rules`` over one file; syntax errors become violations."""
+def _is_program_rule(rule) -> bool:
+    return getattr(rule, "program", False)
+
+
+def _allow_names(rule) -> set[str]:
+    """Annotation spellings that suppress ``rule`` inline."""
+    return {rule.name, *getattr(rule, "allow_aliases", ())}
+
+
+def _parse_context(path: Path) -> "FileContext | Violation | None":
+    """Parse one file: a context, a syntax violation, or ``None``
+    (skip-file)."""
     display = _display_path(path)
     source = path.read_text(encoding="utf-8")
     if _SKIP_FILE_RE.search(source):
-        return []
+        return None
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [Violation("syntax", display, exc.lineno or 0,
-                          f"file does not parse: {exc.msg}")]
-    context = FileContext(display, source, tree)
+        return Violation("syntax", display, exc.lineno or 0,
+                         f"file does not parse: {exc.msg}")
+    return FileContext(display, source, tree)
+
+
+def lint_file(path: Path, rules: Sequence) -> list[Violation]:
+    """Run per-file ``rules`` over one file; syntax errors become
+    violations.  Program-level rules need the whole-program view and
+    are only run by :func:`lint_paths`."""
+    parsed = _parse_context(path)
+    if parsed is None:
+        return []
+    if isinstance(parsed, Violation):
+        return [parsed]
+    context = parsed
     violations: list[Violation] = []
     for rule in rules:
+        if _is_program_rule(rule):
+            continue
+        allow = _allow_names(rule)
         for violation in rule.check(context):
-            if rule.name in context.allowed_rules_on_line(violation.line):
+            if allow & context.allowed_rules_on_line(violation.line):
                 continue
             violations.append(violation)
     return violations
@@ -118,18 +162,77 @@ def lint_file(path: Path, rules: Sequence) -> list[Violation]:
 
 def lint_paths(paths: Iterable[str | Path],
                rules: Sequence | None = None,
-               skip_dirs: set[str] | None = None) -> list[Violation]:
+               skip_dirs: set[str] | None = None,
+               *,
+               timings: dict[str, float] | None = None,
+               cache_dir: str | Path | None = None) -> list[Violation]:
     """Lint every Python file under ``paths`` with ``rules``.
 
     ``rules`` defaults to :data:`repro.analysis.rules.ALL_RULES`.
+    Per-file rules see one tree at a time; rules with ``program =
+    True`` run once over the whole-program lock model built from every
+    parsed file (cached under ``cache_dir`` when given, keyed on the
+    source digests).  When ``timings`` is passed, per-rule wall time
+    in milliseconds is accumulated into it (plus a ``model-build``
+    entry when a program model was built).
     """
+    import time  # lint: allow(determinism) wall time is reporting only
+
     if rules is None:
         from .rules import ALL_RULES
 
         rules = ALL_RULES
     violations: list[Violation] = []
+    contexts: list[FileContext] = []
     for path in discover_files(paths, skip_dirs):
-        violations.extend(lint_file(path, rules))
+        parsed = _parse_context(path)
+        if parsed is None:
+            continue
+        if isinstance(parsed, Violation):
+            violations.append(parsed)
+        else:
+            contexts.append(parsed)
+
+    def charge(name: str, started: float) -> None:
+        if timings is not None:
+            elapsed = (time.perf_counter() - started) * 1e3  # lint: allow(determinism)
+            timings[name] = timings.get(name, 0.0) + elapsed
+
+    file_rules = [rule for rule in rules if not _is_program_rule(rule)]
+    program_rules = [rule for rule in rules if _is_program_rule(rule)]
+    for rule in file_rules:
+        started = time.perf_counter()  # lint: allow(determinism)
+        allow = _allow_names(rule)
+        for context in contexts:
+            for violation in rule.check(context):
+                if allow & context.allowed_rules_on_line(
+                    violation.line
+                ):
+                    continue
+                violations.append(violation)
+        charge(rule.name, started)
+    if program_rules:
+        from .lockgraph import build_model
+
+        by_path = {context.path: context for context in contexts}
+        started = time.perf_counter()  # lint: allow(determinism)
+        model = build_model(
+            [(context.path, context.tree) for context in contexts],
+            cache_dir=cache_dir,
+            raw_sources={context.path: context.source
+                         for context in contexts},
+        )
+        charge("model-build", started)
+        for rule in program_rules:
+            started = time.perf_counter()  # lint: allow(determinism)
+            allow = _allow_names(rule)
+            for violation in rule.check_program(model):
+                context = by_path.get(violation.path)
+                if context is not None and allow & \
+                        context.allowed_rules_on_line(violation.line):
+                    continue
+                violations.append(violation)
+            charge(rule.name, started)
     violations.sort(key=lambda v: (v.path, v.line, v.rule, v.message))
     return violations
 
@@ -139,11 +242,17 @@ def lint_paths(paths: Iterable[str | Path],
 _BASELINE_SEP = "\t"
 
 
+_COUNT_RE = re.compile(r"^x(\d+)$")
+
+
 def load_baseline(path: str | Path) -> Counter:
     """Parse a baseline file into a multiset of violation keys.
 
-    Lines are ``rule<TAB>path<TAB>message``; blank lines and ``#``
-    comments (the place to justify each entry) are ignored.
+    Lines are ``rule<TAB>path<TAB>message`` with an optional fourth
+    ``xN`` column carrying the occurrence count (two identical
+    findings in one file are two baseline occurrences, not one);
+    blank lines and ``#`` comments (the place to justify each entry)
+    are ignored.  Repeating a line also accumulates its count.
     """
     baseline: Counter = Counter()
     path = Path(path)
@@ -153,10 +262,20 @@ def load_baseline(path: str | Path) -> Counter:
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        parts = line.split(_BASELINE_SEP, 2)
-        if len(parts) != 3:
+        parts = line.split(_BASELINE_SEP, 3)
+        if len(parts) < 3:
             continue
-        baseline[tuple(parts)] += 1
+        count = 1
+        if len(parts) == 4:
+            match = _COUNT_RE.match(parts[3].strip())
+            if match is not None:
+                count = int(match.group(1))
+            else:
+                # An unrecognised fourth column is part of the message
+                # (messages may themselves contain tabs).
+                parts = [parts[0], parts[1],
+                         _BASELINE_SEP.join(parts[2:])]
+        baseline[tuple(parts[:3])] += count
     return baseline
 
 
@@ -184,10 +303,14 @@ def write_baseline(path: str | Path,
         "# Each entry must carry a justification comment; burn entries",
         "# down by fixing the code, then regenerate with:",
         "#   python -m repro.analysis lint --write-baseline",
-        "# Format: rule<TAB>path<TAB>message",
+        "# Format: rule<TAB>path<TAB>message[<TAB>xN]",
     ]
-    for violation in sorted(set(v.key for v in violations)):
-        lines.append(_BASELINE_SEP.join(violation))
+    counts = Counter(v.key for v in violations)
+    for key in sorted(counts):
+        entry = _BASELINE_SEP.join(key)
+        if counts[key] > 1:
+            entry += f"{_BASELINE_SEP}x{counts[key]}"
+        lines.append(entry)
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 

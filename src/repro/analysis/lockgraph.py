@@ -1,0 +1,606 @@
+"""Lock-acquisition summaries propagated along the call graph.
+
+:mod:`repro.analysis.callgraph` says *who calls whom*; this module says
+*what each function does with locks* and stitches the two together into
+the whole-program facts the concurrency rules consume:
+
+* a per-function **lock summary** — which lock classes the function
+  acquires (and which were lexically held at that point), which calls
+  it makes while holding a lock, and which blocking operations (store
+  server job submission, network send/recv, channel waits, simtime
+  sleeps, unbounded IO loops) it performs;
+* a per-module record of import edges and module-level mutable globals
+  (from the call-graph pass);
+* the **global lock-order graph**: an edge ``A -> B`` whenever some
+  execution path acquires a lock of class ``B`` while one of class
+  ``A`` is held — including paths that cross function and module
+  boundaries — with the first witness path kept per edge, rendered
+  file:line by file:line.
+
+Everything in the model is plain JSON-able data so a build can be
+cached on disk keyed by the source digests (CI reuses it across runs);
+loading a cached model and building a fresh one are indistinguishable
+to the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+from .callgraph import Program, build_program, module_name_for
+
+#: Method names that take a key-level lock (mirrors the lock-pairing
+#: rule so both passes agree on what an acquisition looks like).
+_ACQUIRE_NAMES = {"acquire", "try_acquire", "lock_key"}
+_RELEASE_NAMES = {"release", "release_all", "unlock_key"}
+
+#: Recursion bound for transitive summary propagation.
+_PROPAGATE_DEPTH = 24
+
+_CACHE_PREFIX = "concurrency-"
+
+
+# -- model -----------------------------------------------------------------
+
+
+class LockModel:
+    """The JSON-able whole-program model the program rules consume.
+
+    ``functions`` maps qualname -> ``{"path", "line", "module",
+    "acquires": [[label, line, held, handover], ...],
+    "calls": [[callee, line, held], ...],
+    "blocking": [[kind, line, held], ...]}`` where ``held`` is the list
+    of ``[label, line]`` lock regions lexically open at that point.
+    ``modules`` maps module name -> ``{"path", "imports",
+    "mutable_globals": [[name, line, description], ...]}``.
+    """
+
+    def __init__(self, functions: dict, modules: dict) -> None:
+        self.functions = functions
+        self.modules = modules
+
+    def to_json(self) -> dict:
+        return {"functions": self.functions, "modules": self.modules}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LockModel":
+        return cls(data["functions"], data["modules"])
+
+
+def build_model(sources: list[tuple[str, ast.Module]],
+                cache_dir: str | Path | None = None,
+                raw_sources: dict[str, str] | None = None) -> LockModel:
+    """Build (or load from cache) the lock model over parsed sources.
+
+    ``sources`` is ``(display_path, tree)`` pairs; ``raw_sources`` maps
+    display path -> file text and is only needed when ``cache_dir`` is
+    given (the cache key is a digest over the contributing texts).
+    """
+    cache_path = None
+    if cache_dir is not None and raw_sources is not None:
+        digest = _source_digest(raw_sources)
+        cache_path = Path(cache_dir) / f"{_CACHE_PREFIX}{digest}.json"
+        if cache_path.exists():
+            try:
+                return LockModel.from_json(
+                    json.loads(cache_path.read_text(encoding="utf-8"))
+                )
+            except (json.JSONDecodeError, KeyError):
+                pass  # corrupt cache entry: rebuild below
+    program = build_program(sources)
+    model = _summarise(program)
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        for stale in cache_path.parent.glob(f"{_CACHE_PREFIX}*.json"):
+            if stale != cache_path:
+                stale.unlink(missing_ok=True)
+        cache_path.write_text(json.dumps(model.to_json(), sort_keys=True),
+                              encoding="utf-8")
+    return model
+
+
+def _source_digest(raw_sources: dict[str, str]) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(raw_sources):
+        content = hashlib.sha256(
+            raw_sources[path].encode("utf-8")
+        ).hexdigest()
+        digest.update(f"{path}\t{content}\n".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# -- summary extraction ----------------------------------------------------
+
+
+def _summarise(program: Program) -> LockModel:
+    functions: dict[str, dict] = {}
+    for qualname in sorted(program.functions):
+        fn = program.functions[qualname]
+        summary = _Extractor(fn).run()
+        functions[qualname] = {
+            "path": fn.path,
+            "line": fn.lineno,
+            "module": fn.module,
+            **summary,
+        }
+    modules: dict[str, dict] = {}
+    import_edges = program.import_edges()
+    for name in sorted(program.modules):
+        info = program.modules[name]
+        modules[name] = {
+            "path": info.path,
+            "imports": import_edges[name],
+            "mutable_globals": [list(entry)
+                                for entry in info.mutable_globals],
+        }
+    return LockModel(functions, modules)
+
+
+class _Extractor:
+    """Extract one function's lock summary by lexical traversal.
+
+    Region tracking mirrors ``LockPairingRule``: coarse and lexical —
+    an ``acquire``/``try_acquire``/``lock_key`` opens a held region,
+    any release closes every open region, and the blocking hand-over
+    idiom (``acquire(..., granted=cb)``) records an acquisition (it
+    will take the lock eventually, so it is an ordering edge source)
+    but opens no region, because control returns before the grant.
+    Functions that *are* lock primitives (their own name is an
+    acquire/release name — ``LockManager.acquire``, ``lock_key``
+    wrappers) skip lock-op extraction: their callers record the
+    acquisition at the call site, and extracting the internals too
+    would double-count every lock against itself.
+    """
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+        self.is_primitive = fn.name in _ACQUIRE_NAMES \
+            or fn.name in _RELEASE_NAMES
+        self.held: list[tuple[str, int]] = []
+        self.acquires: list[list] = []
+        self.calls: list[list] = []
+        self.blocking: list[list] = []
+
+    def run(self) -> dict:
+        self._walk(getattr(self.fn.node, "body", []))
+        return {
+            "acquires": self.acquires,
+            "calls": self.calls,
+            "blocking": self.blocking,
+        }
+
+    def _snapshot(self) -> list[list]:
+        return [[label, line] for label, line in self.held]
+
+    def _walk(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested defs are separate summary nodes
+            if isinstance(stmt, ast.Try):
+                self._walk(stmt.body)
+                for handler in stmt.handlers:
+                    self._walk(handler.body)
+                self._walk(stmt.orelse)
+                self._walk(stmt.finalbody)
+                continue
+            if isinstance(stmt, ast.While):
+                self._scan_expressions(stmt.test)
+                if _is_unbounded(stmt) and _contains_io(stmt):
+                    self.blocking.append(
+                        ["unbounded loop with IO", stmt.lineno,
+                         self._snapshot()]
+                    )
+                self._walk(stmt.body)
+                self._walk(stmt.orelse)
+                continue
+            if isinstance(stmt, (ast.If, ast.For, ast.With)):
+                for expr_field in ("test", "iter"):
+                    expr = getattr(stmt, expr_field, None)
+                    if expr is not None:
+                        self._scan_expressions(expr)
+                self._walk(stmt.body)
+                self._walk(getattr(stmt, "orelse", []))
+                continue
+            self._scan_expressions(stmt)
+
+    def _scan_expressions(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._visit_call(sub)
+
+    def _visit_call(self, call: ast.Call) -> None:
+        attr = (call.func.attr
+                if isinstance(call.func, ast.Attribute) else None)
+        if not self.is_primitive and attr in _ACQUIRE_NAMES:
+            label = _lock_label(call)
+            handover = any(kw.arg == "granted" for kw in call.keywords)
+            self.acquires.append(
+                [label, call.lineno, self._snapshot(), handover]
+            )
+            if not handover:
+                self.held.append((label, call.lineno))
+            return
+        if not self.is_primitive and attr in _RELEASE_NAMES:
+            self.held.clear()
+            return
+        kind = _blocking_kind(call)
+        if kind is not None:
+            self.blocking.append([kind, call.lineno, self._snapshot()])
+        callee = self.fn.calls_by_node.get(id(call))
+        if callee is not None:
+            self.calls.append([callee, call.lineno, self._snapshot()])
+
+
+def _lock_label(call: ast.Call) -> str:
+    """The lock *class* named by an acquire call's first argument.
+
+    A string constant is its own class; a tuple key ``(table, key)``
+    is classed by its table component (matching the runtime lockdep
+    sanitizer); anything else — a variable — is classed by its source
+    text, which keeps distinct call sites distinct without pretending
+    to know the runtime value.
+    """
+    if not call.args:
+        return "<unknown>"
+    arg = call.args[0]
+    if isinstance(arg, ast.Tuple) and arg.elts:
+        arg = arg.elts[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    return ast.unparse(arg)
+
+
+def _is_unbounded(stmt: ast.While) -> bool:
+    test = stmt.test
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _contains_io(stmt: ast.While) -> bool:
+    for sub in ast.walk(stmt):
+        if isinstance(sub, ast.Call) and _blocking_kind(sub) is not None:
+            return True
+    return False
+
+
+def _blocking_kind(call: ast.Call) -> str | None:
+    """Classify a call as a blocking operation, or ``None``.
+
+    Cooperative store-server workers must never block while holding a
+    lock (the Hazelcast Jet rule): job submission, network traffic,
+    channel waits, and simtime sleeps all park the worker for an
+    unbounded number of virtual milliseconds.  ``sim.schedule`` is
+    *not* blocking — it registers a future callback and returns.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        if isinstance(func, ast.Name) and func.id == "sleep":
+            return "simtime sleep"
+        return None
+    attr = func.attr
+    receiver_parts = _receiver_parts(func.value)
+    if attr == "submit":
+        return "store-server job submission"
+    if attr == "send" and "network" in receiver_parts:
+        return "network send"
+    if attr == "recv":
+        return "network recv"
+    if attr in ("wait", "wait_for"):
+        return "channel wait"
+    if attr == "sleep":
+        return "simtime sleep"
+    return None
+
+
+def _receiver_parts(node: ast.expr) -> set[str]:
+    parts: set[str] = set()
+    while isinstance(node, ast.Attribute):
+        parts.add(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.add(node.id)
+    return parts
+
+
+# -- lock-order graph ------------------------------------------------------
+
+
+def _short(qualname: str) -> str:
+    return qualname.split(".", 1)[-1] if "." in qualname else qualname
+
+
+def transitive_acquires(model: LockModel, qualname: str,
+                        memo: dict | None = None,
+                        stack: frozenset = frozenset(),
+                        depth: int = 0) -> dict[str, list]:
+    """Lock classes eventually acquired by calling ``qualname``.
+
+    Maps label -> witness chain ``[(path, line, text), ...]`` from the
+    function's entry to the acquisition site, keeping the first chain
+    found (deterministic: summaries are iterated in source order).
+    Recursion through cycles contributes nothing on the back edge — an
+    under-approximation that terminates.
+    """
+    if memo is None:
+        memo = {}
+    if qualname in memo:
+        return memo[qualname]
+    if qualname in stack or depth > _PROPAGATE_DEPTH:
+        return {}
+    fn = model.functions.get(qualname)
+    if fn is None:
+        return {}
+    result: dict[str, list] = {}
+    for label, line, _held, _handover in fn["acquires"]:
+        result.setdefault(label, [(
+            fn["path"], line,
+            f"lock '{label}' acquired in {_short(qualname)}()",
+        )])
+    inner_stack = stack | {qualname}
+    for callee, line, _held in fn["calls"]:
+        sub = transitive_acquires(model, callee, memo, inner_stack,
+                                  depth + 1)
+        for label, chain in sub.items():
+            result.setdefault(label, [(
+                fn["path"], line,
+                f"{_short(qualname)}() calls {_short(callee)}()",
+            )] + chain)
+    memo[qualname] = result
+    return result
+
+
+def transitive_blocking(model: LockModel, qualname: str,
+                        memo: dict | None = None,
+                        stack: frozenset = frozenset(),
+                        depth: int = 0) -> dict[str, list]:
+    """Blocking operations eventually reached by calling ``qualname``.
+
+    Maps blocking kind -> first witness chain, same shape as
+    :func:`transitive_acquires`.
+    """
+    if memo is None:
+        memo = {}
+    if qualname in memo:
+        return memo[qualname]
+    if qualname in stack or depth > _PROPAGATE_DEPTH:
+        return {}
+    fn = model.functions.get(qualname)
+    if fn is None:
+        return {}
+    result: dict[str, list] = {}
+    for kind, line, _held in fn["blocking"]:
+        result.setdefault(kind, [(
+            fn["path"], line, f"{kind} in {_short(qualname)}()",
+        )])
+    inner_stack = stack | {qualname}
+    for callee, line, _held in fn["calls"]:
+        sub = transitive_blocking(model, callee, memo, inner_stack,
+                                  depth + 1)
+        for kind, chain in sub.items():
+            result.setdefault(kind, [(
+                fn["path"], line,
+                f"{_short(qualname)}() calls {_short(callee)}()",
+            )] + chain)
+    memo[qualname] = result
+    return result
+
+
+def build_lock_order_edges(model: LockModel
+                           ) -> dict[tuple[str, str], list]:
+    """The acquired-while-holding graph with first witnesses.
+
+    Returns ``(held_class, acquired_class) -> [(path, line, text),
+    ...]``.  Self-edges (two keys of the same class) are excluded:
+    within-class ordering is the canonical-key-order discipline's job
+    (and the runtime lockdep sanitizer's), not a class-level cycle.
+    """
+    edges: dict[tuple[str, str], list] = {}
+    memo: dict = {}
+    for qualname in sorted(model.functions):
+        fn = model.functions[qualname]
+        for label, line, held, _handover in fn["acquires"]:
+            for held_label, held_line in held:
+                if held_label == label:
+                    continue
+                edges.setdefault((held_label, label), [
+                    (fn["path"], held_line,
+                     f"lock '{held_label}' acquired in "
+                     f"{_short(qualname)}()"),
+                    (fn["path"], line,
+                     f"lock '{label}' acquired while '{held_label}' "
+                     "is held"),
+                ])
+        for callee, line, held in fn["calls"]:
+            if not held:
+                continue
+            reached = transitive_acquires(model, callee, memo)
+            for label, chain in sorted(reached.items()):
+                for held_label, held_line in held:
+                    if held_label == label:
+                        continue
+                    edges.setdefault((held_label, label), [
+                        (fn["path"], held_line,
+                         f"lock '{held_label}' acquired in "
+                         f"{_short(qualname)}()"),
+                        (fn["path"], line,
+                         f"{_short(qualname)}() calls "
+                         f"{_short(callee)}() while '{held_label}' "
+                         "is held"),
+                    ] + chain)
+    return edges
+
+
+def find_cycles(edges: dict[tuple[str, str], list]
+                ) -> list[list[str]]:
+    """Elementary cycles of the lock-order graph, canonicalised.
+
+    Uses Tarjan SCCs, then walks one representative cycle per
+    non-trivial component.  Each cycle is rotated so its smallest
+    label comes first; the result list is sorted, so output is stable
+    across runs.
+    """
+    graph: dict[str, set[str]] = {}
+    for src, dst in edges:
+        graph.setdefault(src, set()).add(dst)
+        graph.setdefault(dst, set())
+    sccs = _tarjan(graph)
+    cycles: list[list[str]] = []
+    for component in sccs:
+        members = set(component)
+        if len(component) < 2:
+            continue
+        cycle = _walk_cycle(graph, members)
+        if cycle:
+            cycles.append(cycle)
+    cycles.sort()
+    return cycles
+
+
+def _walk_cycle(graph: dict[str, set[str]],
+                members: set[str]) -> list[str] | None:
+    start = min(members)
+    path = [start]
+    seen = {start}
+    node = start
+    for _ in range(len(members) * 2):
+        successors = sorted(n for n in graph.get(node, ())
+                            if n in members)
+        if not successors:
+            return None
+        nxt = next((n for n in successors if n == start), None)
+        if nxt is not None and len(path) > 1:
+            return path
+        advance = next((n for n in successors if n not in seen),
+                       successors[0])
+        if advance == start and len(path) > 1:
+            return path
+        if advance in seen and advance != start:
+            # Trim the path to the inner cycle through ``advance``.
+            idx = path.index(advance)
+            return path[idx:]
+        path.append(advance)
+        seen.add(advance)
+        node = advance
+    return path if len(path) > 1 else None
+
+
+def _tarjan(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, list[str], int]] = [
+            (root, sorted(graph.get(root, ())), 0)
+        ]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors, cursor = work.pop()
+            advanced = False
+            while cursor < len(successors):
+                succ = successors[cursor]
+                cursor += 1
+                if succ not in index:
+                    work.append((node, successors, cursor))
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, sorted(graph.get(succ, ())), 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    popped = stack.pop()
+                    on_stack.discard(popped)
+                    component.append(popped)
+                    if popped == node:
+                        break
+                sccs.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def render_chain(chain: list) -> str:
+    """One-line ``path:line: text`` rendering of a witness chain."""
+    return " -> ".join(f"{path}:{line}: {text}"
+                       for path, line, text in chain)
+
+
+# -- module reachability (shared-state audit) ------------------------------
+
+
+def reachable_modules(model: LockModel, roots: list[str]
+                      ) -> tuple[set[str], dict[str, str]]:
+    """Modules reachable from ``roots`` over import edges.
+
+    Returns ``(reached, parent)`` where ``parent`` maps each reached
+    module to its BFS predecessor (roots map to themselves), for
+    rendering witness chains.
+    """
+    reached: set[str] = set()
+    parent: dict[str, str] = {}
+    frontier = sorted(roots)
+    for root in frontier:
+        reached.add(root)
+        parent[root] = root
+    while frontier:
+        next_frontier: list[str] = []
+        for module in frontier:
+            info = model.modules.get(module)
+            if info is None:
+                continue
+            for target in info["imports"]:
+                if target in reached:
+                    continue
+                reached.add(target)
+                parent[target] = module
+                next_frontier.append(target)
+        frontier = sorted(next_frontier)
+    return reached, parent
+
+
+def import_chain(parent: dict[str, str], module: str) -> list[str]:
+    """Root -> ... -> module path through the BFS parent map."""
+    chain = [module]
+    seen = {module}
+    while parent.get(chain[-1]) not in (None, chain[-1]):
+        nxt = parent[chain[-1]]
+        if nxt in seen:
+            break
+        chain.append(nxt)
+        seen.add(nxt)
+    return list(reversed(chain))
+
+
+__all__ = [
+    "LockModel",
+    "build_model",
+    "build_lock_order_edges",
+    "find_cycles",
+    "transitive_acquires",
+    "transitive_blocking",
+    "render_chain",
+    "reachable_modules",
+    "import_chain",
+    "module_name_for",
+]

@@ -522,12 +522,177 @@ class CompiledScanRule:
                     )
 
 
+class LockOrderRule:
+    """No cycles in the whole-program acquired-while-holding graph.
+
+    Built on the interprocedural passes (:mod:`.callgraph`,
+    :mod:`.lockgraph`): every acquisition of a lock class ``B`` while a
+    class ``A`` is lexically held — in the same function or any number
+    of resolved calls deeper — adds an edge ``A -> B``.  A cycle means
+    two executions can each hold one lock of the cycle and wait
+    (FIFO-queued, forever) for the next: the classic deadlock shape
+    that no single-file rule can see.  Each cycle is reported once,
+    with the full witness path rendered file:line by file:line.
+
+    Lock classes are table names (string constants, or the first
+    element of ``(table, key)`` tuples); variable keys are classed by
+    their source text.  A cycle between locks that are provably never
+    held by concurrent actors can be suppressed at its witness site
+    with ``# lint: allow(lock-order)`` plus a justification.
+    """
+
+    name = "lock-order"
+    program = True
+
+    def check_program(self, model) -> Iterator[Violation]:
+        from .lockgraph import (
+            build_lock_order_edges,
+            find_cycles,
+            render_chain,
+        )
+
+        edges = build_lock_order_edges(model)
+        for cycle in find_cycles(edges):
+            closed = cycle + [cycle[0]]
+            witnesses = []
+            for src, dst in zip(closed, closed[1:]):
+                chain = edges.get((src, dst))
+                if chain is not None:
+                    witnesses.append(render_chain(chain))
+            first_edge = edges.get((closed[0], closed[1]))
+            if first_edge is None:
+                continue
+            path, line, _text = first_edge[0]
+            rendered = " -> ".join(f"'{label}'" for label in closed)
+            yield Violation(
+                self.name, path, line,
+                f"lock-order cycle {rendered} is a potential deadlock; "
+                "witness: " + " ; ".join(witnesses),
+            )
+
+
+class BlockingUnderLockRule:
+    """No blocking operation while a lock summary says a lock is held.
+
+    The Jet cooperative-worker rule: a store-server worker that blocks
+    while holding a key lock parks every FIFO waiter behind it for an
+    unbounded number of virtual milliseconds.  Flags — in the same
+    function or through any chain of resolved calls — store-server job
+    submission (``.submit``), network ``send``/``recv``, channel
+    ``wait``/``wait_for``, simtime ``sleep``, and ``while True`` loops
+    containing IO, whenever the lexical lock summary says a lock is
+    held at that point.  ``sim.schedule`` is asynchronous and exempt.
+    """
+
+    name = "blocking-under-lock"
+    program = True
+
+    def check_program(self, model) -> Iterator[Violation]:
+        from .lockgraph import render_chain, transitive_blocking
+
+        memo: dict = {}
+        for qualname in sorted(model.functions):
+            fn = model.functions[qualname]
+            for kind, line, held in fn["blocking"]:
+                if not held:
+                    continue
+                label, held_line = held[0]
+                yield Violation(
+                    self.name, fn["path"], line,
+                    f"{kind} while lock '{label}' (acquired line "
+                    f"{held_line}) is held; cooperative workers must "
+                    "not block under a lock",
+                )
+            for callee, line, held in fn["calls"]:
+                if not held:
+                    continue
+                reached = transitive_blocking(model, callee, memo)
+                label, held_line = held[0]
+                for kind, chain in sorted(reached.items()):
+                    yield Violation(
+                        self.name, fn["path"], line,
+                        f"call reaches {kind} while lock '{label}' "
+                        f"(acquired line {held_line}) is held: "
+                        + render_chain(chain),
+                    )
+
+
+class SharedStateAuditRule:
+    """Module-level mutables reachable from both the query path and
+    the continuous/chaos paths must be guarded or annotated.
+
+    A module-level accumulator (``{}``, ``[]``, ``set()``,
+    ``defaultdict(...)``, any ``*Cache``/``*LRU``/``*Registry``
+    constructor) in a module imported — transitively — by both a
+    query/SQL module and a continuous/chaos module is state shared
+    across services with no lock the analyzer knows about.  Populated
+    literal lookup tables are read-only by convention and not flagged.
+    Deliberate shared caches are annotated at the definition site with
+    ``# lint: allow(shared-state)`` (or ``allow(shared-state-audit)``)
+    plus a one-line justification.
+    """
+
+    name = "shared-state-audit"
+    program = True
+    #: The ISSUE-era annotation spelling is honoured alongside the
+    #: rule name itself.
+    allow_aliases = ("shared-state",)
+
+    _QUERY_SEGMENTS = ("query", "sql")
+    _BACKGROUND_SEGMENTS = ("continuous", "chaos")
+
+    def _side_roots(self, model, fragments) -> list[str]:
+        return [
+            name for name in sorted(model.modules)
+            if any(fragment in segment
+                   for segment in name.split(".")
+                   for fragment in fragments)
+        ]
+
+    def check_program(self, model) -> Iterator[Violation]:
+        from .lockgraph import import_chain, reachable_modules
+
+        query_roots = self._side_roots(model, self._QUERY_SEGMENTS)
+        background_roots = self._side_roots(
+            model, self._BACKGROUND_SEGMENTS
+        )
+        if not query_roots or not background_roots:
+            return
+        query_reached, query_parent = reachable_modules(
+            model, query_roots
+        )
+        background_reached, background_parent = reachable_modules(
+            model, background_roots
+        )
+        for name in sorted(query_reached & background_reached):
+            info = model.modules[name]
+            if not info["mutable_globals"]:
+                continue
+            via_query = " -> ".join(import_chain(query_parent, name))
+            via_background = " -> ".join(
+                import_chain(background_parent, name)
+            )
+            for global_name, line, description in \
+                    info["mutable_globals"]:
+                yield Violation(
+                    self.name, info["path"], line,
+                    f"module-level mutable {global_name} = "
+                    f"{description} is reachable from the query path "
+                    f"({via_query}) and the continuous/chaos path "
+                    f"({via_background}); guard it with a known lock "
+                    "or annotate # lint: allow(shared-state)",
+                )
+
+
 ALL_RULES = (
     DeterminismRule(),
     LockPairingRule(),
     BillingRule(),
     AttemptTokenRule(),
     CompiledScanRule(),
+    LockOrderRule(),
+    BlockingUnderLockRule(),
+    SharedStateAuditRule(),
 )
 
 

@@ -19,6 +19,13 @@ detection:
   a query that shipped rows must have billed shipping bytes;
 * **dead-node scheduling** — work submitted to a pool or store server
   of a node that is not alive would execute on a ghost;
+* **lockdep** — the runtime mirror of the static lock-order rule:
+  every (held class, acquired class) lock pair is recorded at
+  acquisition, and the first pair observed in *both* orders is
+  reported with both stacks — a potential deadlock even if this run's
+  timing got lucky.  Edge and violation counts roll into
+  :class:`~repro.observability.ClusterReport` as
+  ``lock_order_edges_observed`` / ``lockdep_violations``;
 * **index coherence** — every secondary index must agree with its
   backing partitions at verification time, committed snapshot versions
   must have frozen index registries, and any mutation of a frozen
@@ -39,8 +46,10 @@ everything including fingerprints.
 from __future__ import annotations
 
 import hashlib
+import traceback
+from collections import Counter
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Hashable
 
 from ..config import SanitizerConfig
 from ..errors import SanitizerError
@@ -54,6 +63,8 @@ if TYPE_CHECKING:  # pragma: no cover
 _default_config: SanitizerConfig | None = None
 
 #: Runtimes installed since the last drain (test-teardown bookkeeping).
+# lint: allow(shared-state) append/drain bookkeeping list owned by the
+# pytest autouse fixture; single event-loop thread, no lock needed.
 _runtimes: list["SanitizerRuntime"] = []
 
 
@@ -105,6 +116,24 @@ class SanitizerRuntime:
         self.violations: list[SanitizerViolation] = []
         #: (table name, ssid) -> content hash taken at commit time.
         self._fingerprints: dict[tuple[str, int], str] = {}
+        #: Lock classes currently held, per ``id(owner)`` (lockdep).
+        self._lockdep_held: dict[int, Counter] = {}
+        #: Request-time hold snapshots of still-queued acquires.
+        self._lockdep_pending: dict[
+            tuple[Hashable, int], tuple[str, ...]
+        ] = {}
+        #: (held class, acquired class) -> stack summary at first sight.
+        self._lockdep_edges: dict[tuple[str, str], str] = {}
+
+    @property
+    def lock_order_edges_observed(self) -> int:
+        """Distinct (held, acquired) lock-class pairs seen so far."""
+        return len(self._lockdep_edges)
+
+    @property
+    def lockdep_violations(self) -> int:
+        """Lock-order inversions detected by the lockdep sanitizer."""
+        return sum(1 for v in self.violations if v.kind == "lockdep")
 
     # -- recording ---------------------------------------------------------
 
@@ -123,6 +152,8 @@ class SanitizerRuntime:
             self._install_query_guard()
         if self.config.dead_node_scheduling:
             self._install_dead_node_guard()
+        if self.config.lockdep:
+            self._install_lockdep()
         _runtimes.append(self)
         return self
 
@@ -283,6 +314,128 @@ class SanitizerRuntime:
             return original_submit(*args, **kwargs)
 
         resource.submit = submit  # type: ignore[assignment]
+
+    # -- lockdep: runtime lock-order inversion detection -------------------
+
+    @staticmethod
+    def _lock_class(key: Hashable) -> str:
+        """The lockdep *class* of a key: its table-name component.
+
+        Keys are ``(table, partition_key)`` tuples, so ordering is
+        tracked between tables rather than between the O(n²) pairs of
+        individual keys a repeatable-read scan holds (within-table
+        order is canonicalised at the acquisition sites instead —
+        exactly how kernel lockdep collapses lock instances into
+        classes).
+        """
+        if isinstance(key, tuple) and key and isinstance(key[0], str):
+            return key[0]
+        return repr(key)
+
+    @staticmethod
+    def _stack_summary() -> str:
+        """Compact innermost-first summary of the current call stack."""
+        frames = traceback.extract_stack()[:-2]
+        return " <- ".join(
+            f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno}:"
+            f"{frame.name}"
+            for frame in reversed(frames[-8:])
+        )
+
+    def _install_lockdep(self) -> None:
+        """Wrap the lock table to record acquisition order.
+
+        Every successful acquisition records one edge per lock class
+        the owner already held when it *requested* the lock (for FIFO
+        waiters that is the request-time snapshot, stashed in
+        ``_lockdep_pending`` — by grant time the owner's holdings may
+        have changed).  The first pair observed in both orders is
+        reported with both stacks: an inversion that can deadlock on a
+        timing this run did not happen to hit.
+        """
+        locks = self.env.store.locks
+        held = self._lockdep_held
+        pending = self._lockdep_pending
+        original_try = locks.try_acquire
+        original_acquire = locks.acquire
+        original_release = locks.release
+
+        def snapshot(owner) -> tuple[str, ...]:
+            counter = held.get(id(owner))
+            if not counter:
+                return ()
+            return tuple(sorted(counter))
+
+        def bump(owner, key) -> None:
+            held.setdefault(id(owner), Counter())[
+                self._lock_class(key)
+            ] += 1
+
+        def drop(owner, key) -> None:
+            counter = held.get(id(owner))
+            if counter is None:
+                return
+            cls = self._lock_class(key)
+            if counter[cls] > 0:
+                counter[cls] -= 1
+            if counter[cls] <= 0:
+                del counter[cls]
+            if not counter:
+                del held[id(owner)]
+
+        def note_acquired(key, held_classes) -> None:
+            cls = self._lock_class(key)
+            for holder_cls in held_classes:
+                if holder_cls == cls:
+                    continue
+                edge = (holder_cls, cls)
+                if edge not in self._lockdep_edges:
+                    self._lockdep_edges[edge] = self._stack_summary()
+                inverse = self._lockdep_edges.get((cls, holder_cls))
+                if inverse is not None:
+                    self._record(
+                        "lockdep",
+                        f"lock-order inversion: {cls!r} acquired "
+                        f"while {holder_cls!r} is held [stack: "
+                        f"{self._lockdep_edges[edge]}] but "
+                        f"{holder_cls!r} was previously acquired "
+                        f"while {cls!r} was held [stack: {inverse}]; "
+                        "the two orders can deadlock",
+                    )
+
+        def try_acquire(key, owner):
+            ok = original_try(key, owner)
+            if ok:
+                note_acquired(key, snapshot(owner))
+                bump(owner, key)
+            return ok
+
+        def acquire(key, owner, granted=None):
+            before = snapshot(owner)
+            # An immediate grant goes through the wrapped try_acquire
+            # (instance attribute), which records the edge itself.
+            ok = original_acquire(key, owner, granted)
+            if not ok:
+                pending[(key, id(owner))] = before
+            return ok
+
+        def release(key, owner):
+            original_release(key, owner)  # raises before bookkeeping
+            drop(owner, key)
+            # A released key cannot have a live queued request from
+            # the same owner; drop any stale snapshot (late grants to
+            # finished queries release from inside their callback).
+            pending.pop((key, id(owner)), None)
+            new_holder = locks.holder_of(key)
+            if new_holder is not None and new_holder is not owner:
+                queued = pending.pop((key, id(new_holder)), None)
+                if queued is not None:
+                    note_acquired(key, queued)
+                    bump(new_holder, key)
+
+        locks.try_acquire = try_acquire  # type: ignore[assignment]
+        locks.acquire = acquire  # type: ignore[assignment]
+        locks.release = release  # type: ignore[assignment]
 
     # -- verification ------------------------------------------------------
 

@@ -532,6 +532,11 @@ class SanitizerConfig:
     #: partitions at verify(), committed snapshot versions must have
     #: frozen sketches, and frozen sketch registries reject mutation.
     sketch_coherence: bool = True
+    #: Runtime lockdep: record the acquisition order of every
+    #: (held class, acquired class) lock pair and report — with both
+    #: stacks — the first pair observed in both orders (a potential
+    #: deadlock even if this run got lucky with timing).
+    lockdep: bool = True
     fail_fast: bool = True
 
     def validate(self) -> None:

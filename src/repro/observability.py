@@ -87,6 +87,9 @@ class ClusterReport:
     plan_maintenance_cost: float = 0.0
     # runtime sanitizers (zero unless armed via SanitizerConfig)
     sanitizer_violations: int = 0
+    # lockdep: lock-acquisition-order tracking (zero unless armed)
+    lock_order_edges_observed: int = 0
+    lockdep_violations: int = 0
 
     def hottest_pool(self) -> tuple[int, str, float]:
         """(node, pool kind, utilisation) of the busiest worker pool."""
@@ -184,6 +187,12 @@ def collect_report(env: Environment) -> ClusterReport:
     sanitizers = getattr(env, "sanitizers", None)
     if sanitizers is not None:
         report.sanitizer_violations = len(sanitizers.violations)
+        report.lock_order_edges_observed = getattr(
+            sanitizers, "lock_order_edges_observed", 0
+        )
+        report.lockdep_violations = getattr(
+            sanitizers, "lockdep_violations", 0
+        )
     return report
 
 
@@ -272,5 +281,11 @@ def format_report(report: ClusterReport) -> str:
         footer += (
             f"\nsanitizers: {report.sanitizer_violations:,} invariant "
             "violations detected"
+        )
+    if report.lock_order_edges_observed or report.lockdep_violations:
+        footer += (
+            f"\nlockdep: {report.lock_order_edges_observed:,} "
+            f"lock-order edges observed, {report.lockdep_violations:,} "
+            "inversions"
         )
     return f"{table}\n{footer}"

@@ -1479,6 +1479,14 @@ class QueryService:
         unprotected exactly when it matters.  A grant that arrives after
         the query already finished (abort, timeout) releases itself
         immediately, so nothing leaks.
+
+        Lock requests are issued in canonical (sorted) key order, not
+        row-shipment order: two concurrent queries whose shards land in
+        different orders would otherwise each hold some keys while
+        queued FIFO behind the other's — the hold-and-wait cycle the
+        lockdep sanitizer and the lock-order lint rule exist to catch.
+        With a single global acquisition order the wait-for graph stays
+        acyclic.
         """
         locks = self.store.locks
         pending = {"n": 1}  # sentinel guards against sync completion
@@ -1494,7 +1502,8 @@ class QueryService:
             if key in requested or locks.holder_of(key) is execution:
                 continue  # already held from an earlier attempt/shard
             requested.add(key)
-            pending["n"] += 1
+        pending["n"] += len(requested)
+        for key in sorted(requested, key=repr):
             locks.acquire(key, execution,
                           granted=_lock_grant(locks, key, execution,
                                               granted_one))

@@ -68,6 +68,9 @@ class CompiledFragment:
 
 #: Process-wide compiled-fragment cache; frozen fragments hash by value,
 #: so structurally identical fragments share one compilation.
+# lint: allow(shared-state) bounded LRU of idempotent compile results;
+# reads and writes are order-independent and the whole simulation runs
+# on one event-loop thread, so no lock is needed.
 _FRAGMENT_CACHE: LruCache[ScanFragment, CompiledFragment] = LruCache(256)
 
 

@@ -719,6 +719,9 @@ def _eval_like(expr: Like, row: dict, context: EvalContext,
 #: the capacity follows ``CostModel.like_cache_max_patterns`` (applied
 #: by :class:`~repro.env.Environment`), and hit/miss counts roll into
 #: :class:`~repro.observability.ClusterReport`.
+# lint: allow(shared-state) bounded LRU of idempotent compiled LIKE
+# patterns; order-independent and single event-loop thread, no lock
+# needed (hit/miss counters are cumulative by design, see above).
 _LIKE_CACHE: LruCache[str, tuple["re.Pattern[str]", str]] = LruCache(1024)
 
 

@@ -1,0 +1,15 @@
+"""Fixture: blocking operations performed while a lock is held."""
+
+
+def flush_under_lock(locks, pool):
+    locks.acquire("orders", "writer")
+    pool.submit("flush", 1.0, None)
+    locks.release("orders", "writer")
+
+
+def drain_under_lock(locks, channel, sim):
+    locks.acquire("orders", "drainer")
+    while True:
+        channel.wait()
+        sim.sleep(5.0)
+    locks.release("orders", "drainer")

@@ -1,0 +1,6 @@
+"""Fixture: network traffic, benign here (no lock held locally)."""
+
+
+def ship_all(network, rows):
+    for row in rows:
+        network.send(0, 1, row, nbytes=64)

@@ -1,0 +1,13 @@
+"""Fixture: the blocking call is two modules away from the lock.
+
+Alone this file is clean — ``ship_all`` only resolves once the
+call-graph pass links it with ``blocking_bad_inner``.
+"""
+
+import blocking_bad_inner as shipper
+
+
+def rebalance(locks, network, rows):
+    locks.acquire("orders", "rebalancer")
+    shipper.ship_all(network, rows)
+    locks.release("orders", "rebalancer")

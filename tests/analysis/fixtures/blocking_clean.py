@@ -1,0 +1,15 @@
+"""Fixture: the cooperative pattern — release first, then block."""
+
+
+def flush_after_release(locks, pool, sim):
+    locks.acquire("orders", "writer")
+    sim.schedule(5.0, print)  # async: registers a callback and returns
+    locks.release("orders", "writer")
+    pool.submit("flush", 1.0, None)
+
+
+def bounded_drain(locks, channel):
+    locks.acquire("orders", "drainer")
+    for _ in range(8):
+        pass  # no IO inside the loop, and it is bounded
+    locks.release("orders", "drainer")

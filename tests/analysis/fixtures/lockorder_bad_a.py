@@ -1,0 +1,15 @@
+"""Fixture: module A of a three-module lock-order cycle (scan side).
+
+Alone this file is clean — the cycle only appears when the
+interprocedural call-graph pass links it with ``lockorder_bad_b`` and
+``lockorder_bad_c``.
+"""
+
+import lockorder_bad_b as maintenance
+
+
+def scan_fragment(locks, rows):
+    locks.acquire("table_a", "scanner")
+    for row in rows:
+        maintenance.refresh_plan(locks, row)
+    locks.release("table_a", "scanner")

@@ -1,0 +1,9 @@
+"""Fixture: module B of the cycle (plan maintenance, middle hop)."""
+
+import lockorder_bad_c as indexes
+
+
+def refresh_plan(locks, row):
+    locks.acquire("table_b", "planner")
+    indexes.update_index(locks, row)
+    locks.release("table_b", "planner")

@@ -1,0 +1,10 @@
+"""Fixture: module C of the cycle (index update closing the loop).
+
+Acquires ``table_a`` — which module A holds while (transitively)
+calling into here — while module B's ``table_b`` is held.
+"""
+
+
+def update_index(locks, row):
+    locks.acquire("table_a", "indexer")
+    locks.release("table_a", "indexer")

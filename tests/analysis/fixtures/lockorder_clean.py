@@ -1,0 +1,19 @@
+"""Fixture: nested acquisition in one global order — no cycle."""
+
+
+def scan_then_maintain(locks, rows):
+    locks.acquire("table_a", "worker")
+    update_index(locks, rows)
+    locks.release("table_a", "worker")
+
+
+def update_index(locks, rows):
+    locks.acquire("table_b", "worker")
+    locks.release("table_b", "worker")
+
+
+def maintain_directly(locks, rows):
+    # Same order as the nested path: table_a before table_b.
+    locks.acquire("table_a", "maintainer")
+    locks.acquire("table_b", "maintainer")
+    locks.release_all("maintainer")

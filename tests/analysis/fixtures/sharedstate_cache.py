@@ -1,0 +1,13 @@
+"""Fixture: module-level state reachable from both service paths."""
+
+# Flagged: an empty accumulator shared by the query and chaos entries.
+RESULTS = {}
+
+# Not flagged: a populated literal lookup table is read-only by
+# convention.
+KEYWORDS = {"select": 1, "from": 2}
+
+# Suppressed with a justification (the ISSUE-era alias spelling).
+# lint: allow(shared-state) deliberate bounded scratch list; the test
+# asserts suppression works from a preceding comment line.
+RETIRED = []

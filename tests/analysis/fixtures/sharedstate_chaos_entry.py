@@ -1,0 +1,7 @@
+"""Fixture: a chaos-path module importing the same shared cache."""
+
+import sharedstate_cache
+
+
+def invalidate(statement):
+    sharedstate_cache.RESULTS.pop(statement, None)

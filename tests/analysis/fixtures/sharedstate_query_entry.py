@@ -1,0 +1,7 @@
+"""Fixture: a query-path module importing the shared cache module."""
+
+import sharedstate_cache
+
+
+def answer(statement):
+    return sharedstate_cache.RESULTS.get(statement)

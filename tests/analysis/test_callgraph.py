@@ -1,0 +1,214 @@
+"""Unit tests for the interprocedural call-graph pass."""
+
+import ast
+
+from repro.analysis.callgraph import build_program, module_name_for
+
+
+def program_of(**sources):
+    """Build a program from ``{display_path: source}`` keyword pairs."""
+    pairs = []
+    for path, source in sources.items():
+        display = path.replace("__", "/")
+        pairs.append((display, ast.parse(source)))
+    return build_program(pairs)
+
+
+def calls_of(program, qualname):
+    return [callee for callee, _line in
+            program.functions[qualname].calls()]
+
+
+def test_module_name_follows_package_structure(tmp_path):
+    pkg = tmp_path / "pkg"
+    sub = pkg / "sub"
+    sub.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (sub / "__init__.py").write_text("")
+    (sub / "mod.py").write_text("")
+    assert module_name_for(sub / "mod.py") == "pkg.sub.mod"
+    assert module_name_for(sub / "__init__.py") == "pkg.sub"
+    loose = tmp_path / "loose.py"
+    loose.write_text("")
+    assert module_name_for(loose) == "loose"
+
+
+def test_resolves_plain_and_nested_calls():
+    program = program_of(**{"m.py": """
+def helper():
+    pass
+
+def outer():
+    def inner():
+        helper()
+    inner()
+    helper()
+"""})
+    assert calls_of(program, "m.outer") == ["m.outer.inner", "m.helper"]
+    assert calls_of(program, "m.outer.inner") == ["m.helper"]
+
+
+def test_resolves_self_dispatch_and_inherited_methods():
+    program = program_of(**{"m.py": """
+class Base:
+    def shared(self):
+        pass
+
+class Service(Base):
+    def run(self):
+        self.shared()
+        self.step()
+
+    def step(self):
+        pass
+"""})
+    assert calls_of(program, "m.Service.run") == [
+        "m.Base.shared", "m.Service.step"
+    ]
+
+
+def test_resolves_attr_types_from_init_and_annotations():
+    program = program_of(**{"m.py": """
+class Store:
+    def lookup(self):
+        pass
+
+class Cache:
+    def probe(self):
+        pass
+
+class Service:
+    cache: Cache
+
+    def __init__(self):
+        self.store = Store()
+
+    def run(self):
+        self.store.lookup()
+        self.cache.probe()
+"""})
+    assert calls_of(program, "m.Service.run") == [
+        "m.Store.lookup", "m.Cache.probe"
+    ]
+
+
+def test_resolves_cross_module_imports_and_aliases():
+    program = program_of(**{
+        "a.py": """
+import b as helpers
+from b import direct
+
+def run():
+    helpers.work()
+    direct()
+""",
+        "b.py": """
+def work():
+    pass
+
+def direct():
+    pass
+""",
+    })
+    assert calls_of(program, "a.run") == ["b.work", "b.direct"]
+
+
+def test_resolves_relative_imports_inside_a_package(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text("""
+from .b import work
+
+def run():
+    work()
+""")
+    (pkg / "b.py").write_text("""
+def work():
+    pass
+""")
+    pairs = [
+        (str(path), ast.parse(path.read_text()))
+        for path in sorted(pkg.glob("*.py"))
+    ]
+    program = build_program(pairs)
+    assert calls_of(program, "pkg.a.run") == ["pkg.b.work"]
+
+
+def test_constructor_calls_resolve_to_init():
+    program = program_of(**{"m.py": """
+class Worker:
+    def __init__(self):
+        pass
+
+def spawn():
+    return Worker()
+"""})
+    assert calls_of(program, "m.spawn") == ["m.Worker.__init__"]
+
+
+def test_parameter_annotations_type_local_receivers():
+    program = program_of(**{"m.py": """
+class Pool:
+    def __init__(self):
+        pass
+
+    def submit(self):
+        pass
+
+def run(pool: Pool):
+    pool.submit()
+
+def run_assigned():
+    pool = Pool()
+    pool.submit()
+"""})
+    assert calls_of(program, "m.run") == ["m.Pool.submit"]
+    assert calls_of(program, "m.run_assigned") == [
+        "m.Pool.__init__", "m.Pool.submit"
+    ]
+
+
+def test_unresolved_receivers_create_no_edges():
+    program = program_of(**{"m.py": """
+def run(mystery):
+    mystery.do_something()
+    unknown_global()
+"""})
+    assert calls_of(program, "m.run") == []
+
+
+def test_type_checking_imports_are_skipped():
+    program = program_of(**{
+        "a.py": """
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from b import work
+
+def run():
+    work()
+""",
+        "b.py": """
+def work():
+    pass
+""",
+    })
+    # The TYPE_CHECKING import is not a runtime binding: no edge.
+    assert calls_of(program, "a.run") == []
+
+
+def test_mutable_globals_and_import_edges_are_indexed():
+    program = program_of(**{
+        "a.py": """
+import b
+
+CACHE = {}
+TABLE = {"x": 1}
+NAMES = []
+""",
+        "b.py": "",
+    })
+    info = program.modules["a"]
+    assert [g[0] for g in info.mutable_globals] == ["CACHE", "NAMES"]
+    assert program.import_edges()["a"] == ["b"]

@@ -108,6 +108,42 @@ def test_missing_baseline_means_empty(tmp_path):
     assert load_baseline(tmp_path / "nope.txt") == {}
 
 
+def test_baseline_counts_survive_a_roundtrip(tmp_path):
+    baseline_path = tmp_path / "baseline.txt"
+    twice = [
+        Violation("billing", "a.py", 1, "unbilled send"),
+        Violation("billing", "a.py", 9, "unbilled send"),
+    ]
+    write_baseline(baseline_path, twice)
+    # The duplicate is stored as one count-annotated entry, not two
+    # identical lines.
+    lines = [line for line in
+             baseline_path.read_text().splitlines()
+             if line and not line.startswith("#")]
+    assert len(lines) == 1
+    assert lines[0].endswith("\tx2")
+    loaded = load_baseline(baseline_path)
+    assert loaded[("billing", "a.py", "unbilled send")] == 2
+    fresh, suppressed = filter_baselined(twice, loaded)
+    assert fresh == [] and suppressed == 2
+    # A third occurrence is fresh: counts cap the suppression.
+    third = Violation("billing", "a.py", 40, "unbilled send")
+    fresh, suppressed = filter_baselined([*twice, third], loaded)
+    assert suppressed == 2
+    assert fresh == [third]
+
+
+def test_baseline_message_with_tab_like_suffix_still_loads(tmp_path):
+    # A message whose last tab-separated column is not an xN count
+    # must be kept as part of the message, not dropped.
+    baseline_path = tmp_path / "baseline.txt"
+    message = "field\tx-coordinate"
+    write_baseline(baseline_path,
+                   [Violation("billing", "a.py", 1, message)])
+    loaded = load_baseline(baseline_path)
+    assert loaded[("billing", "a.py", message)] == 1
+
+
 # -- CLI ------------------------------------------------------------------
 
 
@@ -145,6 +181,75 @@ def test_cli_write_then_pass_with_baseline(tmp_path, capsys):
 def test_cli_unknown_rule_rejected():
     with pytest.raises(SystemExit):
         main(["lint", "--rule", "no-such-rule"])
+
+
+def test_cli_rules_csv_filter(capsys):
+    code = main(["lint", "--path", str(FIXTURES / "det_bad.py"),
+                 "--rules", "billing,lock-pairing", "--no-baseline"])
+    assert code == 0
+
+
+def test_cli_rules_csv_unknown_name_exits_two(capsys):
+    code = main(["lint", "--path", str(FIXTURES / "det_bad.py"),
+                 "--rules", "no-such-rule", "--no-baseline"])
+    assert code == 2
+
+
+def test_cli_json_output(capsys):
+    import json as json_module
+
+    code = main(["lint", "--path", str(FIXTURES / "det_bad.py"),
+                 "--rule", "determinism", "--no-baseline", "--json",
+                 "--no-cache"])
+    assert code == 1
+    payload = json_module.loads(capsys.readouterr().out)
+    assert payload["rules"] == ["determinism"]
+    assert payload["baselined"] == 0
+    assert all(v["rule"] == "determinism"
+               for v in payload["violations"])
+    assert {"rule", "path", "line", "message"} <= set(
+        payload["violations"][0]
+    )
+    assert "determinism" in payload["timings_ms"]
+
+
+def test_cli_text_output_reports_rule_wall_time(tmp_path, capsys):
+    write_module(tmp_path, "def f():\n    return 1\n")
+    code = main(["lint", "--path", str(tmp_path), "--no-baseline",
+                 "--no-cache"])
+    assert code == 0
+    assert "rule wall time:" in capsys.readouterr().out
+
+
+# -- preceding-comment suppressions ---------------------------------------
+
+
+def test_preceding_comment_allow_suppresses_next_statement(tmp_path):
+    path = write_module(tmp_path, (
+        "import time\n"
+        "def f():\n"
+        "    # lint: allow(determinism) boot stamp, justified at\n"
+        "    # length across two comment lines.\n"
+        "    a = time.time()\n"
+        "    b = time.time()\n"
+        "    return a, b\n"
+    ))
+    violations = lint_paths([path], rules_by_name(["determinism"]))
+    assert [v.line for v in violations] == [6]
+
+
+def test_preceding_comment_allow_does_not_leak_past_code(tmp_path):
+    path = write_module(tmp_path, (
+        "import time\n"
+        "def f():\n"
+        "    # lint: allow(determinism) only the next line\n"
+        "    a = time.time()\n"
+        "    unrelated = 1\n"
+        "    b = time.time()\n"
+        "    return a, unrelated, b\n"
+    ))
+    violations = lint_paths([path], rules_by_name(["determinism"]))
+    assert [v.line for v in violations] == [6]
 
 
 # -- the repo itself ------------------------------------------------------

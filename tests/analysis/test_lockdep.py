@@ -1,0 +1,147 @@
+"""Runtime lockdep sanitizer: lock-order inversion detection.
+
+The fake-environment tests drive the wrapped lock table directly so
+every ordering scenario is explicit; the integration test checks the
+counters surface through :func:`collect_report` on a real workload.
+
+Acquisitions go through the :func:`grab`/:func:`drop` helpers rather
+than direct ``locks.acquire`` calls: this file deliberately acquires
+the same lock classes in both orders, which the *static* lock-order
+rule — owner-blind by design — would correctly flag as a cycle.  The
+one-acquire helpers keep the corpus out of the lexical pairing while
+the runtime wrappers still see every call.
+"""
+
+import types
+
+import pytest
+
+from repro.analysis.sanitizers import SanitizerRuntime
+from repro.config import SanitizerConfig
+from repro.errors import SanitizerError
+from repro.kvstore.locks import LockManager
+from repro.observability import collect_report
+from repro.query import QueryService
+
+from ..conftest import build_average_job, make_squery_backend
+
+
+def grab(locks, key, owner):
+    # lint: allow(lock-pairing) deliberately bare acquire: each test
+    # scripts its own release/inversion sequence around this helper.
+    return locks.acquire(key, owner)
+
+
+def drop(locks, key, owner):
+    locks.release(key, owner)
+
+
+def lockdep_runtime(fail_fast=False):
+    """A runtime with only the lockdep detector armed, on a bare lock
+    table (the other detectors need a full environment)."""
+    env = types.SimpleNamespace(
+        store=types.SimpleNamespace(locks=LockManager())
+    )
+    config = SanitizerConfig(
+        enabled=True, snapshot_immutability=False, lock_leaks=False,
+        billing=False, dead_node_scheduling=False, index_coherence=False,
+        sketch_coherence=False, lockdep=True, fail_fast=fail_fast,
+    )
+    runtime = SanitizerRuntime(env, config).install()
+    return runtime, env.store.locks
+
+
+def test_inversion_is_reported_with_both_stacks():
+    runtime, locks = lockdep_runtime()
+    first, second = object(), object()
+    grab(locks, ("a", 1), first)
+    grab(locks, ("b", 1), first)
+    locks.release_all(first)
+    grab(locks, ("b", 2), second)
+    grab(locks, ("a", 2), second)  # opposite order: inversion
+    assert runtime.lockdep_violations == 1
+    message = runtime.violations[0].message
+    assert "lock-order inversion" in message
+    assert message.count("stack:") == 2
+    assert "can deadlock" in message
+    assert runtime.lock_order_edges_observed == 2
+
+
+def test_consistent_order_is_clean():
+    runtime, locks = lockdep_runtime()
+    for owner in (object(), object(), object()):
+        grab(locks, ("a", 1), owner)
+        grab(locks, ("b", 1), owner)
+        locks.release_all(owner)
+    assert runtime.lockdep_violations == 0
+    assert runtime.lock_order_edges_observed == 1  # ('a', 'b') once
+
+
+def test_same_table_keys_share_a_lock_class():
+    # Within-table pairs are not tracked (the acquisition sites
+    # canonicalise within-table order instead), so a scan holding many
+    # keys of one table records no edges at all.
+    runtime, locks = lockdep_runtime()
+    owner = object()
+    for partition_key in range(8):
+        grab(locks, ("orders", partition_key), owner)
+    assert runtime.lock_order_edges_observed == 0
+
+
+def test_fail_fast_raises_at_the_inversion_site():
+    runtime, locks = lockdep_runtime(fail_fast=True)
+    first, second = object(), object()
+    grab(locks, ("a", 1), first)
+    grab(locks, ("b", 1), first)
+    locks.release_all(first)
+    grab(locks, ("b", 2), second)
+    with pytest.raises(SanitizerError, match="inversion"):
+        grab(locks, ("a", 2), second)
+    assert runtime.lockdep_violations == 1
+
+
+def test_queued_waiter_uses_its_request_time_snapshot():
+    # B requests 'a' while holding 'b', then releases 'b' before the
+    # grant arrives.  The (b, a) edge must still be recorded: the
+    # hold-and-wait existed at request time, which is when a deadlock
+    # cycle would have closed.
+    runtime, locks = lockdep_runtime()
+    first, second = object(), object()
+    grab(locks, ("a", 1), first)
+    grab(locks, ("b", 1), second)
+    assert grab(locks, ("a", 1), second) is False  # queued behind A
+    drop(locks, ("b", 1), second)  # B now holds nothing
+    drop(locks, ("a", 1), first)  # FIFO hand-over to B
+    assert locks.holder_of(("a", 1)) is second
+    assert runtime.lock_order_edges_observed == 1
+    assert runtime.lockdep_violations == 0
+    # The recorded edge is live: the opposite order now trips.
+    third = object()
+    grab(locks, ("a", 3), third)
+    grab(locks, ("b", 3), third)
+    assert runtime.lockdep_violations == 1
+
+
+def test_release_still_enforces_ownership_under_lockdep():
+    from repro.errors import LockError
+
+    runtime, locks = lockdep_runtime()
+    owner = object()
+    grab(locks, ("a", 1), owner)
+    with pytest.raises(LockError):
+        drop(locks, ("a", 1), object())
+    # The failed release must not corrupt the held bookkeeping.
+    grab(locks, ("b", 1), owner)
+    assert runtime.lock_order_edges_observed == 1
+
+
+def test_report_rolls_up_lockdep_counters(env):
+    backend = make_squery_backend(env)
+    job = build_average_job(env, backend=backend)
+    job.start()
+    env.run_until(1_500)
+    service = QueryService(env, repeatable_read=True)
+    service.execute('SELECT COUNT(*) AS n FROM "average"')
+    report = collect_report(env)
+    assert report.lockdep_violations == 0
+    assert report.lock_order_edges_observed >= 0

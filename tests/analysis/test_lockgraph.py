@@ -1,0 +1,219 @@
+"""Unit tests for lock summaries, the lock-order graph, and the cache."""
+
+import ast
+
+from repro.analysis.lockgraph import (
+    build_lock_order_edges,
+    build_model,
+    find_cycles,
+    reachable_modules,
+    transitive_acquires,
+    transitive_blocking,
+)
+
+
+def model_of(**sources):
+    pairs = [(path.replace("__", "/"), ast.parse(source))
+             for path, source in sources.items()]
+    return build_model(pairs)
+
+
+def test_acquire_opens_region_and_release_closes_all():
+    model = model_of(**{"m.py": """
+def run(locks, pool):
+    locks.acquire("a", "o")
+    pool.submit("job", 1.0, None)
+    locks.release("a", "o")
+    pool.submit("job", 1.0, None)
+"""})
+    blocking = model.functions["m.run"]["blocking"]
+    assert len(blocking) == 2
+    held_first, held_second = blocking[0][2], blocking[1][2]
+    assert [label for label, _line in held_first] == ["a"]
+    assert held_second == []
+
+
+def test_granted_handover_records_acquire_but_opens_no_region():
+    model = model_of(**{"m.py": """
+def run(locks, pool):
+    locks.acquire("a", "o", granted=print)
+    pool.submit("job", 1.0, None)
+"""})
+    fn = model.functions["m.run"]
+    assert fn["acquires"][0][0] == "a"
+    assert fn["acquires"][0][3] is True  # handover
+    assert fn["blocking"][0][2] == []  # nothing lexically held
+
+
+def test_lock_primitive_functions_skip_self_extraction():
+    model = model_of(**{"m.py": """
+class LockManager:
+    def acquire(self, key, owner):
+        self._holders[key] = owner
+
+    def try_acquire(self, key, owner):
+        return True
+"""})
+    assert model.functions["m.LockManager.acquire"]["acquires"] == []
+    assert model.functions["m.LockManager.try_acquire"]["acquires"] == []
+
+
+def test_lock_labels_classify_tuple_keys_by_table():
+    model = model_of(**{"m.py": """
+def run(locks, key):
+    locks.try_acquire(("orders", key), "o")
+    locks.try_acquire("shipments", "o")
+    locks.try_acquire(key, "o")
+"""})
+    labels = [a[0] for a in model.functions["m.run"]["acquires"]]
+    assert labels == ["orders", "shipments", "key"]
+
+
+def test_blocking_kinds_cover_the_jet_rule():
+    model = model_of(**{"m.py": """
+def run(network, pool, channel, sim):
+    pool.submit("j", 1.0, None)
+    network.send(0, 1, None, nbytes=8)
+    channel.recv()
+    channel.wait_for(print)
+    sim.sleep(4.0)
+    sim.schedule(4.0, print)
+"""})
+    kinds = [b[0] for b in model.functions["m.run"]["blocking"]]
+    assert kinds == [
+        "store-server job submission", "network send", "network recv",
+        "channel wait", "simtime sleep",
+    ]
+
+
+def test_unbounded_loop_with_io_is_blocking():
+    model = model_of(**{"m.py": """
+def run(channel):
+    while True:
+        channel.recv()
+
+def bounded(channel):
+    for _ in range(4):
+        channel.recv()
+
+def quiet():
+    while True:
+        pass
+"""})
+    kinds = [b[0] for b in model.functions["m.run"]["blocking"]]
+    assert "unbounded loop with IO" in kinds
+    bounded = [b[0] for b in model.functions["m.bounded"]["blocking"]]
+    assert "unbounded loop with IO" not in bounded
+    assert model.functions["m.quiet"]["blocking"] == []
+
+
+def test_transitive_acquires_cross_function_with_witness_chain():
+    model = model_of(**{"m.py": """
+def outer(locks):
+    inner(locks)
+
+def inner(locks):
+    locks.acquire("b", "o")
+"""})
+    reached = transitive_acquires(model, "m.outer")
+    assert set(reached) == {"b"}
+    chain = reached["b"]
+    assert [entry[2] for entry in chain] == [
+        "outer() calls inner()", "lock 'b' acquired in inner()",
+    ]
+
+
+def test_transitive_blocking_handles_recursion():
+    model = model_of(**{"m.py": """
+def ping(pool):
+    pool.submit("j", 1.0, None)
+    pong(pool)
+
+def pong(pool):
+    ping(pool)
+"""})
+    assert set(transitive_blocking(model, "m.pong")) == {
+        "store-server job submission"
+    }
+
+
+def test_lock_order_edges_and_cycles():
+    model = model_of(**{"m.py": """
+def forward(locks):
+    locks.acquire("a", "o")
+    locks.acquire("b", "o")
+    locks.release_all("o")
+
+def backward(locks):
+    locks.acquire("b", "o")
+    locks.acquire("a", "o")
+    locks.release_all("o")
+"""})
+    edges = build_lock_order_edges(model)
+    assert ("a", "b") in edges and ("b", "a") in edges
+    assert find_cycles(edges) == [["a", "b"]]
+
+
+def test_consistent_order_has_no_cycles():
+    model = model_of(**{"m.py": """
+def one(locks):
+    locks.acquire("a", "o")
+    locks.acquire("b", "o")
+    locks.release_all("o")
+
+def two(locks):
+    locks.acquire("b", "o")
+    locks.acquire("c", "o")
+    locks.release_all("o")
+"""})
+    assert find_cycles(build_lock_order_edges(model)) == []
+
+
+def test_reachable_modules_tracks_parents():
+    model = model_of(**{
+        "a.py": "import b\n",
+        "b.py": "import c\n",
+        "c.py": "",
+    })
+    reached, parent = reachable_modules(model, ["a"])
+    assert reached == {"a", "b", "c"}
+    assert parent["c"] == "b" and parent["b"] == "a"
+
+
+def test_model_cache_roundtrip_and_invalidation(tmp_path):
+    source = """
+def run(locks):
+    locks.acquire("a", "o")
+    locks.release("a", "o")
+"""
+    pairs = [("m.py", ast.parse(source))]
+    raw = {"m.py": source}
+    cache_dir = tmp_path / "cache"
+    first = build_model(pairs, cache_dir=cache_dir, raw_sources=raw)
+    cached_files = list(cache_dir.glob("concurrency-*.json"))
+    assert len(cached_files) == 1
+    second = build_model(pairs, cache_dir=cache_dir, raw_sources=raw)
+    assert second.to_json() == first.to_json()
+    # A source change must produce a different cache entry (and prune
+    # the stale one).
+    changed = source.replace('"a"', '"b"')
+    third = build_model(
+        [("m.py", ast.parse(changed))], cache_dir=cache_dir,
+        raw_sources={"m.py": changed},
+    )
+    assert third.to_json() != first.to_json()
+    remaining = list(cache_dir.glob("concurrency-*.json"))
+    assert len(remaining) == 1
+    assert remaining[0] not in cached_files
+
+
+def test_corrupt_cache_entry_is_rebuilt(tmp_path):
+    source = "def run():\n    pass\n"
+    pairs = [("m.py", ast.parse(source))]
+    raw = {"m.py": source}
+    cache_dir = tmp_path / "cache"
+    build_model(pairs, cache_dir=cache_dir, raw_sources=raw)
+    entry = next(cache_dir.glob("concurrency-*.json"))
+    entry.write_text("{not json")
+    model = build_model(pairs, cache_dir=cache_dir, raw_sources=raw)
+    assert "m.run" in model.functions

@@ -117,4 +117,4 @@ def test_unknown_rule_name_raises():
 
 
 def test_all_rules_selected_by_default():
-    assert len(rules_by_name(None)) == 5
+    assert len(rules_by_name(None)) == 8

@@ -248,6 +248,9 @@ def test_contended_lock_blocks_instead_of_being_dropped(env):
     assert locks.try_acquire(("average", 1), "external-holder")
 
     service = QueryService(env, repeatable_read=True)
+    # lint: allow(blocking-under-lock) the lock is held by a phantom
+    # external owner on purpose: this test exists to drive the query
+    # into the contended FIFO wait path.
     execution = service.submit('SELECT * FROM "average" WHERE key = 1')
     env.run_for(1_000)
     # The query queues FIFO behind the holder instead of skipping the
@@ -277,6 +280,8 @@ def test_aborted_query_returns_contended_lock(env):
         env, repeatable_read=True,
         retry_policy=QueryRetryPolicy(query_timeout_ms=50.0),
     )
+    # lint: allow(blocking-under-lock) phantom external holder again:
+    # the point is to time the query out while it waits on the lock.
     execution = service.submit('SELECT * FROM "average" WHERE key = 1')
     env.run_for(1_000)  # watchdog fires while still waiting on the lock
     assert isinstance(execution.error, QueryTimeoutError)
