@@ -115,3 +115,28 @@ class Partitioner:
         """Placement of operator instances: striped across nodes."""
         del parallelism  # placement depends only on the stripe position
         return instance % self.node_count
+
+
+def copartitioned_tables(left_table, right_table,
+                         node_ids: list[int]) -> bool:
+    """True when two state tables place equal join keys on equal nodes.
+
+    Every backend maps a key to ``stable_hash(key) % partition_count``,
+    so two tables use the same key→partition function exactly when
+    their partition counts match.  Rather than reach into placement
+    internals (live tables, snapshot versions, and LSM runs all store
+    theirs differently), compare behaviour: if each node hosts the same
+    partition-id set for both tables, the id spaces coincide (ids are
+    dense in ``[0, count)``) and so does the key→node mapping — even
+    after failures, because reassignment histories that diverged show
+    up as differing per-node sets.
+    """
+    for node_id in node_ids:
+        try:
+            left = set(left_table.partitions_on_node(node_id))
+            right = set(right_table.partitions_on_node(node_id))
+        except (AttributeError, TypeError):
+            return False
+        if left != right:
+            return False
+    return True

@@ -222,6 +222,28 @@ class CostModel:
     #: writes).
     sketch_maintain_entry_ms: float = 0.0005
 
+    # --- distributed joins -------------------------------------------------
+    #: Execute JOIN steps with distributed strategies (co-partitioned,
+    #: broadcast, shuffle-hash, index-nested-loop) chosen per step by
+    #: the cost chooser.  Off = ship every joined table to the entry
+    #: node and join centrally (the PR-3 baseline).
+    distributed_joins_enabled: bool = True
+    #: Inserting one row into a hash-join build table.
+    join_build_entry_ms: float = 0.0004
+    #: Probing the build table with one probe-side row (also the
+    #: per-entry surcharge when the probe rides the vectorized sweep).
+    #: Calibrated to ``merge_row_ms``: one hash probe costs about one
+    #: entry-node row merge, so the distributed win comes from running
+    #: probes on every node in parallel, not from a cheaper per-row op.
+    join_probe_entry_ms: float = 0.0001
+    #: Per-byte cost estimate of replicating a broadcast build side to
+    #: one scan fragment (used by the chooser; actual shipping is
+    #: billed through the network model).
+    join_broadcast_byte_ms: float = 8e-7
+    #: Per-byte cost estimate of repartitioning one side of a
+    #: shuffle-hash join to the worker nodes.
+    join_shuffle_byte_ms: float = 8e-7
+
     # --- query service ------------------------------------------------------
     #: Parse/plan/coordinate fixed cost of a SQL query.
     sql_fixed_ms: float = 1.2

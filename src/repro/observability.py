@@ -65,6 +65,15 @@ class ClusterReport:
     predicates_compiled: int = 0
     batches_evaluated: int = 0
     compile_cache_hits: int = 0
+    # distributed joins (steps per chosen physical strategy)
+    joins_copartitioned: int = 0
+    joins_broadcast: int = 0
+    joins_shuffle: int = 0
+    joins_index_nested: int = 0
+    joins_central: int = 0
+    join_build_rows: int = 0
+    join_bytes_broadcast: int = 0
+    join_bytes_shuffled: int = 0
     # compiled-LIKE pattern cache (process-wide, LRU-bounded)
     like_cache_hits: int = 0
     like_cache_misses: int = 0
@@ -146,6 +155,14 @@ def collect_report(env: Environment) -> ClusterReport:
         report.predicates_compiled += service.predicates_compiled_total
         report.batches_evaluated += service.batches_evaluated_total
         report.compile_cache_hits += service.compile_cache_hits_total
+        report.joins_copartitioned += service.joins_copartitioned_total
+        report.joins_broadcast += service.joins_broadcast_total
+        report.joins_shuffle += service.joins_shuffle_total
+        report.joins_index_nested += service.joins_index_nested_total
+        report.joins_central += service.joins_central_total
+        report.join_build_rows += service.join_build_rows_total
+        report.join_bytes_broadcast += service.join_bytes_broadcast_total
+        report.join_bytes_shuffled += service.join_bytes_shuffled_total
     report.index_maintenance_ops = env.store.index_maintenance_ops()
     report.index_maintenance_cost = (
         report.index_maintenance_ops * env.costs.index_maintain_entry_ms
@@ -251,6 +268,21 @@ def format_report(report: ClusterReport) -> str:
             f"({report.compile_cache_hits:,} fragment-cache hits) | "
             f"LIKE cache: {report.like_cache_hits:,} hits, "
             f"{report.like_cache_misses:,} misses"
+        )
+    distributed_join_steps = (
+        report.joins_copartitioned + report.joins_broadcast
+        + report.joins_shuffle + report.joins_index_nested
+    )
+    if distributed_join_steps or report.joins_central:
+        footer += (
+            f"\njoins: {report.joins_copartitioned:,} co-partitioned, "
+            f"{report.joins_broadcast:,} broadcast, "
+            f"{report.joins_shuffle:,} shuffle, "
+            f"{report.joins_index_nested:,} index-nested-loop, "
+            f"{report.joins_central:,} central | "
+            f"{report.join_build_rows:,} build rows, "
+            f"{report.join_bytes_broadcast:,} B broadcast, "
+            f"{report.join_bytes_shuffled:,} B shuffled"
         )
     if report.query_retries or report.query_aborts:
         footer += (

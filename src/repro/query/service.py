@@ -66,6 +66,15 @@ from ..sql.fragments import (
 )
 from ..sql.planner import DictCatalog, ListTable, split_conjuncts
 from ..state.isolation import IsolationLevel, isolation_of_query
+from .joins import (
+    JoinPlan,
+    _JoinLocalAck,
+    explain_join_lines,
+    join_failure_relevant,
+    plan_distributed_joins,
+    restart_join,
+    start_join_pipeline,
+)
 
 #: Beyond this many pinned keys a multi-point get degenerates into a
 #: scan (pruned by partition instead of fetched key-by-key).
@@ -128,6 +137,22 @@ class QueryExecution:
         self.batches_evaluated = 0
         #: Fragment compilations served by the process-wide cache.
         self.compile_cache_hits = 0
+        #: Per-strategy counts of distributed join steps (a join that
+        #: runs centrally counts every step under ``joins_central``).
+        self.joins_copartitioned = 0
+        self.joins_broadcast = 0
+        self.joins_shuffle = 0
+        self.joins_index_nested = 0
+        self.joins_central = 0
+        #: Rows fed into distributed build indexes across stages.
+        self.join_build_rows = 0
+        #: Build-package bytes replicated by broadcast stages.
+        self.join_bytes_broadcast = 0
+        #: Bytes repartitioned across the wire by shuffle stages.
+        self.join_bytes_shuffled = 0
+        #: Chosen strategy per join step (empty until planned;
+        #: ``["central", ...]`` when the statement runs centrally).
+        self.join_strategies: list[str] = []
         #: Simulated milliseconds billed to store servers for this
         #: query's scan chunks — the scan-path latency the vectorized
         #: ablation benchmarks compare.
@@ -236,7 +261,7 @@ class _InFlight:
     """Service-side bookkeeping for one running query."""
 
     __slots__ = ("execution", "select", "table_kinds", "snapshot_id",
-                 "state", "plan", "sketch")
+                 "state", "plan", "sketch", "join")
 
     def __init__(self, execution: QueryExecution, select: Select,
                  table_kinds: list[tuple[str, str]]) -> None:
@@ -253,6 +278,9 @@ class _InFlight:
         #: Sketch answer for an APPROX aggregate; ``None`` on the exact
         #: path.
         self.sketch: _SketchAnswer | None = None
+        #: Distributed join plan (strategies + table roles); ``None``
+        #: when the statement's joins run centrally.
+        self.join: "JoinPlan | None" = None
 
 
 class QueryService:
@@ -265,7 +293,8 @@ class QueryService:
                  indexes: bool | None = None,
                  sketches: bool | None = None,
                  vectorized: bool | None = None,
-                 shared_plans: bool | None = None) -> None:
+                 shared_plans: bool | None = None,
+                 distributed_joins: bool | None = None) -> None:
         """``repeatable_read`` holds key locks for whole live queries;
         ``ha_mode`` declares that the job runs with active replication
         (§VII-B), upgrading live queries to read committed — state they
@@ -287,7 +316,11 @@ class QueryService:
         or off (``None`` defers to ``CostModel.shared_plans_enabled``);
         off gives every subscription a private standing plan — the
         fan-out ablation baseline with bit-identical delivered
-        results."""
+        results.  ``distributed_joins`` forces the distributed join
+        pipeline on or off (``None`` defers to
+        ``CostModel.distributed_joins_enabled``); off is the central
+        ablation baseline that ships every joined table's rows to the
+        entry node, with bit-identical results."""
         self.env = env
         self.sim = env.sim
         self.cluster = env.cluster
@@ -314,6 +347,10 @@ class QueryService:
             self.costs.shared_plans_enabled if shared_plans is None
             else shared_plans
         )
+        self.distributed_joins_enabled = (
+            self.costs.distributed_joins_enabled
+            if distributed_joins is None else distributed_joins
+        )
         self._entry_rotation = 0
         self.queries_executed = 0
         #: Rows shipped to entry nodes across all finished queries.
@@ -338,6 +375,18 @@ class QueryService:
         self.batches_evaluated_total = 0
         #: Fragment compile-cache hits, all finished queries.
         self.compile_cache_hits_total = 0
+        #: Join steps per chosen strategy, all finished queries.
+        self.joins_copartitioned_total = 0
+        self.joins_broadcast_total = 0
+        self.joins_shuffle_total = 0
+        self.joins_index_nested_total = 0
+        self.joins_central_total = 0
+        #: Rows fed into distributed build indexes, all finished queries.
+        self.join_build_rows_total = 0
+        #: Broadcast build-package bytes, all finished queries.
+        self.join_bytes_broadcast_total = 0
+        #: Shuffle repartition bytes, all finished queries.
+        self.join_bytes_shuffled_total = 0
         #: Shards rescheduled onto survivors after a node death.
         self.query_retries = 0
         #: Queries failed fast (entry-node death, retry exhaustion,
@@ -489,6 +538,7 @@ class QueryService:
         lines.append(scan_mode)
         lines.extend(render_distributed(select, plan))
         lines.extend(self._explain_access_paths(plan, table_kinds))
+        lines.extend(explain_join_lines(self, select, plan, table_kinds))
         lines.extend(self._explain_approx(select, table_kinds))
         return "\n".join(lines)
 
@@ -667,6 +717,14 @@ class QueryService:
         self.predicates_compiled_total += execution.predicates_compiled
         self.batches_evaluated_total += execution.batches_evaluated
         self.compile_cache_hits_total += execution.compile_cache_hits
+        self.joins_copartitioned_total += execution.joins_copartitioned
+        self.joins_broadcast_total += execution.joins_broadcast
+        self.joins_shuffle_total += execution.joins_shuffle
+        self.joins_index_nested_total += execution.joins_index_nested
+        self.joins_central_total += execution.joins_central
+        self.join_build_rows_total += execution.join_build_rows
+        self.join_bytes_broadcast_total += execution.join_bytes_broadcast
+        self.join_bytes_shuffled_total += execution.join_bytes_shuffled
         if execution.approx_answered and error is None:
             self.approx_queries_answered_total += 1
         if error is None:
@@ -705,6 +763,22 @@ class QueryService:
                 continue
             if record.state is None:
                 continue  # plan/ssid phase: runs on the entry node only
+            if record.join is not None:
+                # Join mode restarts wholesale: a build index or probe
+                # slice may have lived on the dead node, so per-table
+                # requeueing cannot recover a half-run stage.
+                if not join_failure_relevant(record, node_id):
+                    continue
+                if execution.retries >= self.retry_policy.max_retries:
+                    self._abort(execution, QueryAbortedError(
+                        f"node {node_id} died and the retry budget "
+                        f"({self.retry_policy.max_retries}) is exhausted"
+                    ))
+                    continue
+                execution.retries += 1
+                self.query_retries += 1
+                restart_join(self, record)
+                continue
             affected = [
                 table for table, nodes in record.state["nodes"].items()
                 if node_id in nodes
@@ -856,12 +930,17 @@ class QueryService:
             self._point_attempt(record, attempt=0)
             return
         record.sketch = self._sketch_plan(record)
+        if record.sketch is None:
+            record.join = plan_distributed_joins(self, record)
         seen: set[str] = set()
         shards: list[tuple[str, str, int]] = []
         for stripe, (table_name, kind) in enumerate(record.table_kinds):
             if table_name in seen:  # self-join scans once per node anyway
                 continue
             seen.add(table_name)
+            if record.join is not None and \
+                    table_name in record.join.excluded:
+                continue  # index-nested-loop build side: never scanned
             state["stripe"][table_name] = stripe * max(1, len(nodes))
             targets = self._scan_targets(record, table_name, kind)
             for node_id in nodes:
@@ -876,7 +955,10 @@ class QueryService:
                 state["nodes"][table_name].add(node_id)
         state["pending"] = len(shards)
         if not shards:
-            self._merge(record)
+            if record.join is not None:
+                start_join_pipeline(self, record)
+            else:
+                self._merge(record)
             return
         for table_name, kind, node_id in shards:
             self._scan_shard(record, table_name, kind, node_id, attempt=0)
@@ -1385,6 +1467,14 @@ class QueryService:
                 payload = raws
                 lock_rows = raws
         state["scanned"] += entries
+        if (
+            record.join is not None
+            and table_name in record.join.local
+            and isinstance(payload, list)
+        ):
+            # Join input that stays node-local: the rows are held for a
+            # later stage and only a framed ack ships to the entry node.
+            payload = _JoinLocalAck(node_id, payload)
         self._ship_when_locked(record, table_name, kind, node_id, payload,
                                attempt, lock_rows)
 
@@ -1424,6 +1514,10 @@ class QueryService:
             return payload * costs.row_bytes
         if isinstance(payload, _ShardError):
             # An error marker ships like one framed header-only row.
+            return costs.row_overhead_bytes
+        if isinstance(payload, _JoinLocalAck):
+            # The rows stay on their node for a join stage; only the
+            # "shard done" control frame crosses the wire.
             return costs.row_overhead_bytes
         if isinstance(payload, PartialGroups):
             per_group = (costs.row_overhead_bytes
@@ -1526,7 +1620,10 @@ class QueryService:
         state["nodes"][table_name].discard(node_id)
         state["pending"] -= 1
         if state["pending"] == 0:
-            self._merge(record)
+            if record.join is not None:
+                start_join_pipeline(self, record)
+            else:
+                self._merge(record)
 
     # -- merge phase ---------------------------------------------------------
 

@@ -251,3 +251,227 @@ def choose_access_path(fragment: ScanFragment, view, view_args: tuple,
             f"{best.cost_ms:.3f} ms"
         )
     return replace(best, rejected=tuple(rejected))
+
+
+# -- join strategy selection --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinCandidate:
+    """Estimated inputs for pricing one JOIN step's physical strategies.
+
+    Row counts are *estimates*: build-side counts come from sketch or
+    zone-map cardinalities when PR 6 structures cover the pushed
+    equality (``estimate_source`` says which), falling back to raw
+    entry counts.  The chooser never needs them to be exact — only the
+    executed rows are billed — but a wrong estimate picks a slower
+    strategy, which the ablation benchmark would surface.
+    """
+
+    table: str
+    kind: str  # 'INNER' | 'LEFT'
+    #: estimated probe-side rows reaching this step (whole cluster).
+    left_rows: int
+    #: estimated build-side rows after its fragment's pushdown.
+    right_rows: int
+    #: estimated shipped bytes per probe/build row (projection-aware).
+    left_row_bytes: int
+    right_row_bytes: int
+    node_count: int
+    #: the join key is the partition key on both sides.
+    partition_key_join: bool = False
+    #: both tables place equal keys on equal nodes (behavioural check).
+    copartitioned: bool = False
+    #: probe side still sits on its scan nodes (no earlier shuffle).
+    left_native: bool = True
+    #: index kind on the build column, when the build table has one.
+    index_kind: str | None = None
+    estimate_source: str = "entries"  # 'entries' | 'sketch' | 'zone-map'
+
+
+@dataclass(frozen=True)
+class JoinPath:
+    """The chosen strategy for one JOIN step, with its pricing."""
+
+    strategy: str  # 'copartitioned' | 'broadcast' | 'shuffle'
+    #           | 'index-nested-loop' | 'central'
+    table: str
+    kind: str
+    cost_ms: float
+    central_cost_ms: float
+    left_rows: int
+    right_rows: int
+    estimate_source: str = "entries"
+    rejected: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        est = (
+            f"est. {self.cost_ms:.3f} ms vs central "
+            f"{self.central_cost_ms:.3f} ms, "
+            f"~{self.right_rows} build rows from "
+            f"{self.estimate_source}"
+        )
+        if self.strategy == "copartitioned":
+            return f"co-partitioned hash join ({est})"
+        if self.strategy == "broadcast":
+            return f"broadcast hash join ({est})"
+        if self.strategy == "shuffle":
+            return f"shuffle-hash join ({est})"
+        if self.strategy == "index-nested-loop":
+            return f"index-nested-loop join ({est})"
+        return (
+            "central hash join (no strictly cheaper distributed "
+            "strategy)"
+        )
+
+
+def _join_compute_ms(candidate: JoinCandidate, costs,
+                     parallel: bool) -> float:
+    """Build + probe entry costs, spread across nodes when parallel."""
+    compute = (
+        candidate.right_rows * costs.join_build_entry_ms
+        + candidate.left_rows * costs.join_probe_entry_ms
+    )
+    if parallel:
+        return compute / max(1, candidate.node_count)
+    return compute
+
+
+def choose_join_path(candidate: JoinCandidate, costs) -> JoinPath:
+    """Pick the cheapest physical strategy for one JOIN step.
+
+    The central join is the baseline: ship both sides to the entry
+    node (priced at the shuffle byte rate — same links, same rows) and
+    build/probe there on one core.  A distributed strategy must be
+    strictly cheaper to win; every loser records why, in evaluation
+    order (co-partitioned, index-nested-loop, broadcast, shuffle), and
+    ``QueryService.explain`` renders the list.
+    """
+    rejected: list[str] = []
+    nodes = max(1, candidate.node_count)
+    left_bytes = candidate.left_rows * candidate.left_row_bytes
+    right_bytes = candidate.right_rows * candidate.right_row_bytes
+    central_cost = (
+        (left_bytes + right_bytes) * costs.join_shuffle_byte_ms
+        + _join_compute_ms(candidate, costs, parallel=False)
+    )
+    best_strategy = "central"
+    best_cost = central_cost
+
+    # co-partitioned: no row leaves its node; compute is fully parallel.
+    if not candidate.partition_key_join:
+        rejected.append(
+            "co-partitioned: join key is not the partition key on "
+            "both sides"
+        )
+    elif not candidate.left_native:
+        rejected.append(
+            "co-partitioned: probe side was repartitioned by an "
+            "earlier shuffle step"
+        )
+    elif not candidate.copartitioned:
+        rejected.append(
+            "co-partitioned: tables do not share partition placement"
+        )
+    else:
+        cost = _join_compute_ms(candidate, costs, parallel=True)
+        if cost < best_cost:
+            best_strategy, best_cost = "copartitioned", cost
+        else:
+            rejected.append(
+                f"co-partitioned: est. {cost:.3f} ms >= best "
+                f"{best_cost:.3f} ms"
+            )
+
+    # index-nested-loop: resolve build rows through the build-column
+    # index instead of sweeping the build table.  Candidate rows are
+    # then broadcast like a small build side.  LEFT joins need every
+    # build row for NULL padding, which defeats the point.
+    if candidate.index_kind is None:
+        rejected.append(
+            "index-nested-loop: no hash/sorted index on the build "
+            "column"
+        )
+    elif candidate.kind != "INNER":
+        rejected.append(
+            "index-nested-loop: LEFT join needs the full build side "
+            "for NULL padding"
+        )
+    else:
+        probed = min(candidate.right_rows, candidate.left_rows)
+        cost = (
+            candidate.left_rows * costs.index_probe_ms
+            + probed * costs.index_entry_ms
+            + probed * candidate.right_row_bytes * nodes
+            * costs.join_broadcast_byte_ms
+            + (probed * costs.join_build_entry_ms * nodes
+               + candidate.left_rows * costs.join_probe_entry_ms)
+            / nodes
+        )
+        if cost < best_cost:
+            if best_strategy != "central":
+                rejected.append(
+                    f"{best_strategy}: est. {best_cost:.3f} ms beaten "
+                    "by a cheaper strategy"
+                )
+            best_strategy, best_cost = "index-nested-loop", cost
+        else:
+            rejected.append(
+                f"index-nested-loop: est. {cost:.3f} ms >= best "
+                f"{best_cost:.3f} ms"
+            )
+
+    # broadcast: replicate the build side to every probe fragment;
+    # each node builds its own copy, probes stay local.
+    cost = (
+        right_bytes * nodes * costs.join_broadcast_byte_ms
+        + candidate.right_rows * costs.join_build_entry_ms
+        + candidate.left_rows * costs.join_probe_entry_ms / nodes
+    )
+    if cost < best_cost:
+        if best_strategy != "central":
+            rejected.append(
+                f"{best_strategy}: est. {best_cost:.3f} ms beaten by "
+                "a cheaper strategy"
+            )
+        best_strategy, best_cost = "broadcast", cost
+    else:
+        rejected.append(
+            f"broadcast: est. {cost:.3f} ms >= best "
+            f"{best_cost:.3f} ms"
+        )
+
+    # shuffle-hash: repartition both sides by join key; the general
+    # fallback — same bytes as central but parallel build/probe.
+    cost = (
+        (left_bytes + right_bytes) * costs.join_shuffle_byte_ms
+        + _join_compute_ms(candidate, costs, parallel=True)
+    )
+    if cost < best_cost:
+        if best_strategy != "central":
+            rejected.append(
+                f"{best_strategy}: est. {best_cost:.3f} ms beaten by "
+                "a cheaper strategy"
+            )
+        best_strategy, best_cost = "shuffle", cost
+    else:
+        rejected.append(
+            f"shuffle: est. {cost:.3f} ms >= best {best_cost:.3f} ms"
+        )
+
+    if best_strategy != "central":
+        rejected.append(
+            f"central: est. {central_cost:.3f} ms >= chosen "
+            f"{best_cost:.3f} ms"
+        )
+    return JoinPath(
+        strategy=best_strategy,
+        table=candidate.table,
+        kind=candidate.kind,
+        cost_ms=best_cost,
+        central_cost_ms=central_cost,
+        left_rows=candidate.left_rows,
+        right_rows=candidate.right_rows,
+        estimate_source=candidate.estimate_source,
+        rejected=tuple(rejected),
+    )

@@ -213,3 +213,71 @@ def run_fragment_batches(
     interpreted = FragmentAccumulator(fragment, context)
     lock_rows = [raw for raw in raws if interpreted.add(raw)]
     return lock_rows, interpreted.payload(), 0
+
+
+# -- broadcast probe inside the vectorized sweep -----------------------------
+
+
+def compile_probe_key(probe_expr, binding: str) -> CompiledExpr:
+    """Compile a broadcast join's probe-key expression once per query.
+
+    The closure evaluates against *raw* (projected, unbound) rows with
+    the same binding-aware column resolution the compiled predicates
+    use, so the key equals what the central path computes on the bound
+    row — including the error it would raise.
+    """
+    return compile_expr(probe_expr, binding)
+
+
+def run_broadcast_probe(
+    payload: list[dict],
+    node_tag: tuple,
+    binding: str,
+    using: tuple,
+    compiled_probe: "CompiledExpr | None",
+    kind: str,
+    index: dict,
+    right_columns: set,
+    context: EvalContext,
+) -> "tuple[list[tuple[tuple, dict]], tuple[tuple, Exception] | None]":
+    """Probe a broadcast build index as the tail of the scan sweep.
+
+    ``payload`` is the fragment's surviving projected rows in sweep
+    order; each becomes a tagged bound row ``((node_tag + (position,)),
+    merged)`` exactly as :func:`repro.sql.executor.probe_join_index`
+    would emit it.  The probe key runs through the compiled closure —
+    this is the "probed during the vectorized sweep" half of the
+    broadcast strategy; the interpreted ablation takes the
+    ``probe_join_index`` path in the coordinator instead.  Errors are
+    captured with their row tag (not raised): scan errors of other
+    tables and build errors outrank probe errors, and only the
+    coordinator sees all of them.
+    """
+    from .executor import bind_row, merge_join_rows, null_extend_row
+
+    result: "list[tuple[tuple, dict]]" = []
+    error: "tuple[tuple, Exception] | None" = None
+    for position, raw in enumerate(payload):
+        tag = (node_tag + (position,),)
+        left = bind_row(raw, binding)
+        if using:
+            key = tuple(left.get(col) for col in using)
+            matches = index.get(key, []) if not any(
+                part is None for part in key
+            ) else []
+        else:
+            try:
+                key = compiled_probe(raw, context)
+            except Exception as exc:  # noqa: BLE001 — ranked by the coordinator
+                if error is None:
+                    error = (tag, exc)
+                continue
+            matches = index.get(key, []) if key is not None else []
+        if matches:
+            result.extend(
+                (tag + (right_tag,), merge_join_rows(left, right))
+                for right_tag, right in matches
+            )
+        elif kind == "LEFT":
+            result.append((tag + ((),), null_extend_row(left, right_columns)))
+    return result, error

@@ -5,7 +5,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-from ..errors import SqlExecutionError
+from ..errors import SqlExecutionError, SqlPlanError
 from .ast import (
     AGGREGATE_FUNCTIONS,
     Between,
@@ -25,6 +25,7 @@ from .ast import (
     Unary,
     Union,
     collect_aggregates,
+    contains_aggregate,
 )
 from .functions import SCALAR_FUNCTIONS, make_aggregate
 from .lru import LruCache
@@ -299,6 +300,169 @@ def _nested_loop_join(left_rows: list[dict], right_rows: list[dict],
         if not matched and step.kind == "LEFT":
             result.append(_null_extend(left, right_columns))
     return result
+
+
+# -- distributed join support ------------------------------------------------
+#
+# The distributed coordinator (repro.query.joins) executes each join
+# step as per-node build/probe stages over *tagged* rows — ``(tag,
+# bound_row)`` pairs where ``tag`` is a tuple of per-step components
+# that totally orders the merged rows exactly as the central left-deep
+# execution would have emitted them.  The primitives below are the
+# central hash-join loops re-expressed over tagged inputs with an
+# injectable right-column set, so both paths share one set of
+# equality/NULL/error semantics.
+
+
+def collect_right_columns(bound_rows: list[dict]) -> set[str]:
+    """The right-hand column set exactly as ``_execute_join`` builds it.
+
+    The *construction sequence* matters, not just the contents: LEFT
+    null-extension iterates this set, so its internal order decides the
+    column insertion order of padded rows (visible through ``SELECT
+    *``).  Feed the bound rows in canonical order and the per-row
+    ``update`` replays central's resize/insertion history bit for bit.
+    """
+    columns: set[str] = set()
+    for row in bound_rows:
+        columns.update(row.keys())
+    return columns
+
+
+def build_join_index(
+    tagged_rows: "list[tuple[tuple, dict]]",
+    using: "tuple[str, ...]",
+    build_expr: "Expr | None",
+    context: EvalContext,
+) -> "tuple[dict, tuple[tuple, Exception] | None]":
+    """The hash-join build phase over tagged bound rows.
+
+    Mirrors ``_hash_join_using``/``_hash_join_on``: NULL keys (any
+    NULL component for USING) never enter the index.  Instead of
+    raising on a key-evaluation error it records the first one with
+    its row tag — the coordinator surfaces the minimum tag across
+    nodes, which is the row central would have raised on first.
+    """
+    index: dict = {}
+    error: "tuple[tuple, Exception] | None" = None
+    for tag, row in tagged_rows:
+        if using:
+            key = tuple(row.get(col) for col in using)
+            if any(part is None for part in key):
+                continue
+        else:
+            try:
+                key = _eval(build_expr, row, context, None)
+            except Exception as exc:  # noqa: BLE001 - mirrors central raise
+                if error is None:
+                    error = (tag, exc)
+                continue
+            if key is None:
+                continue
+        index.setdefault(key, []).append((tag, row))
+    return index, error
+
+
+def probe_join_index(
+    tagged_left: "list[tuple[tuple, dict]]",
+    index: dict,
+    using: "tuple[str, ...]",
+    probe_expr: "Expr | None",
+    kind: str,
+    right_columns: set[str],
+    context: EvalContext,
+) -> "tuple[list[tuple[tuple, dict]], tuple[tuple, Exception] | None]":
+    """The hash-join probe phase over tagged bound rows.
+
+    Matched rows extend the left tag with the matched right row's tag;
+    LEFT-join NULL padding extends it with ``()``, which sorts before
+    any real match but only ever compares against tags of the same
+    left row (a row cannot both match and pad).
+    """
+    result: "list[tuple[tuple, dict]]" = []
+    error: "tuple[tuple, Exception] | None" = None
+    for tag, left in tagged_left:
+        if using:
+            key = tuple(left.get(col) for col in using)
+            matches = index.get(key, []) if not any(
+                part is None for part in key
+            ) else []
+        else:
+            try:
+                key = _eval(probe_expr, left, context, None)
+            except Exception as exc:  # noqa: BLE001 - mirrors central raise
+                if error is None:
+                    error = (tag, exc)
+                continue
+            matches = index.get(key, []) if key is not None else []
+        if matches:
+            result.extend(
+                (tag + (right_tag,), _merge(left, right))
+                for right_tag, right in matches
+            )
+        elif kind == "LEFT":
+            result.append((tag + ((),), _null_extend(left, right_columns)))
+    return result, error
+
+
+def merge_join_rows(left: dict, right: dict) -> dict:
+    """Public alias of the join merge (left wins unqualified collisions)
+    for the vectorized broadcast-probe sweep."""
+    return _merge(left, right)
+
+
+def null_extend_row(left: dict, right_columns: set[str]) -> dict:
+    """Public alias of LEFT-join NULL padding for the sweep probe."""
+    return _null_extend(left, right_columns)
+
+
+def validate_joined_select(select: Select) -> bool:
+    """The statement-shape validations of ``plan_select``, re-raised by
+    the distributed join path.  Central queries only hit them at the
+    entry node's final stage (``execute_select`` plans there), so the
+    distributed finalizer must fire the same errors at the same point.
+    Returns ``is_aggregate``.
+    """
+    is_aggregate = bool(select.group_by) or any(
+        contains_aggregate(item.expr) for item in select.items
+    )
+    if select.having is not None and not is_aggregate:
+        raise SqlPlanError("HAVING requires GROUP BY or aggregates")
+    if is_aggregate and select.select_star:
+        raise SqlPlanError("SELECT * cannot be combined with aggregation")
+    if select.approx and not is_aggregate:
+        raise SqlPlanError(
+            "APPROX requires an aggregate query (COUNT/SUM/AVG/...)"
+        )
+    return is_aggregate
+
+
+def execute_joined_select(select: Select, rows: list[dict],
+                          context: EvalContext,
+                          scanned: int = 0) -> QueryResult:
+    """Finalize a SELECT whose joins already ran distributed.
+
+    ``rows`` are merged *bound* rows in central emission order (the
+    coordinator sorts by tag before calling).  Re-binding them against
+    a table would re-resolve unqualified collisions and corrupt the
+    left-wins semantics baked in by the join merge, so this runs
+    ``execute_plan``'s post-join stages directly: residual WHERE,
+    aggregation or projection, and output shaping.
+    """
+    is_aggregate = validate_joined_select(select)
+    if select.where is not None:
+        rows = [
+            row for row in rows
+            if _truthy(_eval(select.where, row, context, None))
+        ]
+    if is_aggregate:
+        out_rows, columns = _execute_aggregate(select, rows, context)
+    else:
+        out_rows, columns = _execute_projection(select, rows, context)
+    final = _shape_output(select, out_rows, columns, context)
+    if select.approx:
+        columns, final = _approx_exact_output(columns, final)
+    return QueryResult(columns=columns, rows=final, scanned=scanned)
 
 
 # -- projection and aggregation ---------------------------------------------

@@ -62,6 +62,7 @@ from .planner import (
     collect_columns,
     conjoin,
     contains_local_timestamp,
+    extract_hash_keys,
     split_conjuncts,
 )
 
@@ -402,10 +403,14 @@ class DistributedPlan:
         return self.fragments[table]
 
 
-#: Row fields every fragment retains regardless of projection: ``key``
-#: feeds repeatable-read locking and pruning audits, ``ssid`` keeps
-#: snapshot-version predicates re-checkable at the entry node.
-ALWAYS_KEPT_COLUMNS = ("key", "ssid", "partitionKey")
+#: Row fields that exist on every stored row.  They used to be
+#: force-kept in every projection "just in case"; nothing downstream
+#: reads them from *shipped* rows anymore (repeatable-read locking and
+#: chaos audits both work from the raw rows on the scan node), so they
+#: now ship only when the statement references them — the single
+#: biggest per-row byte saving for joins, whose key columns are usually
+#: the only overlap with this set.
+ROW_IDENTITY_COLUMNS = ("key", "ssid", "partitionKey")
 
 
 def _collect_non_aggregate_columns(expr: Expr | None,
@@ -481,9 +486,6 @@ def _projection_for(select: Select, binding: str,
     for column in referenced:
         if column.table in (None, binding) and column.name not in names:
             names.append(column.name)
-    for name in ALWAYS_KEPT_COLUMNS:
-        if name not in names:
-            names.append(name)
     return tuple(names)
 
 
@@ -607,6 +609,106 @@ def split_select(select: Select) -> DistributedPlan:
         residual=residual,
         partial=partial,
     )
+
+
+# -- distributed join planning -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinFragment:
+    """One JOIN step as the distributed coordinator sees it.
+
+    Steps execute in statement order (the same left-deep order the
+    central executor uses), so "multi-way ordering" is a property the
+    distributed path *preserves* rather than re-derives: strategy
+    choice may change where each step runs, never the sequence of
+    steps, and therefore never the row order the order tags encode.
+    Either ``using`` is non-empty or ``probe``/``build`` are the two
+    sides of an equi-``ON`` (build references this step's binding) —
+    the same detection :func:`repro.sql.planner.extract_hash_keys`
+    feeds the central hash join, so both layers agree on what hashes.
+    """
+
+    index: int
+    table: str
+    binding: str
+    kind: str  # 'INNER' | 'LEFT'
+    using: tuple[str, ...] = ()
+    probe: Expr | None = None
+    build: Expr | None = None
+
+
+def join_fragments(select: Select) -> "tuple[JoinFragment, ...] | None":
+    """Classify every JOIN step for distributed execution.
+
+    Returns ``None`` when any step disqualifies the whole statement:
+    a non-equi ``ON`` condition (the central nested loop is the only
+    implementation of those semantics), or a table joined more than
+    once (self-joins must read one consistent shipped copy centrally —
+    two scans of a live table at different virtual times could
+    disagree with themselves).
+    """
+    if not select.joins:
+        return None
+    seen = {select.table.name}
+    bindings = {select.table.binding}
+    steps: list[JoinFragment] = []
+    for index, join in enumerate(select.joins):
+        name = join.table.name
+        if name in seen or join.table.binding in bindings:
+            # Self-joins stay central; duplicate bindings must reach
+            # the central planner so its error surfaces verbatim.
+            return None
+        seen.add(name)
+        bindings.add(join.table.binding)
+        if join.kind not in ("INNER", "LEFT"):
+            return None
+        if join.using:
+            steps.append(JoinFragment(
+                index=index, table=name, binding=join.table.binding,
+                kind=join.kind, using=join.using,
+            ))
+            continue
+        keys = extract_hash_keys(join.on, join.table.binding)
+        if keys is None:
+            return None
+        probe, build = keys
+        steps.append(JoinFragment(
+            index=index, table=name, binding=join.table.binding,
+            kind=join.kind, probe=probe, build=build,
+        ))
+    return tuple(steps)
+
+
+#: Join-key column names that coincide with the store's partition key —
+#: every stored row carries the map key under both names, so equality
+#: on either co-locates matching rows when the two tables share a
+#: partition function (see ``repro.cluster.partition``).
+PARTITION_KEY_COLUMNS = frozenset({"key", "partitionKey"})
+
+
+def partition_aligned_binding(step: JoinFragment) -> "str | None":
+    """The earlier-table binding whose partition key this step probes.
+
+    For ``USING`` the probe value resolves on the merged row where the
+    leftmost (base) table wins collisions, so alignment is against the
+    base table — returns ``""`` to say "base".  For an equi-``ON`` the
+    probe side must be a binding-qualified partition-key column;
+    returns that binding.  ``None`` means the step does not join on a
+    partition key at all.
+    """
+    if step.using:
+        if any(name in PARTITION_KEY_COLUMNS for name in step.using):
+            return ""
+        return None
+    probe, build = step.probe, step.build
+    if not isinstance(probe, Column) or not isinstance(build, Column):
+        return None
+    if probe.name not in PARTITION_KEY_COLUMNS:
+        return None
+    if build.name not in PARTITION_KEY_COLUMNS:
+        return None
+    return probe.table
 
 
 # -- scan-side execution -----------------------------------------------------

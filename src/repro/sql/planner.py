@@ -141,7 +141,7 @@ def _plan_join(join: Join, catalog: Catalog) -> JoinStep:
             hash_on=None,
             on=None,
         )
-    hash_on = _extract_hash_keys(join.on, join.table.binding)
+    hash_on = extract_hash_keys(join.on, join.table.binding)
     return JoinStep(
         source=source,
         binding=join.table.binding,
@@ -250,14 +250,16 @@ def contains_local_timestamp(expr: Expr | None) -> bool:
     return False
 
 
-def _extract_hash_keys(
+def extract_hash_keys(
     on: Expr | None, right_binding: str
 ) -> tuple[Expr, Expr] | None:
     """Detect ``left.col = right.col`` equality for a hash join.
 
     Returns ``(probe_expr, build_expr)`` where the build expression
     references only the newly joined (right) table.  Anything more
-    complex falls back to a nested loop.
+    complex falls back to a nested loop.  The distributed join planner
+    uses the same detection to classify steps as equi-joins, so the
+    two layers can never disagree on which joins hash.
     """
     if not isinstance(on, Binary) or on.op != "=":
         return None

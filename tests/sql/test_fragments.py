@@ -187,9 +187,7 @@ def test_fragment_accumulator_filters_and_projects():
     assert [row["key"] for row in survivors] == [1, 5, 9]
     payload = acc.payload()
     assert all("pad" not in row for row in payload)
-    assert all(
-        set(row) == {"key", "value", "partitionKey"} for row in payload
-    )
+    assert all(set(row) == {"key", "value"} for row in payload)
 
 
 def test_partial_groups_merge_matches_central_execution():
